@@ -1,0 +1,96 @@
+// Ablation benchmarks for the scheduler design choices of the paper's
+// Algorithm 1 (DESIGN.md): the per-worker speculative task cache, the
+// probabilistic load-balancing wakeup, and the pre-park spin. Each
+// benchmark runs the wavefront workload on an executor with one heuristic
+// altered, so `go test -bench=Ablation` quantifies what each buys.
+package gotaskflow_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"gotaskflow/internal/executor"
+	"gotaskflow/internal/wavefront"
+)
+
+const ablationSize = 96
+
+func benchAblation(b *testing.B, opts ...executor.Option) {
+	b.Helper()
+	e := executor.New(workers(), opts...)
+	defer e.Shutdown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wavefront.TaskflowShared(ablationSize, wavefront.Spin, e)
+	}
+}
+
+func BenchmarkAblationBaseline(b *testing.B) {
+	benchAblation(b)
+}
+
+func BenchmarkAblationNoTaskCache(b *testing.B) {
+	benchAblation(b, executor.WithoutTaskCache())
+}
+
+func BenchmarkAblationNoWakeProbability(b *testing.B) {
+	benchAblation(b, executor.WithWakeProbability(0))
+}
+
+func BenchmarkAblationEagerWake(b *testing.B) {
+	benchAblation(b, executor.WithWakeProbability(1))
+}
+
+func BenchmarkAblationNoSpin(b *testing.B) {
+	benchAblation(b, executor.WithSpin(0))
+}
+
+func BenchmarkAblationLongSpin(b *testing.B) {
+	benchAblation(b, executor.WithSpin(256))
+}
+
+// TestAblationOptionsStillCorrect verifies every ablated configuration
+// still executes graphs correctly — the knobs trade performance, never
+// correctness.
+func TestAblationOptionsStillCorrect(t *testing.T) {
+	want := wavefront.Sequential(24, wavefront.Spin)
+	configs := map[string][]executor.Option{
+		"baseline":  nil,
+		"noCache":   {executor.WithoutTaskCache()},
+		"noWake":    {executor.WithWakeProbability(0)},
+		"eagerWake": {executor.WithWakeProbability(1)},
+		"noSpin":    {executor.WithSpin(0)},
+		"longSpin":  {executor.WithSpin(256)},
+	}
+	for name, opts := range configs {
+		e := executor.New(2, opts...)
+		got := wavefront.TaskflowShared(24, wavefront.Spin, e)
+		e.Shutdown()
+		if got != want {
+			t.Fatalf("%s: checksum %#x, want %#x", name, got, want)
+		}
+	}
+}
+
+// TestNoCacheExecutorDrainsEverything double-checks the no-cache path with
+// a deep fan-out/fan-in workload.
+func TestNoCacheExecutorDrainsEverything(t *testing.T) {
+	e := executor.New(2, executor.WithoutTaskCache())
+	defer e.Shutdown()
+	var n atomic.Int64
+	done := make(chan struct{})
+	var spawn func(depth int) executor.Task
+	spawn = func(depth int) executor.Task {
+		return func(ctx executor.Context) {
+			if n.Add(1) == 1<<10-1 {
+				close(done)
+			}
+			if depth > 0 {
+				ctx.SubmitCached(spawn(depth - 1)) // degrades to Submit
+				ctx.Submit(spawn(depth - 1))
+			}
+		}
+	}
+	e.Submit(spawn(9))
+	<-done
+}

@@ -1,0 +1,187 @@
+// Command repro regenerates every table and figure of the Cpp-Taskflow
+// paper's evaluation in one run, at a configurable scale. The default
+// scale is sized for a small machine; -scale 1 approaches the paper's
+// problem sizes (the paper ran on 64 Opteron cores with 256 GB RAM).
+//
+// Usage:
+//
+//	repro                 # laptop-scale pass over every experiment
+//	repro -quick          # smoke-sized pass (seconds)
+//	repro -scale 1        # paper-sized problem instances
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"gotaskflow/internal/dnn"
+	"gotaskflow/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("repro: ")
+	var (
+		quick = flag.Bool("quick", false, "smoke-sized problems")
+		scale = flag.Int("scale", 20, "divisor applied to the paper's problem sizes")
+	)
+	flag.Parse()
+
+	p := params(*scale, *quick)
+	root, err := experiments.SrcRoot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := os.Stdout
+	start := time.Now()
+	section := func(name string, fn func() error) {
+		fmt.Fprintf(w, "\n===== %s =====\n", name)
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Fprintf(w, "# section completed in %v\n", time.Since(t0).Round(time.Millisecond))
+	}
+
+	fmt.Fprintf(w, "Cpp-Taskflow reproduction — full experiment sweep (scale 1/%d, quick=%v)\n", *scale, *quick)
+
+	section("Listings 3-5 / 7-8 (programmability)", func() error {
+		return experiments.ListingsTable(w)
+	})
+	section("Table I (micro-benchmark software costs)", func() error {
+		return experiments.Table1(w, root)
+	})
+	section("Figure 7 top (runtime vs problem size)", func() error {
+		return experiments.Fig7SizeSweep(w, p.workers, p.wavefrontSizes, p.traversalSizes, p.reps)
+	})
+	section("Figure 7 bottom (runtime vs workers)", func() error {
+		return experiments.Fig7CPUSweep(w, experiments.WorkerSweep(p.maxWorkers),
+			p.wavefrontSizes[len(p.wavefrontSizes)-1], p.traversalSizes[len(p.traversalSizes)-1], p.reps)
+	})
+	section("Table II (OpenTimer software costs + COCOMO)", func() error {
+		return experiments.Table2(w, root)
+	})
+	section("Figure 9 (incremental timing, tv80)", func() error {
+		return experiments.Fig9Incremental(w, experiments.TV80, p.staScaleSmall, p.fig9IterTV80, p.workers)
+	})
+	section("Figure 9 (incremental timing, vga_lcd)", func() error {
+		return experiments.Fig9Incremental(w, experiments.VGALCD, p.staScaleLarge, p.fig9IterVGA, p.workers)
+	})
+	section("Figure 10 left (full-timing scalability)", func() error {
+		return experiments.Fig10Scalability(w,
+			[]experiments.Design{experiments.Netcard, experiments.Leon3mp},
+			p.staScaleHuge, experiments.WorkerSweep(p.maxWorkers), p.reps)
+	})
+	section("Figure 10 right (CPU utilization)", func() error {
+		return experiments.Fig10Utilization(w, experiments.Leon3mp, p.staScaleHuge,
+			experiments.WorkerSweep(p.maxWorkers), p.utilUpdates)
+	})
+	section("Table III (machine-learning software costs)", func() error {
+		return experiments.Table3(w, root)
+	})
+	section("Figure 12 top (DNN runtime vs epochs)", func() error {
+		if err := experiments.Fig12Epochs(w, dnn.Arch3, "3-layer DNN", p.epochSweep, p.images, p.workers); err != nil {
+			return err
+		}
+		return experiments.Fig12Epochs(w, dnn.Arch5, "5-layer DNN", p.epochSweep, p.images, p.workers)
+	})
+	section("Figure 12 bottom (DNN runtime vs workers)", func() error {
+		if err := experiments.Fig12CPU(w, dnn.Arch3, "3-layer DNN",
+			experiments.WorkerSweep(p.maxWorkers), p.cpuEpochs, p.images); err != nil {
+			return err
+		}
+		return experiments.Fig12CPU(w, dnn.Arch5, "5-layer DNN",
+			experiments.WorkerSweep(p.maxWorkers), p.cpuEpochs, p.images)
+	})
+
+	fmt.Fprintf(w, "\nall experiments completed in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+type runParams struct {
+	workers, maxWorkers, reps      int
+	wavefrontSizes, traversalSizes []int
+	staScaleSmall, staScaleLarge   int
+	staScaleHuge                   int
+	fig9IterTV80, fig9IterVGA      int
+	utilUpdates                    int
+	epochSweep                     []int
+	cpuEpochs, images              int
+}
+
+func params(scale int, quick bool) runParams {
+	if quick {
+		return runParams{
+			workers:        experiments.DefaultWorkers(8),
+			maxWorkers:     experiments.DefaultWorkers(4),
+			reps:           1,
+			wavefrontSizes: []int{8, 16},
+			traversalSizes: []int{500, 1000},
+			staScaleSmall:  10, staScaleLarge: 200, staScaleHuge: 2000,
+			fig9IterTV80: 5, fig9IterVGA: 5,
+			utilUpdates: 2,
+			epochSweep:  []int{1, 2},
+			cpuEpochs:   1, images: 500,
+		}
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	// The paper's largest instances: wavefront 512x512 blocks (262,144
+	// tasks), traversal 711,002 nodes, tv80 5.3K / vga_lcd 139.5K /
+	// netcard 1.4M / leon3mp 1.2M gates, 60K-image MNIST, 100-epoch
+	// sweeps. Task counts below divide by `scale` (wavefront edges divide
+	// by sqrt(scale) since tasks grow quadratically).
+	var wf []int
+	for _, m := range []int{128, 256, 384, 512} {
+		wf = append(wf, maxInt(m/isqrt(scale), 4))
+	}
+	var tv []int
+	for _, n := range []int{89000, 178000, 356000, 711002} {
+		tv = append(tv, maxInt(n/scale, 100))
+	}
+	ep := minInt(scale, 10)
+	return runParams{
+		workers:        experiments.DefaultWorkers(8),
+		maxWorkers:     experiments.DefaultWorkers(8),
+		reps:           2,
+		wavefrontSizes: wf,
+		traversalSizes: tv,
+		staScaleSmall:  maxInt(scale/10, 1),
+		staScaleLarge:  scale,
+		staScaleHuge:   scale * 10,
+		fig9IterTV80:   30,
+		fig9IterVGA:    100,
+		utilUpdates:    3,
+		epochSweep:     []int{maxInt(20/ep, 1), maxInt(40/ep, 2), maxInt(100/ep, 3)},
+		cpuEpochs:      maxInt(40/minInt(scale, 20), 1),
+		images:         maxInt(60000/scale, 500),
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func isqrt(n int) int {
+	if n < 1 {
+		return 1
+	}
+	r := 1
+	for r*r < n {
+		r++
+	}
+	return r
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,58 @@
+// Command softcost regenerates the software-cost comparisons of the
+// Cpp-Taskflow paper: Table I (micro-benchmarks), Table II (OpenTimer v1
+// vs v2 with COCOMO estimates), Table III (machine learning) and the
+// LOC/token counts of Listings 3-5 and 7-8 — all measured on this
+// repository's Go implementations with the internal/sloc analyzer.
+//
+// Usage:
+//
+//	softcost -table 1
+//	softcost -table 2
+//	softcost -table 3
+//	softcost -listings
+//	softcost -all
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"gotaskflow/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("softcost: ")
+	var (
+		table    = flag.Int("table", 0, "table to regenerate: 1, 2 or 3")
+		listings = flag.Bool("listings", false, "emit the listing LOC/token comparison")
+		all      = flag.Bool("all", false, "emit every table")
+	)
+	flag.Parse()
+
+	root, err := experiments.SrcRoot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	run := func(name string, fn func() error) {
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+	if *all || *table == 1 {
+		run("table1", func() error { return experiments.Table1(os.Stdout, root) })
+	}
+	if *all || *table == 2 {
+		run("table2", func() error { return experiments.Table2(os.Stdout, root) })
+	}
+	if *all || *table == 3 {
+		run("table3", func() error { return experiments.Table3(os.Stdout, root) })
+	}
+	if *all || *listings {
+		run("listings", func() error { return experiments.ListingsTable(os.Stdout) })
+	}
+	if !*all && *table == 0 && !*listings {
+		log.Fatal("nothing to do: pass -table N, -listings or -all")
+	}
+}

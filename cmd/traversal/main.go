@@ -1,0 +1,51 @@
+// Command traversal runs the graph-traversal micro-benchmark of the
+// Cpp-Taskflow paper (Figure 7): a random degree-bounded DAG cast into a
+// task dependency graph and traversed by the taskflow, TBB-FlowGraph and
+// OpenMP models.
+//
+// Usage:
+//
+//	traversal -sweep size -workers 8 -sizes 50000,100000,200000
+//	traversal -sweep cpu -size 200000 -maxworkers 8
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"gotaskflow/internal/cli"
+	"gotaskflow/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("traversal: ")
+	var (
+		sweep      = flag.String("sweep", "size", "sweep axis: size or cpu")
+		workers    = flag.Int("workers", experiments.DefaultWorkers(8), "worker count for the size sweep")
+		sizes      = flag.String("sizes", "25000,50000,100000,200000", "comma-separated node counts")
+		size       = flag.Int("size", 200000, "node count for the cpu sweep")
+		maxWorkers = flag.Int("maxworkers", experiments.DefaultWorkers(8), "largest worker count for the cpu sweep")
+		reps       = flag.Int("reps", 3, "repetitions per point (min taken)")
+	)
+	flag.Parse()
+
+	switch *sweep {
+	case "size":
+		ns, err := cli.ParseInts(*sizes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := experiments.Fig7SizeSweep(os.Stdout, *workers, nil, ns, *reps); err != nil {
+			log.Fatal(err)
+		}
+	case "cpu":
+		counts := experiments.WorkerSweep(*maxWorkers)
+		if err := experiments.Fig7CPUSweep(os.Stdout, counts, 0, *size, *reps); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown -sweep %q (want size or cpu)", *sweep)
+	}
+}

@@ -1,0 +1,52 @@
+// Command wavefront runs the wavefront micro-benchmark of the
+// Cpp-Taskflow paper (Figure 7): a 2D matrix partitioned into square
+// blocks whose tasks propagate dependencies from the top-left to the
+// bottom-right corner, executed by the taskflow, TBB-FlowGraph and
+// OpenMP models.
+//
+// Usage:
+//
+//	wavefront -sweep size -workers 8 -sizes 64,128,256,512
+//	wavefront -sweep cpu -size 512 -maxworkers 8
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"gotaskflow/internal/cli"
+	"gotaskflow/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wavefront: ")
+	var (
+		sweep      = flag.String("sweep", "size", "sweep axis: size or cpu")
+		workers    = flag.Int("workers", experiments.DefaultWorkers(8), "worker count for the size sweep")
+		sizes      = flag.String("sizes", "32,64,128,256", "comma-separated block counts per side")
+		size       = flag.Int("size", 256, "blocks per side for the cpu sweep")
+		maxWorkers = flag.Int("maxworkers", experiments.DefaultWorkers(8), "largest worker count for the cpu sweep")
+		reps       = flag.Int("reps", 3, "repetitions per point (min taken)")
+	)
+	flag.Parse()
+
+	switch *sweep {
+	case "size":
+		ms, err := cli.ParseInts(*sizes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := experiments.Fig7SizeSweep(os.Stdout, *workers, ms, nil, *reps); err != nil {
+			log.Fatal(err)
+		}
+	case "cpu":
+		counts := experiments.WorkerSweep(*maxWorkers)
+		if err := experiments.Fig7CPUSweep(os.Stdout, counts, *size, 0, *reps); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown -sweep %q (want size or cpu)", *sweep)
+	}
+}

@@ -1,0 +1,19 @@
+// Package gotaskflow is a Go reproduction of "Cpp-Taskflow: Fast
+// Task-based Parallel Programming using Modern C++" (Huang, Lin, Guo and
+// Wong, IPDPS 2019).
+//
+// The library lives in internal/core (task dependency graphs, subflows,
+// futures, algorithms) on top of internal/executor (the paper's
+// Algorithm-1 work-stealing scheduler) and internal/wsq (Chase-Lev
+// deques). The baselines the paper compares against are modeled in
+// internal/flowgraph (Intel TBB FlowGraph) and internal/omp (OpenMP 4.5
+// task dependency clauses). The evaluation substrates — wavefront and
+// graph-traversal micro-benchmarks, a synthetic-circuit static timing
+// analyzer in the style of OpenTimer v1/v2, and an MNIST-shaped DNN
+// training pipeline — live in their own internal packages, and
+// internal/experiments regenerates every table and figure of the paper.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for measured-vs-paper results. The benchmarks in
+// bench_test.go regenerate each figure's data points via go test -bench.
+package gotaskflow

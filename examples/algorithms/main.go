@@ -1,0 +1,69 @@
+// Algorithms demonstrates the built-in algorithm collection of the paper
+// (Section III-F): ParallelFor, Transform, Reduce and TransformReduce
+// built as spliceable task patterns and composed into one task dependency
+// graph — including inside a dynamic subflow, since the constructors take
+// the unified FlowBuilder interface.
+//
+//	go run ./examples/algorithms
+package main
+
+import (
+	"fmt"
+
+	"gotaskflow/internal/core"
+)
+
+func main() {
+	tf := core.New(0).SetName("algorithms")
+	defer tf.Close()
+
+	const n = 100000
+	data := make([]float64, n)
+	squares := make([]float64, n)
+
+	// Stage 1: fill the input in parallel chunks.
+	initS, initT := core.ParallelForIndex(tf, 0, n, 1, func(i int) {
+		data[i] = float64(i%1000) / 1000
+	}, 0)
+
+	// Stage 2: map through a transform.
+	mapS, mapT := core.Transform(tf, data, squares, func(v float64) float64 {
+		return v * v
+	}, 0)
+
+	// Stage 3: fold the mapped values.
+	sum := 0.0
+	redS, redT := core.Reduce(tf, squares, &sum, func(a, b float64) float64 {
+		return a + b
+	}, 0)
+
+	// Stage 4: a dynamic subflow computing a second statistic with the
+	// same constructors — identical API inside dynamic tasking.
+	maxv := -1.0
+	stats := tf.EmplaceSubflow(func(sf *core.Subflow) {
+		core.TransformReduce(sf, squares, &maxv,
+			func(a, b float64) float64 {
+				if a > b {
+					return a
+				}
+				return b
+			},
+			func(v float64) float64 { return v }, 0)
+	}).Name("stats_subflow")
+
+	report := tf.Emplace1(func() {
+		fmt.Printf("sum of squares  = %.3f\n", sum)
+		fmt.Printf("max of squares  = %.3f\n", maxv)
+	}).Name("report")
+
+	// Splice the patterns: init -> map -> reduce -> stats -> report.
+	initT.Precede(mapS)
+	mapT.Precede(redS)
+	redT.Precede(stats)
+	stats.Precede(report)
+	_ = initS
+
+	if err := tf.WaitForAll(); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,71 @@
+// Conditional demonstrates condition tasks — the control-flow extension of
+// the taskflow model: a condition task returns the index of the successor
+// to signal, its out-edges are weak, and cycles through condition tasks
+// express iterative workloads (the paper's Section II-C "dynamic and
+// conditional workloads that cannot be foreseen in static graph
+// constructions"). The example trains a tiny estimator until convergence:
+// an optimize/evaluate loop followed by an accept/reject branch.
+//
+//	go run ./examples/conditional
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"gotaskflow/internal/core"
+)
+
+func main() {
+	tf := core.New(0).SetName("optimize_until_converged")
+	defer tf.Close()
+
+	// Estimate sqrt(2) by Newton iteration until the residual is small,
+	// with an iteration cap guarding divergence.
+	x := 1.0
+	iter := 0
+	const target = 2.0
+
+	init := tf.Emplace1(func() {
+		fmt.Println("starting Newton iteration for sqrt(2)")
+	}).Name("init")
+
+	step := tf.Emplace1(func() {
+		x = 0.5 * (x + target/x)
+		iter++
+		fmt.Printf("  iter %d: x = %.12f\n", iter, x)
+	}).Name("step")
+
+	check := tf.EmplaceCondition(func() int {
+		switch {
+		case math.Abs(x*x-target) < 1e-12:
+			return 1 // converged
+		case iter >= 50:
+			return 2 // give up
+		default:
+			return 0 // keep iterating
+		}
+	}).Name("check")
+
+	converged := tf.Emplace1(func() {
+		fmt.Printf("converged after %d iterations: sqrt(2) ~= %.12f\n", iter, x)
+	}).Name("converged")
+
+	diverged := tf.Emplace1(func() {
+		fmt.Println("did not converge within the iteration cap")
+	}).Name("diverged")
+
+	init.Precede(step)
+	step.Precede(check)
+	check.Precede(step, converged, diverged) // 0: loop, 1: done, 2: abort
+
+	fmt.Println("--- task graph with weak (dashed) condition edges ---")
+	if err := tf.Dump(os.Stdout); err != nil {
+		panic(err)
+	}
+	fmt.Println("--- execution ---")
+	if err := tf.WaitForAll(); err != nil {
+		panic(err)
+	}
+}

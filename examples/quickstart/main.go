@@ -1,0 +1,41 @@
+// Quickstart reproduces Listing 1 of the Cpp-Taskflow paper: a diamond
+// task dependency graph of four tasks with no explicit thread management
+// or lock controls in user code.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"gotaskflow/internal/core"
+)
+
+func main() {
+	tf := core.New(0) // 0 workers = GOMAXPROCS
+	defer tf.Close()
+
+	ts := tf.Emplace(
+		func() { fmt.Println("Task A") },
+		func() { fmt.Println("Task B") },
+		func() { fmt.Println("Task C") },
+		func() { fmt.Println("Task D") },
+	)
+	A, B, C, D := ts[0].Name("A"), ts[1].Name("B"), ts[2].Name("C"), ts[3].Name("D")
+
+	A.Precede(B, C) // A runs before B and C
+	B.Precede(D)    // B runs before D
+	C.Precede(D)    // C runs before D
+
+	// Visualize the graph before running it (paper Section III-G).
+	fmt.Println("--- task dependency graph (DOT) ---")
+	if err := tf.Dump(os.Stdout); err != nil {
+		panic(err)
+	}
+	fmt.Println("--- execution ---")
+
+	if err := tf.WaitForAll(); err != nil { // block until finish
+		panic(err)
+	}
+}

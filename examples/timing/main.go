@@ -1,0 +1,63 @@
+// Timing reproduces Figure 8 of the Cpp-Taskflow paper: the task
+// dependency graph of a single timing update on the paper's sample
+// circuit (inp1, inp2, u1-u4, flip-flop f1, out), dumped in DOT format,
+// followed by the timing report and an incremental gate-resize update.
+//
+//	go run ./examples/timing
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"gotaskflow/internal/circuit"
+	"gotaskflow/internal/experiments"
+	"gotaskflow/internal/sta"
+	"gotaskflow/internal/stav2"
+)
+
+func main() {
+	ckt := circuit.Figure8()
+	tm := sta.New(ckt, experiments.ClockPeriod)
+	a := stav2.New(tm, 0)
+	defer a.Close()
+
+	// Build the task dependency graph of one full timing update — the
+	// graph of paper Figure 8 — and dump it before running.
+	update := tm.FullUpdate()
+	tf := a.Taskflow(update)
+	fmt.Println("--- task graph of one timing update (DOT) ---")
+	if err := tf.Dump(os.Stdout); err != nil {
+		panic(err)
+	}
+	if err := tf.WaitForAll(); err != nil {
+		panic(err)
+	}
+
+	report := func(header string) {
+		fmt.Printf("--- %s ---\n", header)
+		ws, at := tm.WorstSlack()
+		fmt.Printf("worst slack %.3f ps at %s\n", ws, ckt.Gates[at].Name)
+		fmt.Print("critical path:")
+		for _, v := range tm.CriticalPath() {
+			fmt.Printf(" %s", ckt.Gates[v].Name)
+		}
+		fmt.Println()
+	}
+	report("initial timing")
+
+	// An incremental design transform: upsize u4 and re-time only the
+	// affected cones (paper Section IV-B).
+	var u4 int
+	for v, g := range ckt.Gates {
+		if g.Name == "u4" {
+			u4 = v
+		}
+	}
+	seeds := tm.ResizeGate(u4, +1)
+	inc := tm.PrepareUpdate(seeds)
+	fmt.Printf("resized u4 to %s: incremental update touches %d of %d propagation tasks\n",
+		ckt.Gates[u4].Cell.Name, inc.NumTasks(), update.NumTasks())
+	a.Run(inc)
+	report("after resize")
+}

@@ -1,0 +1,3 @@
+module gotaskflow
+
+go 1.22

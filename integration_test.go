@@ -1,0 +1,193 @@
+// Integration tests exercising cross-package flows end to end: the
+// backends must agree on results at every scale, and the v1/v2 timing
+// engines must stay bit-identical through long modifier sequences.
+package gotaskflow_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gotaskflow/internal/circuit"
+	"gotaskflow/internal/dnn"
+	"gotaskflow/internal/executor"
+	"gotaskflow/internal/experiments"
+	"gotaskflow/internal/graphgen"
+	"gotaskflow/internal/mnist"
+	"gotaskflow/internal/sta"
+	"gotaskflow/internal/stav1"
+	"gotaskflow/internal/stav2"
+	"gotaskflow/internal/traversal"
+	"gotaskflow/internal/wavefront"
+)
+
+// TestMicroBenchmarkBackendsAgreeAtScale runs the two micro-benchmarks at
+// a moderately large size across all four backends.
+func TestMicroBenchmarkBackendsAgreeAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const m = 48
+	want := wavefront.Sequential(m, wavefront.Spin)
+	if got := wavefront.Taskflow(m, wavefront.Spin, 2); got != want {
+		t.Fatal("wavefront taskflow mismatch")
+	}
+	if got := wavefront.FlowGraph(m, wavefront.Spin, 2); got != want {
+		t.Fatal("wavefront flowgraph mismatch")
+	}
+	if got := wavefront.OMP(m, wavefront.Spin, 2); got != want {
+		t.Fatal("wavefront omp mismatch")
+	}
+
+	d := graphgen.Random(30000, graphgen.Config{MaxIn: 4, MaxOut: 4, Seed: 99})
+	wantT := traversal.Sequential(d, traversal.Spin)
+	if got := traversal.Taskflow(d, traversal.Spin, 2); got != wantT {
+		t.Fatal("traversal taskflow mismatch")
+	}
+	if got := traversal.FlowGraph(d, traversal.Spin, 2); got != wantT {
+		t.Fatal("traversal flowgraph mismatch")
+	}
+	if got := traversal.OMP(d, traversal.Spin, 2); got != wantT {
+		t.Fatal("traversal omp mismatch")
+	}
+}
+
+// TestTimingEnginesAgreeThroughOptimizationLoop emulates the paper's
+// incremental use-case: a long sequence of design transforms with
+// interleaved v1/v2 updates on identical circuits must keep both engines
+// bit-identical and matching a from-scratch recompute.
+func TestTimingEnginesAgreeThroughOptimizationLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := circuit.Config{Gates: 4000, Seed: 55}
+	ckt1 := circuit.Generate("loop", cfg)
+	ckt2 := circuit.Generate("loop", cfg)
+	tm1 := sta.New(ckt1, experiments.ClockPeriod)
+	tm2 := sta.New(ckt2, experiments.ClockPeriod)
+	a1 := stav1.New(tm1, 2)
+	defer a1.Close()
+	a2 := stav2.New(tm2, 2)
+	defer a2.Close()
+	a1.Run(tm1.FullUpdate())
+	a2.Run(tm2.FullUpdate())
+
+	rng1 := rand.New(rand.NewSource(3))
+	rng2 := rand.New(rand.NewSource(3))
+	for i := 0; i < 60; i++ {
+		s1 := tm1.RandomModifier(rng1)
+		s2 := tm2.RandomModifier(rng2)
+		a1.Run(tm1.PrepareUpdate(s1))
+		a2.Run(tm2.PrepareUpdate(s2))
+	}
+	for v := range ckt1.Gates {
+		for tr := 0; tr < 2; tr++ {
+			if tm1.Slack[tr][v] != tm2.Slack[tr][v] {
+				t.Fatalf("slack[%d][%d] diverged: v1 %v, v2 %v", tr, v, tm1.Slack[tr][v], tm2.Slack[tr][v])
+			}
+			if tm1.Arrival[tr][v] != tm2.Arrival[tr][v] {
+				t.Fatalf("arrival[%d][%d] diverged", tr, v)
+			}
+		}
+	}
+	ws1, at1 := tm1.WorstSlack()
+	ws2, at2 := tm2.WorstSlack()
+	if ws1 != ws2 || at1 != at2 {
+		t.Fatalf("worst slack diverged: (%v,%d) vs (%v,%d)", ws1, at1, ws2, at2)
+	}
+	ref := sta.New(ckt1, experiments.ClockPeriod)
+	ref.FullUpdateSequential()
+	for v := range ckt1.Gates {
+		for tr := 0; tr < 2; tr++ {
+			if tm1.Slack[tr][v] != ref.Slack[tr][v] {
+				t.Fatalf("incremental slack[%d][%d] diverged from full recompute", tr, v)
+			}
+		}
+	}
+}
+
+// TestDNNBackendsProduceIdenticalModels trains all four backends on a
+// shared executor topology and checks training actually learns.
+func TestDNNBackendsProduceIdenticalModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	data := mnist.Synthetic(1000, 77)
+	cfg := dnn.Config{
+		Sizes:     []int{mnist.Pixels, 24, 10},
+		Epochs:    4,
+		BatchSize: 50,
+		LR:        0.2,
+		Seed:      5,
+	}
+	seq, losses := dnn.TrainSequential(cfg, data)
+	tf, _ := dnn.TrainTaskflow(cfg, data, 2)
+	fg, _ := dnn.TrainFlowGraph(cfg, data, 2)
+	om, _ := dnn.TrainOMP(cfg, data, 2)
+	if !seq.Equal(tf, 0) || !seq.Equal(fg, 0) || !seq.Equal(om, 0) {
+		t.Fatal("backends trained different models")
+	}
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatalf("training did not reduce loss: %v", losses)
+	}
+	if acc := dnn.Accuracy(seq, data); acc < 0.3 {
+		t.Fatalf("train accuracy %v too low", acc)
+	}
+}
+
+// TestSharedExecutorAcrossSubsystems runs the paper's modular-composition
+// story: a timing analyzer and generic taskflows sharing one executor.
+func TestSharedExecutorAcrossSubsystems(t *testing.T) {
+	e := executor.New(2)
+	defer e.Shutdown()
+
+	ckt := circuit.Generate("shared", circuit.Config{Gates: 1000, Seed: 4})
+	tm := sta.New(ckt, experiments.ClockPeriod)
+	a := stav2.NewShared(tm, e)
+	a.Run(tm.FullUpdate())
+
+	want := wavefront.Sequential(24, wavefront.Spin)
+	got := wavefront.Taskflow(24, wavefront.Spin, 2)
+	if got != want {
+		t.Fatal("wavefront alongside shared-executor timing failed")
+	}
+
+	ref := sta.New(ckt, experiments.ClockPeriod)
+	ref.FullUpdateSequential()
+	for v := range ckt.Gates {
+		for tr := 0; tr < 2; tr++ {
+			if tm.Slack[tr][v] != ref.Slack[tr][v] {
+				t.Fatal("shared-executor timing result wrong")
+			}
+		}
+	}
+}
+
+// TestFullExperimentHarnessSmoke drives the experiment harness the way
+// cmd/repro does, at smoke scale.
+func TestFullExperimentHarnessSmoke(t *testing.T) {
+	root, err := experiments.SrcRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := experiments.Table1(&sb, root); err != nil {
+		t.Fatal(err)
+	}
+	if err := experiments.Fig7SizeSweep(&sb, 2, []int{8}, []int{300}, 1); err != nil {
+		t.Fatal(err)
+	}
+	small := experiments.Design{Name: "smoke", Gates: 300, Seed: 2}
+	if err := experiments.Fig9Incremental(&sb, small, 1, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := experiments.Fig12Epochs(&sb, []int{mnist.Pixels, 8, 10}, "smoke", []int{1}, 200, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table I", "Figure 7", "Figure 9", "Figure 12"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("harness output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,554 @@
+package celllib
+
+// Liberty-format serialization: real timing analyzers (including the
+// OpenTimer of the paper's Section IV-B) exchange cell libraries as
+// Synopsys Liberty (.lib) files. This file implements the subset needed to
+// round-trip this package's libraries — library/cell/pin/timing groups,
+// NLDM lookup tables with index_1/index_2/values, timing_sense, pin
+// capacitance — so a user with a real characterized library can substitute
+// it, and our synthetic library can be inspected with standard tooling.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteLiberty serializes the library in Liberty format.
+func (l *Library) WriteLiberty(w io.Writer, name string) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "library (%s) {\n", name)
+	sb.WriteString("  time_unit : \"1ps\";\n")
+	sb.WriteString("  capacitive_load_unit (1,ff);\n")
+
+	names := make([]string, 0, len(l.Cells))
+	for n := range l.Cells {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, cn := range names {
+		writeCell(&sb, l.Cells[cn])
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func writeCell(sb *strings.Builder, c *Cell) {
+	fmt.Fprintf(sb, "  cell (%s) {\n", c.Name)
+	if c.Sequential {
+		sb.WriteString("    ff (IQ,IQN) { clocked_on : \"CK\"; next_state : \"D\"; }\n")
+	}
+	for k := 0; k < c.NumInputs; k++ {
+		fmt.Fprintf(sb, "    pin (%s) {\n", inputPinName(c, k))
+		sb.WriteString("      direction : input;\n")
+		fmt.Fprintf(sb, "      capacitance : %s;\n", ftoa(c.InputCap))
+		sb.WriteString("    }\n")
+	}
+	fmt.Fprintf(sb, "    pin (%s) {\n", outputPinName(c))
+	sb.WriteString("      direction : output;\n")
+	for k := 0; k < c.NumInputs; k++ {
+		arc := &c.Arcs[k]
+		sb.WriteString("      timing () {\n")
+		fmt.Fprintf(sb, "        related_pin : \"%s\";\n", inputPinName(c, k))
+		fmt.Fprintf(sb, "        timing_sense : %s;\n", senseName(c.Unate))
+		writeTable(sb, "cell_rise", arc.DelayRise)
+		writeTable(sb, "cell_fall", arc.DelayFall)
+		writeTable(sb, "rise_transition", arc.OutSlewRise)
+		writeTable(sb, "fall_transition", arc.OutSlewFall)
+		sb.WriteString("      }\n")
+	}
+	sb.WriteString("    }\n")
+	sb.WriteString("  }\n")
+}
+
+func writeTable(sb *strings.Builder, kind string, t *Table) {
+	fmt.Fprintf(sb, "        %s (delay_template) {\n", kind)
+	fmt.Fprintf(sb, "          index_1 (\"%s\");\n", joinFloats(t.SlewIndex))
+	fmt.Fprintf(sb, "          index_2 (\"%s\");\n", joinFloats(t.LoadIndex))
+	sb.WriteString("          values (")
+	for i, row := range t.Values {
+		if i > 0 {
+			sb.WriteString(", \\\n                  ")
+		}
+		fmt.Fprintf(sb, "\"%s\"", joinFloats(row))
+	}
+	sb.WriteString(");\n        }\n")
+}
+
+// inputPinName follows the NanGate convention: A, B for combinational
+// inputs; D for the flip-flop data pin.
+func inputPinName(c *Cell, k int) string {
+	if c.Sequential {
+		return "D"
+	}
+	return string(rune('A' + k))
+}
+
+// outputPinName is Y for combinational cells and Q for flip-flops.
+func outputPinName(c *Cell) string {
+	if c.Sequential {
+		return "Q"
+	}
+	return "Y"
+}
+
+func senseName(u Unateness) string {
+	switch u {
+	case PositiveUnate:
+		return "positive_unate"
+	case NegativeUnate:
+		return "negative_unate"
+	}
+	return "non_unate"
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func joinFloats(vs []float64) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = ftoa(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+// ---- Parsing ----
+
+// group is a node of the generic Liberty syntax tree:
+// name (args) { attributes and subgroups }.
+type group struct {
+	name  string
+	args  []string
+	attrs map[string][]string // simple attributes: name : value ;
+	subs  []*group
+}
+
+// ParseLiberty reads a Liberty subset back into a Library. It understands
+// the structure WriteLiberty emits (and tolerates unknown attributes and
+// groups, skipping them).
+func ParseLiberty(r io.Reader) (*Library, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &libParser{src: string(src)}
+	root, err := p.parseGroup()
+	if err != nil {
+		return nil, err
+	}
+	if root.name != "library" {
+		return nil, fmt.Errorf("liberty: top group is %q, want library", root.name)
+	}
+	lib := &Library{Cells: map[string]*Cell{}, families: map[string][]*Cell{}}
+	for _, g := range root.subs {
+		if g.name != "cell" {
+			continue
+		}
+		cell, err := parseCell(g)
+		if err != nil {
+			return nil, err
+		}
+		lib.Cells[cell.Name] = cell
+		lib.families[cell.Family] = append(lib.families[cell.Family], cell)
+	}
+	// Keep family variants in ascending drive order, as the generator does.
+	for f := range lib.families {
+		sort.Slice(lib.families[f], func(i, j int) bool {
+			return lib.families[f][i].Drive < lib.families[f][j].Drive
+		})
+	}
+	return lib, nil
+}
+
+func parseCell(g *group) (*Cell, error) {
+	if len(g.args) != 1 {
+		return nil, fmt.Errorf("liberty: cell group needs one name argument")
+	}
+	c := &Cell{Name: g.args[0]}
+	// Family/drive from the NAME_Xn convention; tolerate other names.
+	if i := strings.LastIndex(c.Name, "_X"); i > 0 {
+		c.Family = c.Name[:i]
+		if d, err := strconv.Atoi(c.Name[i+2:]); err == nil {
+			c.Drive = d
+		}
+	} else {
+		c.Family = c.Name
+		c.Drive = 1
+	}
+	type inPin struct {
+		name string
+		cap  float64
+	}
+	var inputs []inPin
+	var timings []*group
+	for _, sub := range g.subs {
+		switch sub.name {
+		case "ff":
+			c.Sequential = true
+		case "pin":
+			dir := attr1(sub, "direction")
+			if dir == "input" {
+				capv, _ := strconv.ParseFloat(attr1(sub, "capacitance"), 64)
+				inputs = append(inputs, inPin{name: sub.args[0], cap: capv})
+			} else if dir == "output" {
+				for _, t := range sub.subs {
+					if t.name == "timing" {
+						timings = append(timings, t)
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(inputs, func(i, j int) bool { return inputs[i].name < inputs[j].name })
+	c.NumInputs = len(inputs)
+	if len(inputs) > 0 {
+		c.InputCap = inputs[0].cap
+	}
+	c.Arcs = make([]Arc, c.NumInputs)
+	pinIndex := map[string]int{}
+	for i, p := range inputs {
+		pinIndex[p.name] = i
+	}
+	for _, tg := range timings {
+		rel := strings.Trim(attr1(tg, "related_pin"), `"`)
+		k, ok := pinIndex[rel]
+		if !ok {
+			return nil, fmt.Errorf("liberty: cell %s: timing for unknown pin %q", c.Name, rel)
+		}
+		switch strings.Trim(attr1(tg, "timing_sense"), `"`) {
+		case "positive_unate":
+			c.Unate = PositiveUnate
+		case "negative_unate":
+			c.Unate = NegativeUnate
+		case "non_unate":
+			c.Unate = NonUnate
+		}
+		for _, tb := range tg.subs {
+			tab, err := parseTable(tb)
+			if err != nil {
+				return nil, fmt.Errorf("liberty: cell %s: %w", c.Name, err)
+			}
+			switch tb.name {
+			case "cell_rise":
+				c.Arcs[k].DelayRise = tab
+			case "cell_fall":
+				c.Arcs[k].DelayFall = tab
+			case "rise_transition":
+				c.Arcs[k].OutSlewRise = tab
+			case "fall_transition":
+				c.Arcs[k].OutSlewFall = tab
+			}
+		}
+	}
+	for k := range c.Arcs {
+		a := &c.Arcs[k]
+		if a.DelayRise == nil || a.DelayFall == nil || a.OutSlewRise == nil || a.OutSlewFall == nil {
+			return nil, fmt.Errorf("liberty: cell %s: arc %d missing tables", c.Name, k)
+		}
+	}
+	return c, nil
+}
+
+func parseTable(g *group) (*Table, error) {
+	t := &Table{}
+	var err error
+	if t.SlewIndex, err = parseFloatList(attr1(g, "index_1")); err != nil {
+		return nil, err
+	}
+	if t.LoadIndex, err = parseFloatList(attr1(g, "index_2")); err != nil {
+		return nil, err
+	}
+	for _, row := range g.attrs["values"] {
+		vals, err := parseFloatList(row)
+		if err != nil {
+			return nil, err
+		}
+		t.Values = append(t.Values, vals)
+	}
+	if len(t.Values) != len(t.SlewIndex) {
+		return nil, fmt.Errorf("table has %d rows for %d slew indices", len(t.Values), len(t.SlewIndex))
+	}
+	for _, row := range t.Values {
+		if len(row) != len(t.LoadIndex) {
+			return nil, fmt.Errorf("table row width %d for %d load indices", len(row), len(t.LoadIndex))
+		}
+	}
+	return t, nil
+}
+
+func parseFloatList(s string) ([]float64, error) {
+	s = strings.Trim(s, `"`)
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func attr1(g *group, name string) string {
+	if vs := g.attrs[name]; len(vs) > 0 {
+		return vs[0]
+	}
+	return ""
+}
+
+// libParser is a recursive-descent parser for the Liberty subset.
+type libParser struct {
+	src string
+	pos int
+}
+
+func (p *libParser) parseGroup() (*group, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	args, err := p.argList()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect('{'); err != nil {
+		return nil, err
+	}
+	g := &group{name: name, args: args, attrs: map[string][]string{}}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return nil, fmt.Errorf("liberty: unexpected EOF in group %s", name)
+		}
+		if p.src[p.pos] == '}' {
+			p.pos++
+			return g, nil
+		}
+		ident, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		switch {
+		case p.pos < len(p.src) && p.src[p.pos] == ':':
+			p.pos++
+			val, err := p.attrValue()
+			if err != nil {
+				return nil, err
+			}
+			g.attrs[ident] = append(g.attrs[ident], val)
+		case p.pos < len(p.src) && p.src[p.pos] == '(':
+			// Either a subgroup or a parenthesized attribute
+			// (capacitive_load_unit, index_1, values...).
+			args, err := p.argList()
+			if err != nil {
+				return nil, err
+			}
+			p.skipSpace()
+			if p.pos < len(p.src) && p.src[p.pos] == '{' {
+				p.pos++
+				sub := &group{name: ident, args: args, attrs: map[string][]string{}}
+				if err := p.fillGroup(sub); err != nil {
+					return nil, err
+				}
+				g.subs = append(g.subs, sub)
+			} else {
+				p.accept(';')
+				g.attrs[ident] = append(g.attrs[ident], args...)
+			}
+		default:
+			return nil, fmt.Errorf("liberty: unexpected token after %q at %d", ident, p.pos)
+		}
+	}
+}
+
+// fillGroup parses the body of a group whose header was already consumed.
+func (p *libParser) fillGroup(g *group) error {
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return fmt.Errorf("liberty: unexpected EOF in group %s", g.name)
+		}
+		if p.src[p.pos] == '}' {
+			p.pos++
+			return nil
+		}
+		ident, err := p.ident()
+		if err != nil {
+			return err
+		}
+		p.skipSpace()
+		switch {
+		case p.pos < len(p.src) && p.src[p.pos] == ':':
+			p.pos++
+			val, err := p.attrValue()
+			if err != nil {
+				return err
+			}
+			g.attrs[ident] = append(g.attrs[ident], val)
+		case p.pos < len(p.src) && p.src[p.pos] == '(':
+			args, err := p.argList()
+			if err != nil {
+				return err
+			}
+			p.skipSpace()
+			if p.pos < len(p.src) && p.src[p.pos] == '{' {
+				p.pos++
+				sub := &group{name: ident, args: args, attrs: map[string][]string{}}
+				if err := p.fillGroup(sub); err != nil {
+					return err
+				}
+				g.subs = append(g.subs, sub)
+			} else {
+				p.accept(';')
+				g.attrs[ident] = append(g.attrs[ident], args...)
+			}
+		default:
+			return fmt.Errorf("liberty: unexpected token after %q at %d", ident, p.pos)
+		}
+	}
+}
+
+func (p *libParser) skipSpace() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\\':
+			p.pos++
+		case c == '/' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '/':
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *libParser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && isIdentChar(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("liberty: expected identifier at %d", p.pos)
+	}
+	return p.src[start:p.pos], nil
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c == '.' || c == '-' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// argList parses "( a, b, "c,d" )" into its comma-separated arguments.
+func (p *libParser) argList() ([]string, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var args []string
+	var cur strings.Builder
+	flush := func() {
+		s := strings.TrimSpace(cur.String())
+		if s != "" {
+			args = append(args, s)
+		}
+		cur.Reset()
+	}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return nil, fmt.Errorf("liberty: unexpected EOF in argument list")
+		}
+		c := p.src[p.pos]
+		switch c {
+		case ')':
+			p.pos++
+			flush()
+			return args, nil
+		case ',':
+			p.pos++
+			flush()
+		case '"':
+			s, err := p.quoted()
+			if err != nil {
+				return nil, err
+			}
+			cur.WriteString(s)
+		default:
+			cur.WriteByte(c)
+			p.pos++
+		}
+	}
+}
+
+func (p *libParser) quoted() (string, error) {
+	if p.src[p.pos] != '"' {
+		return "", fmt.Errorf("liberty: expected quote at %d", p.pos)
+	}
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != '"' {
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		return "", fmt.Errorf("liberty: unterminated string")
+	}
+	s := p.src[start:p.pos]
+	p.pos++
+	return s, nil
+}
+
+// attrValue parses everything up to the terminating semicolon.
+func (p *libParser) attrValue() (string, error) {
+	p.skipSpace()
+	var sb strings.Builder
+	for {
+		if p.pos >= len(p.src) {
+			return "", fmt.Errorf("liberty: unexpected EOF in attribute value")
+		}
+		c := p.src[p.pos]
+		if c == ';' {
+			p.pos++
+			return strings.TrimSpace(sb.String()), nil
+		}
+		if c == '"' {
+			s, err := p.quoted()
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(s)
+			continue
+		}
+		if c == '\n' {
+			return "", fmt.Errorf("liberty: unterminated attribute near %d", p.pos)
+		}
+		sb.WriteByte(c)
+		p.pos++
+	}
+}
+
+func (p *libParser) expect(c byte) error {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != c {
+		return fmt.Errorf("liberty: expected %q at %d", string(c), p.pos)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *libParser) accept(c byte) {
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == c {
+		p.pos++
+	}
+}

@@ -1,0 +1,27 @@
+// Package cli holds the small flag-parsing helpers shared by the cmd/
+// binaries.
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseInts parses a comma-separated list of integers ("64,128,256").
+// Empty fields are skipped; an empty string yields nil.
+func ParseInts(csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("cli: bad integer %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

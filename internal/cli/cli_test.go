@@ -1,0 +1,25 @@
+package cli
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := ParseInts("1, 2,30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ParseInts = %v", got)
+		}
+	}
+	if got, _ := ParseInts(""); got != nil {
+		t.Fatalf("ParseInts(\"\") = %v", got)
+	}
+	if got, _ := ParseInts("1,,2"); len(got) != 2 {
+		t.Fatalf("empty field not skipped: %v", got)
+	}
+	if _, err := ParseInts("1,x"); err == nil {
+		t.Fatal("bad integer accepted")
+	}
+}

@@ -1,0 +1,244 @@
+package core
+
+import "runtime"
+
+// This file implements the built-in algorithm collection of the paper
+// (Section III-F): parallel_for, reduce, and transform patterns expressed
+// as spliceable task subgraphs. Each constructor returns a (source, target)
+// pair of placeholder tasks delimiting the pattern, so users can compose
+// larger application modules by wiring S/T into their own graphs:
+//
+//	S, T := core.ParallelFor(tf, data, work, 0)
+//	before.Precede(S)
+//	T.Precede(after)
+//
+// Because the constructors accept the unified FlowBuilder interface, the
+// same patterns splice into static graphs (*Taskflow) and dynamic subflows
+// (*Subflow) alike.
+
+// chunkSize resolves a user-provided chunk size: non-positive means
+// auto-partition into roughly 4 tasks per processor.
+func chunkSize(n, chunk int) int {
+	if chunk > 0 {
+		return chunk
+	}
+	pieces := 4 * runtime.GOMAXPROCS(0)
+	c := (n + pieces - 1) / pieces
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// ParallelFor applies fn to every element of items using one task per chunk
+// of the given size (non-positive chunk selects an automatic size). It
+// returns the (source, target) placeholder pair delimiting the pattern.
+func ParallelFor[T any](fb FlowBuilder, items []T, fn func(T), chunk int) (Task, Task) {
+	s := fb.Placeholder().Name("pfor_S")
+	t := fb.Placeholder().Name("pfor_T")
+	n := len(items)
+	if n == 0 {
+		s.Precede(t)
+		return s, t
+	}
+	c := chunkSize(n, chunk)
+	for beg := 0; beg < n; beg += c {
+		end := beg + c
+		if end > n {
+			end = n
+		}
+		part := items[beg:end]
+		w := fb.Emplace(func() {
+			for _, item := range part {
+				fn(item)
+			}
+		})[0]
+		s.Precede(w)
+		w.Precede(t)
+	}
+	return s, t
+}
+
+// ParallelForPtr is ParallelFor with pointer access to each element, for
+// in-place mutation.
+func ParallelForPtr[T any](fb FlowBuilder, items []T, fn func(*T), chunk int) (Task, Task) {
+	s := fb.Placeholder().Name("pforp_S")
+	t := fb.Placeholder().Name("pforp_T")
+	n := len(items)
+	if n == 0 {
+		s.Precede(t)
+		return s, t
+	}
+	c := chunkSize(n, chunk)
+	for beg := 0; beg < n; beg += c {
+		end := beg + c
+		if end > n {
+			end = n
+		}
+		part := items[beg:end]
+		w := fb.Emplace(func() {
+			for i := range part {
+				fn(&part[i])
+			}
+		})[0]
+		s.Precede(w)
+		w.Precede(t)
+	}
+	return s, t
+}
+
+// ParallelForIndex applies fn to every index in the arithmetic range
+// [beg, end) with the given positive step, one task per chunk of indices.
+func ParallelForIndex(fb FlowBuilder, beg, end, step int, fn func(int), chunk int) (Task, Task) {
+	s := fb.Placeholder().Name("pfori_S")
+	t := fb.Placeholder().Name("pfori_T")
+	if step <= 0 {
+		panic("core: ParallelForIndex requires a positive step")
+	}
+	if beg >= end {
+		s.Precede(t)
+		return s, t
+	}
+	total := (end - beg + step - 1) / step
+	c := chunkSize(total, chunk)
+	for i := 0; i < total; i += c {
+		hi := i + c
+		if hi > total {
+			hi = total
+		}
+		lo, up := beg+i*step, beg+hi*step
+		w := fb.Emplace(func() {
+			for j := lo; j < up && j < end; j += step {
+				fn(j)
+			}
+		})[0]
+		s.Precede(w)
+		w.Precede(t)
+	}
+	return s, t
+}
+
+// Reduce folds items into *result with the associative binary operator bop,
+// using one task per chunk plus a final combine task. The initial value of
+// *result at execution time seeds the fold, matching Cpp-Taskflow's
+// reduce(beg, end, result, bop) convention.
+func Reduce[T any](fb FlowBuilder, items []T, result *T, bop func(T, T) T, chunk int) (Task, Task) {
+	s := fb.Placeholder().Name("reduce_S")
+	t := fb.Placeholder().Name("reduce_T")
+	n := len(items)
+	if n == 0 {
+		s.Precede(t)
+		return s, t
+	}
+	c := chunkSize(n, chunk)
+	numChunks := (n + c - 1) / c
+	partials := make([]T, numChunks)
+	have := make([]bool, numChunks)
+	k := 0
+	for beg := 0; beg < n; beg += c {
+		end := beg + c
+		if end > n {
+			end = n
+		}
+		part := items[beg:end]
+		slot := k
+		w := fb.Emplace(func() {
+			acc := part[0]
+			for _, item := range part[1:] {
+				acc = bop(acc, item)
+			}
+			partials[slot] = acc
+			have[slot] = true
+		})[0]
+		s.Precede(w)
+		w.Precede(t)
+		k++
+	}
+	t.Work(func() {
+		acc := *result
+		for i, p := range partials {
+			if have[i] {
+				acc = bop(acc, p)
+			}
+		}
+		*result = acc
+	})
+	return s, t
+}
+
+// Transform maps src through fn into dst (which must be at least as long as
+// src), one task per chunk.
+func Transform[T, U any](fb FlowBuilder, src []T, dst []U, fn func(T) U, chunk int) (Task, Task) {
+	if len(dst) < len(src) {
+		panic("core: Transform destination shorter than source")
+	}
+	s := fb.Placeholder().Name("transform_S")
+	t := fb.Placeholder().Name("transform_T")
+	n := len(src)
+	if n == 0 {
+		s.Precede(t)
+		return s, t
+	}
+	c := chunkSize(n, chunk)
+	for beg := 0; beg < n; beg += c {
+		end := beg + c
+		if end > n {
+			end = n
+		}
+		in, out := src[beg:end], dst[beg:end]
+		w := fb.Emplace(func() {
+			for i := range in {
+				out[i] = fn(in[i])
+			}
+		})[0]
+		s.Precede(w)
+		w.Precede(t)
+	}
+	return s, t
+}
+
+// TransformReduce maps each element through uop and folds the mapped values
+// into *result with bop; the initial value of *result seeds the fold.
+func TransformReduce[T, U any](fb FlowBuilder, items []T, result *U, bop func(U, U) U, uop func(T) U, chunk int) (Task, Task) {
+	s := fb.Placeholder().Name("treduce_S")
+	t := fb.Placeholder().Name("treduce_T")
+	n := len(items)
+	if n == 0 {
+		s.Precede(t)
+		return s, t
+	}
+	c := chunkSize(n, chunk)
+	numChunks := (n + c - 1) / c
+	partials := make([]U, numChunks)
+	have := make([]bool, numChunks)
+	k := 0
+	for beg := 0; beg < n; beg += c {
+		end := beg + c
+		if end > n {
+			end = n
+		}
+		part := items[beg:end]
+		slot := k
+		w := fb.Emplace(func() {
+			acc := uop(part[0])
+			for _, item := range part[1:] {
+				acc = bop(acc, uop(item))
+			}
+			partials[slot] = acc
+			have[slot] = true
+		})[0]
+		s.Precede(w)
+		w.Precede(t)
+		k++
+	}
+	t.Work(func() {
+		acc := *result
+		for i, p := range partials {
+			if have[i] {
+				acc = bop(acc, p)
+			}
+		}
+		*result = acc
+	})
+	return s, t
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestParallelFor(t *testing.T) {
+	tf := New(4)
+	defer tf.Close()
+	var sum atomic.Int64
+	items := make([]int64, 1000)
+	for i := range items {
+		items[i] = int64(i)
+	}
+	S, T := ParallelFor(tf, items, func(v int64) { sum.Add(v) }, 37)
+	pre := tf.Emplace1(func() { sum.Add(1) })
+	post := tf.Emplace1(func() {
+		if got := sum.Load(); got != 1000*999/2+1 {
+			t.Errorf("sum at post = %d", got)
+		}
+	})
+	pre.Precede(S)
+	T.Precede(post)
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sum.Load(); got != 1000*999/2+1 {
+		t.Fatalf("sum = %d, want %d", got, 1000*999/2+1)
+	}
+}
+
+func TestParallelForEmpty(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	ran := false
+	S, T := ParallelFor(tf, []int{}, func(int) { ran = true }, 0)
+	end := tf.Emplace1(func() {})
+	S.Precede(end) // S/T still valid splice points
+	T.Precede(end)
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("fn ran on empty input")
+	}
+}
+
+func TestParallelForPtrMutates(t *testing.T) {
+	tf := New(4)
+	defer tf.Close()
+	items := make([]int, 500)
+	ParallelForPtr(tf, items, func(p *int) { *p = 7 }, 0)
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range items {
+		if v != 7 {
+			t.Fatalf("items[%d] = %d, want 7", i, v)
+		}
+	}
+}
+
+func TestParallelForIndex(t *testing.T) {
+	tf := New(4)
+	defer tf.Close()
+	hits := make([]atomic.Int32, 100)
+	ParallelForIndex(tf, 0, 100, 3, func(i int) { hits[i].Add(1) }, 4)
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		want := int32(0)
+		if i%3 == 0 {
+			want = 1
+		}
+		if got := hits[i].Load(); got != want {
+			t.Fatalf("index %d hit %d times, want %d", i, got, want)
+		}
+	}
+}
+
+func TestParallelForIndexBadStep(t *testing.T) {
+	tf := New(1)
+	defer tf.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive step did not panic")
+		}
+	}()
+	ParallelForIndex(tf, 0, 10, 0, func(int) {}, 1)
+}
+
+func TestParallelForIndexEmptyRange(t *testing.T) {
+	tf := New(1)
+	defer tf.Close()
+	ParallelForIndex(tf, 5, 5, 1, func(int) { t.Error("ran on empty range") }, 1)
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduce(t *testing.T) {
+	tf := New(4)
+	defer tf.Close()
+	items := make([]int, 777)
+	for i := range items {
+		items[i] = i + 1
+	}
+	result := 100 // initial value seeds the fold
+	Reduce(tf, items, &result, func(a, b int) int { return a + b }, 10)
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := 100 + 777*778/2
+	if result != want {
+		t.Fatalf("Reduce = %d, want %d", result, want)
+	}
+}
+
+func TestReduceMax(t *testing.T) {
+	tf := New(4)
+	defer tf.Close()
+	items := []int{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}
+	result := -1 << 60
+	Reduce(tf, items, &result, func(a, b int) int {
+		if a > b {
+			return a
+		}
+		return b
+	}, 2)
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+	if result != 9 {
+		t.Fatalf("max = %d, want 9", result)
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	result := 42
+	Reduce(tf, []int{}, &result, func(a, b int) int { return a + b }, 0)
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+	if result != 42 {
+		t.Fatalf("empty Reduce changed result to %d", result)
+	}
+}
+
+func TestTransform(t *testing.T) {
+	tf := New(4)
+	defer tf.Close()
+	src := make([]int, 333)
+	for i := range src {
+		src[i] = i
+	}
+	dst := make([]string, 333)
+	Transform(tf, src, dst, func(v int) string {
+		if v%2 == 0 {
+			return "even"
+		}
+		return "odd"
+	}, 16)
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		want := "odd"
+		if i%2 == 0 {
+			want = "even"
+		}
+		if dst[i] != want {
+			t.Fatalf("dst[%d] = %q, want %q", i, dst[i], want)
+		}
+	}
+}
+
+func TestTransformShortDstPanics(t *testing.T) {
+	tf := New(1)
+	defer tf.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short destination did not panic")
+		}
+	}()
+	Transform(tf, []int{1, 2, 3}, make([]int, 2), func(v int) int { return v }, 1)
+}
+
+func TestTransformReduce(t *testing.T) {
+	tf := New(4)
+	defer tf.Close()
+	words := []string{"a", "bb", "ccc", "dddd"}
+	total := 0
+	TransformReduce(tf, words, &total,
+		func(a, b int) int { return a + b },
+		func(s string) int { return len(s) }, 1)
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+	if total != 10 {
+		t.Fatalf("TransformReduce = %d, want 10", total)
+	}
+}
+
+func TestAlgorithmsInsideSubflow(t *testing.T) {
+	// The unified interface: the same algorithm constructors work on a
+	// *Subflow (dynamic tasking).
+	tf := New(4)
+	defer tf.Close()
+	var sum atomic.Int64
+	items := make([]int64, 200)
+	for i := range items {
+		items[i] = 1
+	}
+	result := int64(0)
+	tf.EmplaceSubflow(func(sf *Subflow) {
+		S, T := ParallelFor(sf, items, func(v int64) { sum.Add(v) }, 0)
+		RS, RT := Reduce(sf, items, &result, func(a, b int64) int64 { return a + b }, 0)
+		T.Precede(RS)
+		_, _ = S, RT
+	})
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 200 {
+		t.Fatalf("subflow ParallelFor sum = %d, want 200", sum.Load())
+	}
+	if result != 200 {
+		t.Fatalf("subflow Reduce = %d, want 200", result)
+	}
+}
+
+// Property: parallel Reduce with + equals sequential sum for any input.
+func TestQuickReduceMatchesSequential(t *testing.T) {
+	tf := New(4)
+	defer tf.Close()
+	f := func(xs []int32, chunk uint8) bool {
+		want := int64(0)
+		for _, x := range xs {
+			want += int64(x)
+		}
+		items := make([]int64, len(xs))
+		for i, x := range xs {
+			items[i] = int64(x)
+		}
+		got := int64(0)
+		Reduce(tf, items, &got, func(a, b int64) int64 { return a + b }, int(chunk))
+		if err := tf.WaitForAll(); err != nil {
+			return false
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Transform equals sequential map for any input and chunking.
+func TestQuickTransformMatchesSequential(t *testing.T) {
+	tf := New(4)
+	defer tf.Close()
+	f := func(xs []int16, chunk uint8) bool {
+		dst := make([]int32, len(xs))
+		Transform(tf, xs, dst, func(v int16) int32 { return int32(v) * 3 }, int(chunk))
+		if err := tf.WaitForAll(); err != nil {
+			return false
+		}
+		for i, x := range xs {
+			if dst[i] != int32(x)*3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkSize(t *testing.T) {
+	if got := chunkSize(100, 7); got != 7 {
+		t.Fatalf("chunkSize(100,7) = %d", got)
+	}
+	if got := chunkSize(0, 0); got < 1 {
+		t.Fatalf("chunkSize(0,0) = %d, want >= 1", got)
+	}
+	if got := chunkSize(5, -1); got < 1 {
+		t.Fatalf("chunkSize(5,-1) = %d, want >= 1", got)
+	}
+}

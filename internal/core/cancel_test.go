@@ -1,0 +1,149 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCancelSkipsPendingTasks(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var tail atomic.Int64
+
+	head := tf.Emplace1(func() {
+		close(started)
+		<-gate
+	})
+	// A long chain behind the gate: everything after head should be
+	// skipped once cancelled.
+	prev := head
+	for i := 0; i < 100; i++ {
+		cur := tf.Emplace1(func() { tail.Add(1) })
+		prev.Precede(cur)
+		prev = cur
+	}
+	f := tf.Dispatch()
+	<-started
+	f.Cancel()
+	if !f.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+	close(gate)
+	if err := f.Get(); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("Get() = %v, want ErrCancelled", err)
+	}
+	if tail.Load() != 0 {
+		t.Fatalf("%d chain tasks ran after cancellation", tail.Load())
+	}
+	tf.WaitForAll()
+}
+
+func TestCancelTerminatesConditionLoop(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	var iters atomic.Int64
+	cancelAt := make(chan *Future, 1)
+
+	init := tf.Emplace1(func() {})
+	body := tf.Emplace1(func() {
+		if iters.Add(1) == 3 {
+			f := <-cancelAt
+			f.Cancel()
+		}
+	})
+	cond := tf.EmplaceCondition(func() int { return 0 }) // loop forever
+	init.Precede(body)
+	body.Precede(cond)
+	cond.Precede(body)
+
+	f := tf.Dispatch()
+	cancelAt <- f
+	if err := f.Get(); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("Get() = %v, want ErrCancelled", err)
+	}
+	// The loop may complete the in-flight iteration but must stop.
+	if got := iters.Load(); got > 4 {
+		t.Fatalf("loop ran %d iterations after cancel", got)
+	}
+	tf.WaitForAll()
+}
+
+func TestCancelAfterCompletionIsNoop(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	tf.Emplace1(func() {})
+	f := tf.Dispatch()
+	f.Wait()
+	f.Cancel()
+	if err := f.Get(); err != nil {
+		t.Fatalf("Cancel after completion produced error %v", err)
+	}
+	if f.Cancelled() {
+		t.Fatal("completed topology reports cancelled")
+	}
+	tf.WaitForAll()
+}
+
+func TestCancelWithSubflows(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var spawned atomic.Int64
+	blocker := tf.Emplace1(func() {
+		close(started)
+		<-gate
+	})
+	sub := tf.EmplaceSubflow(func(sf *Subflow) {
+		for i := 0; i < 50; i++ {
+			sf.Emplace1(func() { spawned.Add(1) })
+		}
+	})
+	blocker.Precede(sub)
+	f := tf.Dispatch()
+	<-started
+	f.Cancel()
+	close(gate)
+	if err := f.Get(); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("Get() = %v", err)
+	}
+	if spawned.Load() != 0 {
+		t.Fatalf("cancelled subflow spawned %d tasks", spawned.Load())
+	}
+	tf.WaitForAll()
+}
+
+func TestCancelDoesNotAffectOtherTopologies(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var skipped atomic.Int64
+	h := tf.Emplace1(func() { close(started); <-gate })
+	s := tf.Emplace1(func() { skipped.Add(1) })
+	h.Precede(s)
+	f1 := tf.Dispatch()
+
+	var ran atomic.Int64
+	for i := 0; i < 20; i++ {
+		tf.Emplace1(func() { ran.Add(1) })
+	}
+	f2 := tf.Dispatch()
+
+	<-started
+	f1.Cancel()
+	close(gate)
+	if err := f1.Get(); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("f1.Get() = %v", err)
+	}
+	if err := f2.Get(); err != nil {
+		t.Fatalf("f2.Get() = %v; sibling topology affected", err)
+	}
+	if ran.Load() != 20 {
+		t.Fatalf("sibling topology ran %d of 20 tasks", ran.Load())
+	}
+	tf.WaitForAll()
+}

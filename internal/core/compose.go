@@ -1,0 +1,46 @@
+package core
+
+// Composition lets a taskflow embed another taskflow as a single module
+// task (Cpp-Taskflow's composed_of), promoting the paper's Section III-F
+// goal of building large parallel programs from smaller, structurally
+// correct patterns. The child keeps ownership of its graph; the module
+// task spawns it as a joined subflow at runtime, so the parent's
+// successors wait for the whole child graph.
+
+// Composed creates a module task in tf that runs the present graph of
+// child when executed. The child graph is shared, not copied: it must stay
+// unmodified and must not be dispatched on its own (or composed a second
+// time into a concurrently running graph) while a topology containing the
+// module task is executing — the same aliasing rule as Cpp-Taskflow's
+// composed_of.
+func (tf *Taskflow) Composed(child *Taskflow) Task {
+	return composed(tf, child)
+}
+
+// Composed creates a module task inside a subflow — composition works in
+// dynamic tasking through the same unified interface.
+func (sf *Subflow) Composed(child *Taskflow) Task {
+	return composed(sf, child)
+}
+
+func composed(fb FlowBuilder, child *Taskflow) Task {
+	name := child.name
+	if name == "" {
+		name = "module"
+	}
+	t := fb.EmplaceSubflow(func(sf *Subflow) {
+		sf.spawnGraph(child.present)
+	})
+	return t.Name(name)
+}
+
+// spawnGraph splices a prebuilt graph into the subflow's spawn slot so it
+// executes as this subflow's child graph. It may be called at most once
+// per Subflow and must not be mixed with Emplace calls on the same
+// subflow.
+func (sf *Subflow) spawnGraph(g *graph) {
+	if sf.g.len() > 0 {
+		panic("core: spawnGraph on a non-empty subflow")
+	}
+	sf.g.nodes = append(sf.g.nodes, g.nodes...)
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestComposedRunsChildGraph(t *testing.T) {
+	tf := New(4)
+	defer tf.Close()
+
+	var n atomic.Int64
+	child := NewShared(tf.Executor()).SetName("child")
+	cs := child.Emplace(
+		func() { n.Add(1) },
+		func() { n.Add(10) },
+		func() { n.Add(100) },
+	)
+	cs[0].Precede(cs[1])
+	cs[1].Precede(cs[2])
+
+	tr := newTracer()
+	before := tf.Emplace1(tr.hit("before"))
+	module := tf.Composed(child)
+	after := tf.Emplace1(func() {
+		tr.hit("after")()
+		if n.Load() != 111 {
+			t.Errorf("module completed with n = %d, want 111", n.Load())
+		}
+	})
+	before.Precede(module)
+	module.Precede(after)
+
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 111 {
+		t.Fatalf("child graph incomplete: n = %d", n.Load())
+	}
+	tr.before(t, "before", "after")
+}
+
+func TestComposedModuleName(t *testing.T) {
+	tf := New(1)
+	defer tf.Close()
+	child := NewShared(tf.Executor()).SetName("stage1")
+	child.Emplace1(func() {})
+	m := tf.Composed(child)
+	if m.NameOf() != "stage1" {
+		t.Fatalf("module name = %q, want stage1", m.NameOf())
+	}
+	anon := NewShared(tf.Executor())
+	anon.Emplace1(func() {})
+	tf2 := New(1)
+	defer tf2.Close()
+	if got := tf2.Composed(anon).NameOf(); got != "module" {
+		t.Fatalf("anonymous module name = %q", got)
+	}
+	tf.WaitForAll()
+	tf2.WaitForAll()
+}
+
+func TestComposedInsideSubflow(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	var ran atomic.Bool
+	child := NewShared(tf.Executor())
+	child.Emplace1(func() { ran.Store(true) })
+	tf.EmplaceSubflow(func(sf *Subflow) {
+		sf.Composed(child)
+	})
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran.Load() {
+		t.Fatal("child composed inside subflow did not run")
+	}
+}
+
+func TestComposedEmptyChild(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	child := NewShared(tf.Executor())
+	tr := newTracer()
+	m := tf.Composed(child)
+	end := tf.Emplace1(tr.hit("end"))
+	m.Precede(end)
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr.pos["end"]; !ok {
+		t.Fatal("successor of empty module did not run")
+	}
+}
+
+func TestComposedSequentialReuse(t *testing.T) {
+	// The same child may be composed into successive topologies as long
+	// as they do not overlap in time.
+	tf := New(2)
+	defer tf.Close()
+	var n atomic.Int64
+	child := NewShared(tf.Executor())
+	child.Emplace1(func() { n.Add(1) })
+	for round := 0; round < 5; round++ {
+		tf.Composed(child)
+		if err := tf.WaitForAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n.Load() != 5 {
+		t.Fatalf("child ran %d times over 5 rounds", n.Load())
+	}
+}
+
+func TestComposedChildWithInternalParallelism(t *testing.T) {
+	tf := New(4)
+	defer tf.Close()
+	var sum atomic.Int64
+	child := NewShared(tf.Executor())
+	items := make([]int64, 500)
+	for i := range items {
+		items[i] = 1
+	}
+	ParallelFor(child, items, func(v int64) { sum.Add(v) }, 0)
+	tf.Composed(child)
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 500 {
+		t.Fatalf("composed ParallelFor summed %d, want 500", sum.Load())
+	}
+}
+
+func TestSpawnGraphOnDirtySubflowPanics(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	child := NewShared(tf.Executor())
+	child.Emplace1(func() {})
+	tf.EmplaceSubflow(func(sf *Subflow) {
+		defer func() {
+			if recover() == nil {
+				t.Error("spawnGraph on dirty subflow did not panic")
+			}
+		}()
+		sf.Emplace1(func() {})
+		sf.spawnGraph(child.present)
+	})
+	tf.WaitForAll()
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// Dump writes the present (not yet dispatched) task dependency graph in
+// GraphViz DOT format (paper Section III-G). Spawned subflows only exist
+// after execution; use DumpTopologies to visualize them.
+func (tf *Taskflow) Dump(w io.Writer) error {
+	d := dotDumper{w: w, ids: map[*node]string{}}
+	d.printf("digraph %s {\n", dotName(tf.name, "Taskflow"))
+	d.dumpGraph(tf.present, "")
+	d.printf("}\n")
+	return d.err
+}
+
+// DumpTopologies writes every dispatched, not yet reclaimed topology,
+// including task graphs spawned dynamically at runtime, which appear as
+// nested clusters (paper Figure 5). Call it after the futures complete and
+// before WaitForAll reclaims the topologies.
+func (tf *Taskflow) DumpTopologies(w io.Writer) error {
+	d := dotDumper{w: w, ids: map[*node]string{}}
+	for i, t := range tf.topologies {
+		d.printf("digraph %s {\n", dotName(tf.name, fmt.Sprintf("Topology%d", i)))
+		d.dumpGraph(t.graph, "")
+		d.printf("}\n")
+	}
+	return d.err
+}
+
+type dotDumper struct {
+	w    io.Writer
+	err  error
+	ids  map[*node]string
+	next int
+}
+
+func (d *dotDumper) printf(format string, args ...any) {
+	if d.err != nil {
+		return
+	}
+	_, d.err = fmt.Fprintf(d.w, format, args...)
+}
+
+func (d *dotDumper) id(n *node) string {
+	if s, ok := d.ids[n]; ok {
+		return s
+	}
+	s := n.label(d.next)
+	// Disambiguate duplicate user names.
+	for _, existing := range d.ids {
+		if existing == s {
+			s = fmt.Sprintf("%s_%d", s, d.next)
+			break
+		}
+	}
+	d.next++
+	d.ids[n] = s
+	return s
+}
+
+// dumpGraph emits the nodes and edges of g at the given indentation,
+// recursing into spawned subflows as clusters.
+func (d *dotDumper) dumpGraph(g *graph, indent string) {
+	for _, n := range g.nodes {
+		d.printf("%s  %q;\n", indent, d.id(n))
+	}
+	for _, n := range g.nodes {
+		if n.isCondition() {
+			// Weak edges: dashed, labeled with the branch index.
+			for i := 0; i < n.succCount; i++ {
+				d.printf("%s  %q -> %q [style=dashed label=\"%d\"];\n",
+					indent, d.id(n), d.id(n.successor(i)), i)
+			}
+		} else {
+			n.eachSuccessor(func(s *node) {
+				d.printf("%s  %q -> %q;\n", indent, d.id(n), d.id(s))
+			})
+		}
+		if n.subgraph != nil && n.subgraph.len() > 0 {
+			d.printf("%s  subgraph \"cluster_%s\" {\n", indent, d.id(n))
+			d.printf("%s    label = \"Subflow_%s\";\n", indent, d.id(n))
+			d.dumpGraph(n.subgraph, indent+"    ")
+			// Joined subflows complete before the parent's successors run;
+			// draw the join edges from the subflow sinks to the parent's
+			// successors for readability.
+			d.printf("%s  }\n", indent)
+			if !n.detached {
+				for _, c := range n.subgraph.nodes {
+					if c.numSuccessors() == 0 {
+						n.eachSuccessor(func(s *node) {
+							d.printf("%s  %q -> %q [style=dashed];\n", indent, d.id(c), d.id(s))
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+func dotName(name, fallback string) string {
+	if name == "" {
+		name = fallback
+	}
+	return fmt.Sprintf("%q", name)
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// node is one vertex of a task dependency graph. It stores a general-purpose
+// work callable (static work or a subflow spawner — the Go counterpart of
+// the paper's std::variant-based polymorphic function wrapper), its
+// successor list, and the runtime join counter used during execution.
+type node struct {
+	name string
+
+	// At most one of work/subflowWork/condWork is non-nil for a runnable
+	// node; all nil means a placeholder that acts as a synchronization
+	// point. condWork marks a condition task: its integer result selects
+	// which successor to signal, and its out-edges are weak (they do not
+	// count toward successors' join counters), enabling branches and
+	// loops in the task graph.
+	work        func()
+	subflowWork func(*Subflow)
+	condWork    func() int
+
+	// Successor edges: the first two live inline (most task graphs —
+	// wavefronts, circuit netlists, training pipelines — have fanout <= 2,
+	// so the common case allocates nothing); the rest overflow to a slice.
+	succInline [2]*node
+	succCount  int
+	succSpill  []*node
+
+	// numDependents counts strong in-edges (those participating in the
+	// join counter); numWeakPreds counts in-edges from condition tasks. A
+	// node is a topology source only when both are zero.
+	numDependents int
+	numWeakPreds  int
+
+	// join is the number of unfinished dependents; a node becomes ready
+	// when it drops to zero. Reset from numDependents at dispatch.
+	join atomic.Int32
+
+	// children counts unfinished nodes of a joined spawned subflow; the
+	// node's completion is deferred until it drains.
+	children atomic.Int32
+
+	// parent is the spawning node for joined-subflow members, nil for
+	// top-level and detached nodes.
+	parent *node
+
+	// acquires lists semaphores the node must obtain before each
+	// execution (kept sorted by identity); releases lists semaphores it
+	// returns units to afterwards.
+	acquires []*Semaphore
+	releases []*Semaphore
+
+	// subgraph records the child graph spawned at runtime (for joining,
+	// re-dispatch invalidation and DOT dumps).
+	subgraph *graph
+	detached bool
+
+	topo *topology
+}
+
+func (n *node) precede(m *node) {
+	if n.succCount < len(n.succInline) {
+		n.succInline[n.succCount] = m
+	} else {
+		n.succSpill = append(n.succSpill, m)
+	}
+	n.succCount++
+	if n.isCondition() {
+		m.numWeakPreds++
+	} else {
+		m.numDependents++
+	}
+}
+
+func (n *node) isCondition() bool { return n.condWork != nil }
+
+// isSource reports whether the node starts when its topology starts.
+func (n *node) isSource() bool { return n.numDependents == 0 && n.numWeakPreds == 0 }
+
+// successor returns the i-th successor in insertion order.
+func (n *node) successor(i int) *node {
+	if i < len(n.succInline) {
+		return n.succInline[i]
+	}
+	return n.succSpill[i-len(n.succInline)]
+}
+
+// numSuccessors returns the out-degree.
+func (n *node) numSuccessors() int { return n.succCount }
+
+// eachSuccessor visits every successor in insertion order.
+func (n *node) eachSuccessor(visit func(*node)) {
+	k := n.succCount
+	if k > len(n.succInline) {
+		k = len(n.succInline)
+	}
+	for i := 0; i < k; i++ {
+		visit(n.succInline[i])
+	}
+	for _, s := range n.succSpill {
+		visit(s)
+	}
+}
+
+// label returns the display name used in DOT dumps and errors.
+func (n *node) label(i int) string {
+	if n.name != "" {
+		return n.name
+	}
+	return fmt.Sprintf("p%#x", i)
+}
+
+// arenaChunk is the node-arena block size: nodes are allocated in blocks
+// to cut per-task allocation cost for large graphs (million-scale tasking,
+// paper Section IV). Blocks give nodes stable addresses, which Task
+// handles rely on.
+const arenaChunk = 128
+
+// graph is an ordered collection of nodes under construction or execution.
+type graph struct {
+	nodes []*node
+	arena []node
+}
+
+// alloc returns a zeroed node from the arena.
+func (g *graph) alloc() *node {
+	if len(g.arena) == 0 {
+		g.arena = make([]node, arenaChunk)
+	}
+	n := &g.arena[0]
+	g.arena = g.arena[1:]
+	return n
+}
+
+func (g *graph) emplace(n *node) *node {
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// emplaceWork adds a node running fn.
+func (g *graph) emplaceWork(fn func()) *node {
+	n := g.alloc()
+	n.work = fn
+	return g.emplace(n)
+}
+
+// emplaceSubflow adds a dynamic-tasking node.
+func (g *graph) emplaceSubflow(fn func(*Subflow)) *node {
+	n := g.alloc()
+	n.subflowWork = fn
+	return g.emplace(n)
+}
+
+// emplaceCondition adds a condition task whose result selects the
+// successor to signal.
+func (g *graph) emplaceCondition(fn func() int) *node {
+	n := g.alloc()
+	n.condWork = fn
+	return g.emplace(n)
+}
+
+// emplacePlaceholder adds a node with no work.
+func (g *graph) emplacePlaceholder() *node {
+	return g.emplace(g.alloc())
+}
+
+func (g *graph) len() int { return len(g.nodes) }
+
+// totalNodes counts the nodes of g plus all recursively spawned subgraphs.
+// Only meaningful after execution completes.
+func (g *graph) totalNodes() int {
+	total := len(g.nodes)
+	for _, n := range g.nodes {
+		if n.subgraph != nil {
+			total += n.subgraph.totalNodes()
+		}
+	}
+	return total
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gotaskflow/internal/executor"
+)
+
+// Semaphore limits how many tasks run concurrently in a section of the
+// graph — Cpp-Taskflow's tf::Semaphore. A task that lists a semaphore in
+// Acquire is only submitted to the executor once it has obtained a unit
+// from every listed semaphore; it never occupies a worker while blocked.
+// Tasks listing a semaphore in Release return units on completion, waking
+// parked tasks. A semaphore with count 1 acquired and released by the
+// same tasks forms a critical section.
+type Semaphore struct {
+	id uint64
+
+	mu      sync.Mutex
+	count   int
+	waiters []*node
+}
+
+var semaphoreIDs atomic.Uint64
+
+// NewSemaphore creates a semaphore with the given initial unit count.
+func NewSemaphore(count int) *Semaphore {
+	if count < 0 {
+		panic("core: negative semaphore count")
+	}
+	return &Semaphore{id: semaphoreIDs.Add(1), count: count}
+}
+
+// Value returns the currently available units (a racy snapshot).
+func (s *Semaphore) Value() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// tryAcquireOrPark takes one unit, or parks n on the waiter list. Returns
+// whether the unit was obtained. A parked node is owned by the semaphore
+// until a release hands it back.
+func (s *Semaphore) tryAcquireOrPark(n *node) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count > 0 {
+		s.count--
+		return true
+	}
+	s.waiters = append(s.waiters, n)
+	return false
+}
+
+// release returns one unit and pops a parked node, if any, whose
+// admission the caller must retry.
+func (s *Semaphore) release() *node {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.count++
+	if len(s.waiters) == 0 {
+		return nil
+	}
+	w := s.waiters[0]
+	s.waiters = s.waiters[:copy(s.waiters, s.waiters[1:])]
+	return w
+}
+
+// Acquire makes the task take one unit from each semaphore before it
+// starts (per execution). The acquisition list is kept sorted by semaphore
+// identity so tasks acquiring the same set cannot deadlock each other.
+func (t Task) Acquire(sems ...*Semaphore) Task {
+	t.must("Acquire")
+	for _, s := range sems {
+		t.node.acquires = insertSem(t.node.acquires, s)
+	}
+	return t
+}
+
+// Release makes the task return one unit to each semaphore when its
+// callable finishes (per execution).
+func (t Task) Release(sems ...*Semaphore) Task {
+	t.must("Release")
+	t.node.releases = append(t.node.releases, sems...)
+	return t
+}
+
+func insertSem(list []*Semaphore, s *Semaphore) []*Semaphore {
+	pos := len(list)
+	for i, other := range list {
+		if s.id < other.id {
+			pos = i
+			break
+		}
+	}
+	list = append(list, nil)
+	copy(list[pos+1:], list[pos:])
+	list[pos] = s
+	return list
+}
+
+// admit obtains every semaphore of n or parks it on the first unavailable
+// one, rolling back units already taken (waking their waiters through
+// submit). Returns whether n may be submitted now.
+func (t *topology) admit(submit func(executor.Task), n *node) bool {
+	for i, s := range n.acquires {
+		if s.tryAcquireOrPark(n) {
+			continue
+		}
+		// Roll back the units taken so far; each may admit a waiter.
+		for j := 0; j < i; j++ {
+			t.handBack(submit, n.acquires[j])
+		}
+		return false
+	}
+	return true
+}
+
+// handBack releases one unit of s and retries admission of a woken
+// waiter.
+func (t *topology) handBack(submit func(executor.Task), s *Semaphore) {
+	if w := s.release(); w != nil {
+		wt := w.topo
+		if wt.admit(submit, w) {
+			submit(wt.nodeTask(w))
+		}
+	}
+}
+
+// releaseSems runs after n's callable: return units and admit waiters.
+func (t *topology) releaseSems(submit func(executor.Task), n *node) {
+	for _, s := range n.releases {
+		t.handBack(submit, s)
+	}
+}

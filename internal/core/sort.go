@@ -1,0 +1,87 @@
+package core
+
+import "sort"
+
+// Parallel sort (Cpp-Taskflow's parallel_sort): a recursive merge sort
+// expressed with dynamic tasking — each level spawns a subflow that sorts
+// the two halves concurrently and merges them on join. It demonstrates the
+// recursive-subflow capability of the unified interface while providing a
+// practically useful algorithm.
+
+// sortSequentialThreshold is the partition size below which the sort falls
+// back to the standard library, keeping task granularity profitable.
+const sortSequentialThreshold = 2048
+
+// Sort creates tasks in fb that sort items by less. It returns the
+// (source, target) placeholder pair delimiting the pattern so callers can
+// splice it into a larger graph. The sort is stable across runs for a
+// deterministic comparator.
+func Sort[T any](fb FlowBuilder, items []T, less func(a, b T) bool) (Task, Task) {
+	s := fb.Placeholder().Name("sort_S")
+	t := fb.Placeholder().Name("sort_T")
+	if len(items) <= sortSequentialThreshold {
+		w := fb.Emplace(func() { sortSlice(items, less) })[0].Name("sort_leaf")
+		s.Precede(w)
+		w.Precede(t)
+		return s, t
+	}
+	buf := make([]T, len(items))
+	w := fb.EmplaceSubflow(func(sf *Subflow) {
+		mergeSortTask(sf, items, buf, less)
+	}).Name("sort_root")
+	s.Precede(w)
+	w.Precede(t)
+	return s, t
+}
+
+// mergeSortTask sorts items in place using buf as scratch, spawning
+// subflows for the halves.
+func mergeSortTask[T any](sf *Subflow, items, buf []T, less func(a, b T) bool) {
+	if len(items) <= sortSequentialThreshold {
+		sortSlice(items, less)
+		return
+	}
+	mid := len(items) / 2
+	left := sf.EmplaceSubflow(func(inner *Subflow) {
+		mergeSortTask(inner, items[:mid], buf[:mid], less)
+	})
+	right := sf.EmplaceSubflow(func(inner *Subflow) {
+		mergeSortTask(inner, items[mid:], buf[mid:], less)
+	})
+	merge := sf.Emplace1(func() {
+		mergeHalves(items, buf, mid, less)
+	})
+	left.Precede(merge)
+	right.Precede(merge)
+}
+
+func sortSlice[T any](items []T, less func(a, b T) bool) {
+	sort.SliceStable(items, func(i, j int) bool { return less(items[i], items[j]) })
+}
+
+// mergeHalves merges the sorted halves items[:mid] and items[mid:] through
+// buf back into items.
+func mergeHalves[T any](items, buf []T, mid int, less func(a, b T) bool) {
+	copy(buf, items)
+	i, j, k := 0, mid, 0
+	for i < mid && j < len(items) {
+		if less(buf[j], buf[i]) {
+			items[k] = buf[j]
+			j++
+		} else {
+			items[k] = buf[i]
+			i++
+		}
+		k++
+	}
+	for i < mid {
+		items[k] = buf[i]
+		i++
+		k++
+	}
+	for j < len(items) {
+		items[k] = buf[j]
+		j++
+		k++
+	}
+}

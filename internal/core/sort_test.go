@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSortSmall(t *testing.T) {
+	tf := New(4)
+	defer tf.Close()
+	items := []int{5, 3, 8, 1, 9, 2, 7}
+	Sort(tf, items, func(a, b int) bool { return a < b })
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.IntsAreSorted(items) {
+		t.Fatalf("not sorted: %v", items)
+	}
+}
+
+func TestSortLargeRandom(t *testing.T) {
+	tf := New(4)
+	defer tf.Close()
+	rng := rand.New(rand.NewSource(42))
+	items := make([]int, 200000)
+	for i := range items {
+		items[i] = rng.Int()
+	}
+	want := append([]int(nil), items...)
+	sort.Ints(want)
+	Sort(tf, items, func(a, b int) bool { return a < b })
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range items {
+		if items[i] != want[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestSortEmpty(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	var items []int
+	S, T := Sort(tf, items, func(a, b int) bool { return a < b })
+	end := tf.Emplace1(func() {})
+	T.Precede(end)
+	_ = S
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortSplicesIntoGraph(t *testing.T) {
+	tf := New(4)
+	defer tf.Close()
+	items := make([]int, 50000)
+	filled := false
+	fillS, fillT := ParallelForIndex(tf, 0, len(items), 1, func(i int) {
+		items[i] = len(items) - i
+	}, 0)
+	sortS, sortT := Sort(tf, items, func(a, b int) bool { return a < b })
+	check := tf.Emplace1(func() {
+		filled = sort.IntsAreSorted(items)
+	})
+	fillT.Precede(sortS)
+	sortT.Precede(check)
+	_ = fillS
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !filled {
+		t.Fatal("items not sorted after spliced pipeline")
+	}
+}
+
+func TestSortStrings(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	items := []string{"pear", "apple", "fig", "banana"}
+	Sort(tf, items, func(a, b string) bool { return a < b })
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.StringsAreSorted(items) {
+		t.Fatalf("not sorted: %v", items)
+	}
+}
+
+// Property: Sort agrees with the standard library for any input.
+func TestQuickSortMatchesStdlib(t *testing.T) {
+	tf := New(4)
+	defer tf.Close()
+	f := func(xs []int32) bool {
+		items := append([]int32(nil), xs...)
+		want := append([]int32(nil), xs...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		Sort(tf, items, func(a, b int32) bool { return a < b })
+		if err := tf.WaitForAll(); err != nil {
+			return false
+		}
+		for i := range want {
+			if items[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeHalves(t *testing.T) {
+	items := []int{1, 3, 5, 2, 4, 6}
+	buf := make([]int, 6)
+	mergeHalves(items, buf, 3, func(a, b int) bool { return a < b })
+	for i := 0; i < 6; i++ {
+		if items[i] != i+1 {
+			t.Fatalf("merge wrong: %v", items)
+		}
+	}
+	// Uneven halves.
+	items2 := []int{9, 1, 2, 3}
+	buf2 := make([]int, 4)
+	mergeHalves(items2, buf2, 1, func(a, b int) bool { return a < b })
+	if items2[0] != 1 || items2[3] != 9 {
+		t.Fatalf("uneven merge wrong: %v", items2)
+	}
+}
+
+func BenchmarkSortParallel(b *testing.B) {
+	tf := New(0)
+	defer tf.Close()
+	rng := rand.New(rand.NewSource(1))
+	base := make([]int, 1<<19)
+	for i := range base {
+		base[i] = rng.Int()
+	}
+	items := make([]int, len(base))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(items, base)
+		Sort(tf, items, func(a, b int) bool { return a < b })
+		if err := tf.WaitForAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSortStdlib(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	base := make([]int, 1<<19)
+	for i := range base {
+		base[i] = rng.Int()
+	}
+	items := make([]int, len(base))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(items, base)
+		sort.Ints(items)
+	}
+}

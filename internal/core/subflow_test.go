@@ -1,0 +1,291 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestFigure4JoinedSubflow(t *testing.T) {
+	// Paper Figure 4 / Listing 7: B spawns {B1, B2} -> B3, joined; D must
+	// run after the whole subflow.
+	tf := New(4)
+	defer tf.Close()
+	tr := newTracer()
+	ts := tf.Emplace(tr.hit("A"), tr.hit("C"), tr.hit("D"))
+	A, C, D := ts[0], ts[1], ts[2]
+	B := tf.EmplaceSubflow(func(sf *Subflow) {
+		tr.hit("B")()
+		bs := sf.Emplace(tr.hit("B1"), tr.hit("B2"), tr.hit("B3"))
+		bs[0].Precede(bs[2])
+		bs[1].Precede(bs[2])
+	})
+	A.Precede(B, C)
+	B.Precede(D)
+	C.Precede(D)
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+	tr.before(t, "A", "B")
+	tr.before(t, "A", "C")
+	tr.before(t, "B", "B1")
+	tr.before(t, "B", "B2")
+	tr.before(t, "B1", "B3")
+	tr.before(t, "B2", "B3")
+	// Joined subflow: D waits for the full child graph, not just B.
+	tr.before(t, "B3", "D")
+	tr.before(t, "C", "D")
+}
+
+func TestDetachedSubflow(t *testing.T) {
+	tf := New(4)
+	defer tf.Close()
+	var childDone atomic.Bool
+	gate := make(chan struct{})
+	var successorRan atomic.Bool
+	B := tf.EmplaceSubflow(func(sf *Subflow) {
+		sf.Emplace1(func() { <-gate; childDone.Store(true) })
+		sf.Detach()
+		if !sf.IsDetached() {
+			t.Error("IsDetached() = false after Detach")
+		}
+	})
+	D := tf.Emplace1(func() { successorRan.Store(true) })
+	B.Precede(D)
+	f := tf.Dispatch()
+
+	// D may run while the detached child is still blocked on gate.
+	for !successorRan.Load() {
+	}
+	if childDone.Load() {
+		t.Fatal("detached child finished before gate opened")
+	}
+	select {
+	case <-f.Done():
+		t.Fatal("topology completed before detached subflow finished")
+	default:
+	}
+	close(gate)
+	f.Wait() // detached subflow joins the end of the topology
+	if !childDone.Load() {
+		t.Fatal("detached child not complete at topology end")
+	}
+	tf.WaitForAll()
+}
+
+func TestDetachThenJoinRestoresDefault(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	tr := newTracer()
+	B := tf.EmplaceSubflow(func(sf *Subflow) {
+		sf.Emplace1(tr.hit("child"))
+		sf.Detach()
+		sf.Join() // undo: joined semantics again
+	})
+	D := tf.Emplace1(tr.hit("D"))
+	B.Precede(D)
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+	tr.before(t, "child", "D")
+}
+
+func TestEmptySubflow(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	tr := newTracer()
+	B := tf.EmplaceSubflow(func(sf *Subflow) {
+		tr.hit("B")()
+		if sf.NumNodes() != 0 {
+			t.Error("fresh subflow has nodes")
+		}
+	})
+	D := tf.Emplace1(tr.hit("D"))
+	B.Precede(D)
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+	tr.before(t, "B", "D")
+}
+
+func TestNestedSubflows(t *testing.T) {
+	// Paper Figure 5: subflows can nest recursively.
+	tf := New(4)
+	defer tf.Close()
+	tr := newTracer()
+	A := tf.EmplaceSubflow(func(sf *Subflow) {
+		tr.hit("A")()
+		A1 := sf.Emplace1(tr.hit("A1"))
+		A2 := sf.EmplaceSubflow(func(sf2 *Subflow) {
+			tr.hit("A2")()
+			inner := sf2.Emplace(tr.hit("A2_1"), tr.hit("A2_2"))
+			inner[0].Precede(inner[1])
+		})
+		A1.Precede(A2)
+	})
+	done := tf.Emplace1(tr.hit("done"))
+	A.Precede(done)
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+	tr.before(t, "A", "A1")
+	tr.before(t, "A1", "A2")
+	tr.before(t, "A2", "A2_1")
+	tr.before(t, "A2_1", "A2_2")
+	tr.before(t, "A2_2", "done") // nested join propagates to the top
+}
+
+func TestDeeplyNestedSubflowChain(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	const depth = 50
+	var leaves atomic.Int64
+	var spawn func(sf *Subflow, d int)
+	spawn = func(sf *Subflow, d int) {
+		if d == 0 {
+			sf.Emplace1(func() { leaves.Add(1) })
+			return
+		}
+		sf.EmplaceSubflow(func(inner *Subflow) { spawn(inner, d-1) })
+	}
+	end := tf.Emplace1(func() {
+		if leaves.Load() != 1 {
+			t.Errorf("leaves = %d at join, want 1", leaves.Load())
+		}
+	})
+	root := tf.EmplaceSubflow(func(sf *Subflow) { spawn(sf, depth) })
+	root.Precede(end)
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecursiveFibonacciSubflow(t *testing.T) {
+	// Classic dynamic-tasking workload: compute fib(n) by spawning
+	// subflows recursively.
+	tf := New(4)
+	defer tf.Close()
+	var fib func(sf *Subflow, n int, out *int64)
+	fib = func(sf *Subflow, n int, out *int64) {
+		if n < 2 {
+			*out = int64(n)
+			return
+		}
+		var a, b int64
+		l := sf.EmplaceSubflow(func(inner *Subflow) { fib(inner, n-1, &a) })
+		r := sf.EmplaceSubflow(func(inner *Subflow) { fib(inner, n-2, &b) })
+		sum := sf.Emplace1(func() { *out = a + b })
+		l.Precede(sum)
+		r.Precede(sum)
+	}
+	var result int64
+	tf.EmplaceSubflow(func(sf *Subflow) { fib(sf, 15, &result) })
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+	if result != 610 {
+		t.Fatalf("fib(15) = %d, want 610", result)
+	}
+}
+
+func TestSubflowWithInternalDependencies(t *testing.T) {
+	tf := New(4)
+	defer tf.Close()
+	var order []int
+	var mu sync.Mutex
+	rec := func(i int) func() {
+		return func() {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}
+	}
+	tf.EmplaceSubflow(func(sf *Subflow) {
+		// chain 0 -> 1 -> 2 -> 3 inside the subflow
+		prev := sf.Emplace1(rec(0))
+		for i := 1; i < 4; i++ {
+			cur := sf.Emplace1(rec(i))
+			prev.Precede(cur)
+			prev = cur
+		}
+	})
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want ascending chain", order)
+		}
+	}
+}
+
+func TestSubflowPanicPropagates(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	var after atomic.Bool
+	B := tf.EmplaceSubflow(func(sf *Subflow) {
+		sf.Emplace1(func() {})
+		panic("subflow builder exploded")
+	})
+	D := tf.Emplace1(func() { after.Store(true) })
+	B.Precede(D)
+	err := tf.WaitForAll()
+	if err == nil {
+		t.Fatal("WaitForAll = nil, want panic error")
+	}
+	if !strings.Contains(err.Error(), "exploded") {
+		t.Fatalf("err = %v", err)
+	}
+	if !after.Load() {
+		t.Fatal("graph did not drain after subflow panic")
+	}
+}
+
+func TestSubflowChildPanicPropagates(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	tf.EmplaceSubflow(func(sf *Subflow) {
+		sf.Emplace1(func() { panic("child boom") })
+	})
+	if err := tf.WaitForAll(); err == nil {
+		t.Fatal("WaitForAll = nil, want child panic error")
+	}
+}
+
+func TestManyParallelSubflows(t *testing.T) {
+	tf := New(4)
+	defer tf.Close()
+	var n atomic.Int64
+	for i := 0; i < 100; i++ {
+		tf.EmplaceSubflow(func(sf *Subflow) {
+			for k := 0; k < 10; k++ {
+				sf.Emplace1(func() { n.Add(1) })
+			}
+		})
+	}
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 1000 {
+		t.Fatalf("ran %d subflow tasks, want 1000", n.Load())
+	}
+}
+
+func TestSubflowPlaceholderAndWork(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	tr := newTracer()
+	tf.EmplaceSubflow(func(sf *Subflow) {
+		p := sf.Placeholder()
+		a := sf.Emplace1(tr.hit("a"))
+		a.Precede(p)
+		p.Work(tr.hit("p"))
+	})
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+	tr.before(t, "a", "p")
+}

@@ -1,0 +1,126 @@
+package core
+
+// Task is a lightweight handle that wraps a node in a task dependency graph
+// (paper Section III-A). Handles are value types; copying a Task aliases the
+// same node. The zero Task is empty — a placeholder handle not yet
+// associated with a node — which is useful when the callable target cannot
+// be decided until later in the program.
+type Task struct {
+	node *node
+}
+
+// IsEmpty reports whether the handle is associated with a node.
+func (t Task) IsEmpty() bool { return t.node == nil }
+
+// Name assigns a display name to the task (used by Dump) and returns the
+// handle for chaining.
+func (t Task) Name(name string) Task {
+	t.must("Name")
+	t.node.name = name
+	return t
+}
+
+// NameOf returns the task's assigned name ("" if unnamed).
+func (t Task) NameOf() string {
+	t.must("NameOf")
+	return t.node.name
+}
+
+// Precede adds dependency edges so that t runs before each task in others
+// (paper: A.precede(B, C)). It returns t for chaining.
+func (t Task) Precede(others ...Task) Task {
+	t.must("Precede")
+	for _, o := range others {
+		o.must("Precede")
+		t.node.precede(o.node)
+	}
+	return t
+}
+
+// Succeed adds dependency edges so that t runs after each task in others.
+// It returns t for chaining.
+func (t Task) Succeed(others ...Task) Task {
+	t.must("Succeed")
+	for _, o := range others {
+		o.must("Succeed")
+		o.node.precede(t.node)
+	}
+	return t
+}
+
+// Work assigns (or replaces) the static callable of the task. It is how a
+// placeholder acquires its work once the target is known. A condition task
+// that already has successors cannot change kind: its out-edges were wired
+// weak.
+func (t Task) Work(fn func()) Task {
+	t.must("Work")
+	t.mustKeepKind("Work", false)
+	t.node.work = fn
+	t.node.subflowWork = nil
+	t.node.condWork = nil
+	return t
+}
+
+// WorkSubflow assigns (or replaces) a dynamic-tasking callable: at runtime
+// the task receives a *Subflow through which it spawns a child graph using
+// the same API as static tasking.
+func (t Task) WorkSubflow(fn func(*Subflow)) Task {
+	t.must("WorkSubflow")
+	t.mustKeepKind("WorkSubflow", false)
+	t.node.subflowWork = fn
+	t.node.work = nil
+	t.node.condWork = nil
+	return t
+}
+
+// WorkCondition assigns (or replaces) a condition callable. Because edges
+// leaving a condition task are weak, the kind must be decided before any
+// Precede call wires successors; assigning condition work to a task that
+// already has successors panics.
+func (t Task) WorkCondition(fn func() int) Task {
+	t.must("WorkCondition")
+	t.mustKeepKind("WorkCondition", true)
+	t.node.condWork = fn
+	t.node.work = nil
+	t.node.subflowWork = nil
+	return t
+}
+
+// mustKeepKind rejects a work assignment that would flip the task between
+// condition and non-condition after successors were wired, which would
+// leave stale strong/weak edge accounting.
+func (t Task) mustKeepKind(op string, wantCondition bool) {
+	if t.node.succCount > 0 && t.node.isCondition() != wantCondition {
+		panic("core: " + op + " would change the condition-ness of a task that already has successors")
+	}
+}
+
+// IsPlaceholder reports whether the task currently has no work assigned.
+func (t Task) IsPlaceholder() bool {
+	t.must("IsPlaceholder")
+	return t.node.work == nil && t.node.subflowWork == nil && t.node.condWork == nil
+}
+
+// IsCondition reports whether the task is a condition task.
+func (t Task) IsCondition() bool {
+	t.must("IsCondition")
+	return t.node.isCondition()
+}
+
+// NumSuccessors returns the number of outgoing dependency edges.
+func (t Task) NumSuccessors() int {
+	t.must("NumSuccessors")
+	return t.node.numSuccessors()
+}
+
+// NumDependents returns the number of incoming dependency edges.
+func (t Task) NumDependents() int {
+	t.must("NumDependents")
+	return t.node.numDependents
+}
+
+func (t Task) must(op string) {
+	if t.node == nil {
+		panic("core: " + op + " on an empty Task handle")
+	}
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"errors"
+
+	"gotaskflow/internal/executor"
+)
+
+// ErrNoSource is reported when a non-empty graph has no task without
+// dependencies — a guaranteed dependency cycle that could never start.
+var ErrNoSource = errors.New("core: dispatched graph has no source task (dependency cycle)")
+
+// ErrCyclic is reported by Validate when the present graph contains a
+// dependency cycle.
+var ErrCyclic = errors.New("core: task dependency graph contains a cycle")
+
+// ErrCancelled is reported by Future.Get after Future.Cancel.
+var ErrCancelled = errors.New("core: topology cancelled")
+
+// FlowBuilder is the unified graph-construction interface shared by static
+// tasking (*Taskflow) and dynamic tasking (*Subflow) — the same API set
+// applies to both (paper Section III-D).
+type FlowBuilder interface {
+	// Emplace creates one task per callable and returns the handles in
+	// order (paper: tf.emplace(...)).
+	Emplace(fns ...func()) []Task
+	// EmplaceSubflow creates a dynamic task; at runtime fn receives a
+	// *Subflow through which it spawns a child task graph.
+	EmplaceSubflow(fn func(*Subflow)) Task
+	// EmplaceCondition creates a condition task. At runtime fn returns
+	// the index of the successor to signal (in Precede order); any other
+	// index signals nothing. Edges leaving a condition task are weak:
+	// they do not count toward successors' dependency joins, which is
+	// what lets condition tasks express branches and loops.
+	EmplaceCondition(fn func() int) Task
+	// Placeholder creates a task with no work assigned; work can be bound
+	// later through Task.Work or Task.WorkSubflow.
+	Placeholder() Task
+}
+
+// Taskflow is the main entry of the library: the place to create task
+// dependency graphs and dispatch them to an executor (paper Section III-A).
+type Taskflow struct {
+	name    string
+	exec    *executor.Executor
+	ownExec bool
+
+	present    *graph
+	topologies []*topology
+}
+
+var _ FlowBuilder = (*Taskflow)(nil)
+
+// New creates a Taskflow with its own executor of n workers (n <= 0 means
+// GOMAXPROCS). Call Close when done to stop the executor.
+func New(n int) *Taskflow {
+	return &Taskflow{
+		exec:    executor.New(n),
+		ownExec: true,
+		present: &graph{},
+	}
+}
+
+// NewShared creates a Taskflow that shares e with other taskflows — the
+// paper's shareable executor, which facilitates modular composition while
+// avoiding thread over-subscription (Section III-E). Close does not stop a
+// shared executor.
+func NewShared(e *executor.Executor) *Taskflow {
+	return &Taskflow{exec: e, present: &graph{}}
+}
+
+// Close shuts down the executor if this Taskflow owns it. It does not wait
+// for dispatched topologies; call WaitForAll first.
+func (tf *Taskflow) Close() {
+	if tf.ownExec {
+		tf.exec.Shutdown()
+	}
+}
+
+// Executor returns the underlying executor (shared or owned).
+func (tf *Taskflow) Executor() *executor.Executor { return tf.exec }
+
+// SetName names the taskflow for DOT dumps. Returns tf for chaining.
+func (tf *Taskflow) SetName(name string) *Taskflow {
+	tf.name = name
+	return tf
+}
+
+// Emplace creates one task per callable in the present graph and returns
+// their handles in order.
+func (tf *Taskflow) Emplace(fns ...func()) []Task {
+	ts := make([]Task, len(fns))
+	for i, fn := range fns {
+		ts[i] = Task{tf.present.emplaceWork(fn)}
+	}
+	return ts
+}
+
+// Emplace1 creates a single task; a convenience over Emplace for the
+// common one-callable case.
+func (tf *Taskflow) Emplace1(fn func()) Task {
+	return Task{tf.present.emplaceWork(fn)}
+}
+
+// EmplaceSubflow creates a dynamic task (paper Section III-D).
+func (tf *Taskflow) EmplaceSubflow(fn func(*Subflow)) Task {
+	return Task{tf.present.emplaceSubflow(fn)}
+}
+
+// EmplaceCondition creates a condition task whose result selects the
+// successor branch to run; see FlowBuilder.EmplaceCondition.
+func (tf *Taskflow) EmplaceCondition(fn func() int) Task {
+	return Task{tf.present.emplaceCondition(fn)}
+}
+
+// Placeholder creates a task with no work assigned.
+func (tf *Taskflow) Placeholder() Task {
+	return Task{tf.present.emplacePlaceholder()}
+}
+
+// NumNodes returns the number of tasks in the present (not yet dispatched)
+// graph.
+func (tf *Taskflow) NumNodes() int { return tf.present.len() }
+
+// NumTopologies returns the number of dispatched, not yet reclaimed
+// topologies.
+func (tf *Taskflow) NumTopologies() int { return len(tf.topologies) }
+
+// Validate checks the present graph for strong dependency cycles (Kahn's
+// algorithm over strong edges). Cycles through condition tasks are legal —
+// that is how task-graph loops are expressed — so weak edges are ignored.
+// Dispatching a strongly cyclic graph would deadlock the waiters, so
+// callers constructing graphs from untrusted structure should Validate
+// first. Returns nil or ErrCyclic.
+func (tf *Taskflow) Validate() error {
+	g := tf.present
+	indeg := make(map[*node]int, g.len())
+	for _, n := range g.nodes {
+		indeg[n] = n.numDependents
+	}
+	queue := make([]*node, 0, g.len())
+	for _, n := range g.nodes {
+		if indeg[n] == 0 {
+			queue = append(queue, n)
+		}
+	}
+	visited := 0
+	for len(queue) > 0 {
+		n := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		visited++
+		if n.isCondition() {
+			continue // out-edges of condition tasks are weak
+		}
+		n.eachSuccessor(func(s *node) {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		})
+	}
+	if visited != g.len() {
+		return ErrCyclic
+	}
+	return nil
+}
+
+// Dispatch moves the present graph into a topology, schedules it for
+// execution without blocking, and returns a Future to its completion
+// status. The Taskflow is left with a fresh empty graph (paper Listing 6).
+func (tf *Taskflow) Dispatch() *Future {
+	t := tf.dispatch()
+	return &Future{t}
+}
+
+// SilentDispatch dispatches the present graph, ignoring the execution
+// status.
+func (tf *Taskflow) SilentDispatch() {
+	tf.dispatch()
+}
+
+func (tf *Taskflow) dispatch() *topology {
+	g := tf.present
+	tf.present = &graph{}
+	t := &topology{graph: g, done: make(chan struct{})}
+	tf.topologies = append(tf.topologies, t)
+
+	if g.len() == 0 {
+		close(t.done)
+		return t
+	}
+
+	numSources := 0
+	for _, n := range g.nodes {
+		n.topo = t
+		n.parent = nil
+		n.join.Store(int32(n.numDependents))
+		if n.isSource() {
+			numSources++
+		}
+	}
+	if numSources == 0 {
+		t.setErr(ErrNoSource)
+		close(t.done)
+		return t
+	}
+	// pending counts outstanding executions; sources are pre-counted
+	// before submission so no execution can retire against a zero count.
+	t.pending.Store(int64(numSources))
+	// Sources guarded by semaphores are admitted or parked; the rest
+	// start as a batch.
+	runnable := make([]executor.Task, 0, numSources)
+	for _, n := range g.nodes {
+		if !n.isSource() {
+			continue
+		}
+		if len(n.acquires) > 0 && !t.admit(tf.exec.Submit, n) {
+			continue
+		}
+		runnable = append(runnable, t.nodeTask(n))
+	}
+	tf.exec.SubmitBatch(runnable)
+	return t
+}
+
+// WaitForAll dispatches the present graph (if non-empty) and blocks until
+// every dispatched topology finishes. Completed topologies are reclaimed;
+// it returns the first task error observed across them (panics are
+// converted to errors).
+func (tf *Taskflow) WaitForAll() error {
+	if tf.present.len() > 0 {
+		tf.dispatch()
+	}
+	var first error
+	for _, t := range tf.topologies {
+		<-t.done
+		t.errMu.Lock()
+		if first == nil && t.err != nil {
+			first = t.err
+		}
+		t.errMu.Unlock()
+	}
+	tf.topologies = tf.topologies[:0]
+	return first
+}

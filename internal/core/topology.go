@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"gotaskflow/internal/executor"
+)
+
+// topology wraps a dispatched graph and the metadata needed to track its
+// execution status (paper Section III-C, Figure 3).
+//
+// Completion protocol: pending counts scheduled-but-unfinished node
+// *executions* rather than nodes, because condition tasks (branches and
+// loops) mean a node may execute zero or many times. Every schedule
+// increments pending before the new execution can retire, and every
+// execution decrements it exactly once at retirement, so pending reaching
+// zero is exactly quiescence.
+type topology struct {
+	graph     *graph
+	pending   atomic.Int64
+	cancelled atomic.Bool
+	done      chan struct{}
+
+	errMu sync.Mutex
+	err   error
+}
+
+// Future provides access to the execution status of a dispatched task
+// dependency graph — the equivalent of the std::shared_future returned by
+// Cpp-Taskflow's dispatch. A Future may be waited on by any number of
+// goroutines.
+type Future struct {
+	t *topology
+}
+
+// Done returns a channel closed when the topology has finished executing.
+func (f *Future) Done() <-chan struct{} { return f.t.done }
+
+// Wait blocks until the topology has finished executing.
+func (f *Future) Wait() { <-f.t.done }
+
+// Get blocks until the topology finishes and returns the first error
+// captured from a panicking task, or ErrCancelled after Cancel.
+func (f *Future) Get() error {
+	<-f.t.done
+	f.t.errMu.Lock()
+	defer f.t.errMu.Unlock()
+	return f.t.err
+}
+
+// Cancel requests cooperative cancellation of the topology: tasks that
+// have not started yet are skipped (their bodies never run), while tasks
+// already executing finish normally. The dependency structure still
+// drains, so Wait/Get return promptly; Get reports ErrCancelled.
+// Cancelling a finished topology has no effect.
+func (f *Future) Cancel() {
+	select {
+	case <-f.t.done:
+		return
+	default:
+	}
+	if !f.t.cancelled.Swap(true) {
+		f.t.setErr(ErrCancelled)
+	}
+}
+
+// Cancelled reports whether Cancel was called.
+func (f *Future) Cancelled() bool { return f.t.cancelled.Load() }
+
+func (t *topology) setErr(err error) {
+	t.errMu.Lock()
+	if t.err == nil {
+		t.err = err
+	}
+	t.errMu.Unlock()
+}
+
+// nodeTask wraps a node into an executor task.
+func (t *topology) nodeTask(n *node) executor.Task {
+	return func(ctx executor.Context) { t.runNode(ctx, n) }
+}
+
+// schedule accounts for and submits one new execution of node s from
+// within a running execution. The join counter is re-armed so the node can
+// run again on a later loop iteration.
+func (t *topology) schedule(ctx executor.Context, s *node, cached bool) {
+	s.join.Store(int32(s.numDependents))
+	if s.parent != nil {
+		s.parent.children.Add(1)
+	}
+	t.pending.Add(1)
+	if len(s.acquires) > 0 && !t.admit(ctx.Submit, s) {
+		return // parked on a semaphore; a release will submit it
+	}
+	if cached {
+		ctx.SubmitCached(t.nodeTask(s))
+	} else {
+		ctx.Submit(t.nodeTask(s))
+	}
+}
+
+// runNode executes one node: invoke its work, spawn its subflow if it is a
+// dynamic task, signal the selected branch if it is a condition task, then
+// (unless deferred by a joined subflow) complete it.
+func (t *topology) runNode(ctx executor.Context, n *node) {
+	if t.cancelled.Load() {
+		// Cooperative cancellation: skip the body but keep draining the
+		// dependency structure so waiters unblock (including semaphore
+		// units this execution was admitted with). Condition tasks signal
+		// nothing, which terminates loops.
+		t.releaseSems(ctx.Submit, n)
+		if n.condWork != nil {
+			t.retire(ctx, n)
+			return
+		}
+		t.finishNode(ctx, n)
+		return
+	}
+	switch {
+	case n.condWork != nil:
+		idx := -1
+		t.invoke(n, func() { idx = n.condWork() })
+		t.releaseSems(ctx.Submit, n)
+		// Signal exactly the chosen successor; an out-of-range index
+		// (including the -1 left by a panic) signals nothing, which is
+		// how a branch terminates.
+		if idx >= 0 && idx < n.succCount {
+			t.schedule(ctx, n.successor(idx), true)
+		}
+		t.retire(ctx, n)
+		return
+	case n.subflowWork != nil:
+		sf := &Subflow{topo: t, parent: n}
+		sf.g = &graph{}
+		n.subgraph = sf.g
+		t.invoke(n, func() { n.subflowWork(sf) })
+		t.releaseSems(ctx.Submit, n)
+		if sf.g.len() > 0 {
+			if !sf.detached {
+				// Joined subflow: the parent completes only after every
+				// spawned execution (recursively) finishes.
+				n.detached = false
+				if t.spawn(ctx, sf.g, n) {
+					return
+				}
+			} else {
+				// Detached subflow: flows independently but holds the
+				// enclosing topology open until it drains.
+				n.detached = true
+				t.spawn(ctx, sf.g, nil)
+			}
+		}
+	case n.work != nil:
+		t.invoke(n, n.work)
+		t.releaseSems(ctx.Submit, n)
+	default:
+		t.releaseSems(ctx.Submit, n)
+	}
+	t.finishNode(ctx, n)
+}
+
+// invoke runs fn, converting a panic into a recorded topology error so the
+// graph still drains and WaitForAll terminates.
+func (t *topology) invoke(n *node, fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.setErr(fmt.Errorf("core: task %q panicked: %v", n.name, r))
+		}
+	}()
+	fn()
+}
+
+// spawn schedules a freshly built subflow graph. parent is non-nil for
+// joined subflows (its completion is deferred until the children drain) and
+// nil for detached ones. It reports whether any child execution was
+// actually started; false means the subflow could not start (no source)
+// and the caller must complete the parent itself.
+func (t *topology) spawn(ctx executor.Context, g *graph, parent *node) bool {
+	nsrc := 0
+	for _, c := range g.nodes {
+		c.topo = t
+		c.parent = parent
+		c.join.Store(int32(c.numDependents))
+		if c.isSource() {
+			nsrc++
+		}
+	}
+	if nsrc == 0 {
+		t.setErr(ErrNoSource)
+		return false
+	}
+	// Pre-count all sources before submitting any, so an early-finishing
+	// child cannot observe a transiently zero counter.
+	t.pending.Add(int64(nsrc))
+	if parent != nil {
+		parent.children.Store(int32(nsrc))
+	}
+	cached := false
+	for _, c := range g.nodes {
+		if !c.isSource() {
+			continue
+		}
+		if len(c.acquires) > 0 && !t.admit(ctx.Submit, c) {
+			continue // parked; a release will submit it
+		}
+		if !cached {
+			ctx.SubmitCached(t.nodeTask(c))
+			cached = true
+		} else {
+			ctx.Submit(t.nodeTask(c))
+		}
+	}
+	return true
+}
+
+// finishNode completes an execution of n: release its strong successors,
+// then retire. The first ready successor goes into the worker's cache slot
+// so linear chains run back-to-back (Algorithm 1 speculative execution).
+func (t *topology) finishNode(ctx executor.Context, n *node) {
+	cached := false
+	notify := func(s *node) {
+		if s.join.Add(-1) == 0 {
+			t.schedule(ctx, s, !cached)
+			cached = true
+		}
+	}
+	k := n.succCount
+	if k > len(n.succInline) {
+		k = len(n.succInline)
+	}
+	for i := 0; i < k; i++ {
+		notify(n.succInline[i])
+	}
+	for _, s := range n.succSpill {
+		notify(s)
+	}
+	t.retire(ctx, n)
+}
+
+// retire performs the bookkeeping tail of an execution: notify a joined
+// subflow parent and decrement the outstanding-execution count, closing
+// the topology at quiescence.
+func (t *topology) retire(ctx executor.Context, n *node) {
+	if p := n.parent; p != nil {
+		if p.children.Add(-1) == 0 {
+			t.finishNode(ctx, p)
+		}
+	}
+	if t.pending.Add(-1) == 0 {
+		close(t.done)
+	}
+}

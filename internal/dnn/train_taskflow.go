@@ -1,0 +1,101 @@
+package dnn
+
+import (
+	"gotaskflow/internal/core"
+	"gotaskflow/internal/mnist"
+)
+
+// slotStore holds the bounded shuffle storage of the paper's Figure 11:
+// at most 2×workers epochs' worth of shuffled views live at once.
+type slotStore struct {
+	imgs   [][][]float64
+	labels [][]uint8
+}
+
+func newSlotStore(slots, n int) *slotStore {
+	s := &slotStore{
+		imgs:   make([][][]float64, slots),
+		labels: make([][]uint8, slots),
+	}
+	for k := 0; k < slots; k++ {
+		s.imgs[k] = make([][]float64, n)
+		s.labels[k] = make([]uint8, n)
+	}
+	return s
+}
+
+// numSlots applies the paper's rule: storage degree is twice the number of
+// threads, clamped to the epoch count.
+func numSlots(workers, epochs int) int {
+	s := 2 * workers
+	if s > epochs {
+		s = epochs
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// TrainTaskflow trains the network with the Figure-11 decomposition
+// expressed as one static Cpp-Taskflow graph covering the full training
+// run: per-epoch shuffle tasks Ei_Sj feeding per-batch pipelines
+// F -> G(L-1) -> ... -> G(0) with each U(l) after G(l), and the next
+// batch's F after every U of the previous batch.
+func TrainTaskflow(cfg Config, d *mnist.Dataset, workers int) (*MLP, []float64) {
+	net := NewMLP(cfg.Sizes, cfg.Seed)
+	tr := NewTrainer(net, cfg.LR, cfg.BatchSize)
+	batches := d.Len() / cfg.BatchSize
+	layers := net.NumLayers()
+	losses := make([]float64, cfg.Epochs)
+	slots := numSlots(workers, cfg.Epochs)
+	store := newSlotStore(slots, d.Len())
+
+	tf := core.New(workers)
+	defer tf.Close()
+
+	lastF := make([]core.Task, cfg.Epochs) // final forward task per epoch
+	var prevUs []core.Task                 // update tasks of the previous batch
+	for e := 0; e < cfg.Epochs; e++ {
+		e := e
+		slot := e % slots
+		shuffle := tf.Emplace1(func() {
+			shuffled(d, cfg.Seed, e, store.imgs[slot], store.labels[slot])
+		})
+		if e >= slots {
+			// The slot is free once the epoch that last used it has
+			// loaded its final batch.
+			shuffle.Succeed(lastF[e-slots])
+		}
+		for b := 0; b < batches; b++ {
+			b := b
+			f := tf.Emplace1(func() {
+				tr.LoadBatch(store.imgs[slot], store.labels[slot], b*cfg.BatchSize)
+				losses[e] += tr.Forward()
+			})
+			f.Succeed(shuffle)
+			f.Succeed(prevUs...)
+			prev := f
+			prevUs = prevUs[:0]
+			for l := layers - 1; l >= 0; l-- {
+				l := l
+				g := tf.Emplace1(func() { tr.Gradient(l) })
+				g.Succeed(prev)
+				u := tf.Emplace1(func() { tr.Update(l) })
+				u.Succeed(g)
+				prevUs = append(prevUs, u)
+				prev = g
+			}
+			if b == batches-1 {
+				lastF[e] = f
+			}
+		}
+	}
+	if err := tf.WaitForAll(); err != nil {
+		panic(err)
+	}
+	for e := range losses {
+		losses[e] /= float64(batches)
+	}
+	return net, losses
+}

@@ -1,0 +1,429 @@
+// Package executor implements the work-stealing task executor of the
+// Cpp-Taskflow paper (Section III-E, Algorithm 1).
+//
+// The executor runs a fixed pool of worker goroutines. Each worker owns a
+// Chase-Lev deque and loops:
+//
+//  1. pop a task from its own deque (LIFO, for locality);
+//  2. otherwise steal, first from its last victim, then from random victims
+//     and the external injection queue (FIFO);
+//  3. otherwise register itself on the idlers list and block until a task
+//     producer wakes it precisely.
+//
+// Two heuristics from the paper are implemented faithfully:
+//
+//   - Per-worker task cache: a task that finishes and makes exactly one
+//     successor ready places that successor in the worker's cache slot; the
+//     worker executes it immediately without any queue traffic, so linear
+//     task chains run without scheduling overhead ("speculative execution",
+//     Algorithm 1 lines 16-25).
+//
+//   - Idlers list: blocked workers park on an explicit list, so producers
+//     wake exactly one spare worker per new batch of work instead of
+//     broadcasting; additionally, after each task batch a worker wakes one
+//     idler with small probability to rebalance load (lines 26-28).
+//
+// The executor is pluggable and shareable: multiple Taskflow instances can
+// dispatch graphs to one executor, avoiding thread over-subscription
+// (paper Section III-E).
+package executor
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"gotaskflow/internal/wsq"
+)
+
+// A Task is a unit of work. It receives the scheduling Context of the worker
+// executing it, through which it can submit follow-up tasks cheaply.
+type Task func(ctx Context)
+
+// Context is the scheduling interface visible to a running task. It is
+// implemented by the worker executing the task and must not be retained
+// after the task returns.
+type Context interface {
+	// Submit schedules a task on this worker's local deque and wakes an
+	// idler if one exists.
+	Submit(t Task)
+	// SubmitCached places the task in this worker's cache slot so that it
+	// runs immediately after the current task, bypassing all queues. If the
+	// slot is occupied the task is submitted normally instead.
+	SubmitCached(t Task)
+	// WorkerID returns the executing worker's index in [0, NumWorkers).
+	WorkerID() int
+	// Executor returns the owning executor.
+	Executor() *Executor
+}
+
+// Observer receives callbacks around task execution. Observers must be
+// registered before any task is submitted and must be safe for concurrent
+// use; they serve profiling and visualization (paper Section IV, CPU
+// utilization profile).
+type Observer interface {
+	OnTaskStart(worker int)
+	OnTaskEnd(worker int)
+}
+
+// defaultWakeDen is the default denominator of the probabilistic
+// load-balancing wakeup: after finishing a task batch, a worker wakes one
+// idler with probability 1/defaultWakeDen (Algorithm 1, lines 26-28).
+const defaultWakeDen = 16
+
+// spinSteals is the number of steal rounds a worker attempts before parking
+// on the idlers list. Spinning bounds the futex ping-pong that fine-grained
+// task graphs (sub-microsecond bodies) would otherwise trigger on every
+// parallelism dip; workers yield the processor between rounds so spinning
+// does not starve the producing worker on small machines.
+const spinSteals = 32
+
+// spinYieldEvery controls how often a spinning worker yields.
+const spinYieldEvery = 4
+
+type worker struct {
+	id     int
+	exec   *Executor
+	queue  *wsq.Deque[Task]
+	cache  Task
+	rng    *rand.Rand
+	victim int           // last successful steal victim
+	wake   chan struct{} // buffered(1); signalled when this idler is woken
+}
+
+var _ Context = (*worker)(nil)
+
+func (w *worker) WorkerID() int       { return w.id }
+func (w *worker) Executor() *Executor { return w.exec }
+
+func (w *worker) Submit(t Task) {
+	w.queue.Push(t)
+	w.exec.wakeOne()
+}
+
+func (w *worker) SubmitCached(t Task) {
+	if w.cache == nil && !w.exec.noCache {
+		w.cache = t
+		return
+	}
+	w.Submit(t)
+}
+
+// Executor schedules Tasks over a fixed set of worker goroutines.
+type Executor struct {
+	workers []*worker
+
+	// injection is the external submission queue used by non-worker
+	// goroutines (work sharing).
+	injMu     sync.Mutex
+	injection []Task
+
+	// notifier state: parked workers, LIFO.
+	idleMu     sync.Mutex
+	idlers     []*worker
+	idlerCount atomic.Int64
+
+	stop atomic.Bool
+	wg   sync.WaitGroup
+
+	// busy counts workers currently inside a task. Maintaining it costs
+	// two shared-cacheline atomics per task, so it is only updated when
+	// profiling is requested (WithBusyTracking or WithObserver).
+	trackBusy bool
+	busy      atomic.Int64
+	observers []Observer
+
+	// Ablation knobs for the Algorithm-1 heuristics (defaults match the
+	// paper's scheduler; see the ablation benchmarks in bench_test.go).
+	noCache bool
+	wakeDen int
+	spin    int
+
+	seed int64
+}
+
+// Option configures an Executor.
+type Option func(*Executor)
+
+// WithSeed fixes the seed of the per-worker random number generators used
+// for victim selection and probabilistic wakeup, making scheduling decisions
+// reproducible in tests.
+func WithSeed(seed int64) Option {
+	return func(e *Executor) { e.seed = seed }
+}
+
+// WithObserver registers an observer. Must be applied at construction.
+// Observers imply busy tracking.
+func WithObserver(o Observer) Option {
+	return func(e *Executor) {
+		e.observers = append(e.observers, o)
+		e.trackBusy = true
+	}
+}
+
+// WithBusyTracking enables the BusyWorkers counter used by profilers.
+func WithBusyTracking() Option {
+	return func(e *Executor) { e.trackBusy = true }
+}
+
+// WithoutTaskCache disables the per-worker speculative task cache
+// (Algorithm 1 lines 16-25), for ablation studies: every ready task goes
+// through the queues.
+func WithoutTaskCache() Option {
+	return func(e *Executor) { e.noCache = true }
+}
+
+// WithWakeProbability sets the denominator of the probabilistic
+// load-balancing wakeup (Algorithm 1 lines 26-28): a worker wakes one
+// idler with probability 1/den after each task batch. den <= 0 disables
+// the heuristic.
+func WithWakeProbability(den int) Option {
+	return func(e *Executor) { e.wakeDen = den }
+}
+
+// WithSpin sets the number of steal rounds a worker attempts before
+// parking on the idlers list. Zero parks immediately.
+func WithSpin(rounds int) Option {
+	return func(e *Executor) { e.spin = rounds }
+}
+
+// New creates an executor with n workers and starts them. If n <= 0 it
+// defaults to runtime.GOMAXPROCS(0).
+func New(n int, opts ...Option) *Executor {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	e := &Executor{seed: 1, wakeDen: defaultWakeDen, spin: spinSteals}
+	for _, opt := range opts {
+		opt(e)
+	}
+	e.workers = make([]*worker, n)
+	for i := 0; i < n; i++ {
+		e.workers[i] = &worker{
+			id:     i,
+			exec:   e,
+			queue:  wsq.New[Task](256),
+			rng:    rand.New(rand.NewSource(e.seed + int64(i)*7919)),
+			victim: (i + 1) % n,
+			wake:   make(chan struct{}, 1),
+		}
+	}
+	e.wg.Add(n)
+	for _, w := range e.workers {
+		go e.run(w)
+	}
+	return e
+}
+
+// NumWorkers returns the number of worker goroutines.
+func (e *Executor) NumWorkers() int { return len(e.workers) }
+
+// BusyWorkers returns the number of workers currently executing a task.
+// It is a racy snapshot intended for profiling and is only maintained when
+// the executor was built with WithBusyTracking or WithObserver.
+func (e *Executor) BusyWorkers() int { return int(e.busy.Load()) }
+
+// Submit schedules a task from outside the worker pool via the injection
+// queue (work sharing). Tasks running inside the pool should use their
+// Context instead.
+func (e *Executor) Submit(t Task) {
+	e.injMu.Lock()
+	e.injection = append(e.injection, t)
+	e.injMu.Unlock()
+	e.wakeOne()
+}
+
+// SubmitBatch schedules several tasks at once and wakes up to len(ts) idlers.
+func (e *Executor) SubmitBatch(ts []Task) {
+	if len(ts) == 0 {
+		return
+	}
+	e.injMu.Lock()
+	e.injection = append(e.injection, ts...)
+	e.injMu.Unlock()
+	for i := 0; i < len(ts); i++ {
+		if !e.wakeOne() {
+			break
+		}
+	}
+}
+
+// Shutdown stops all workers and waits for them to exit. Pending tasks that
+// have not begun executing are discarded; callers are expected to have
+// awaited completion (e.g. Taskflow.WaitForAll) first. Shutdown is
+// idempotent.
+func (e *Executor) Shutdown() {
+	if e.stop.Swap(true) {
+		e.wg.Wait()
+		return
+	}
+	e.wakeAll()
+	e.wg.Wait()
+}
+
+// popInjection removes the oldest externally submitted task, if any.
+func (e *Executor) popInjection() (Task, bool) {
+	e.injMu.Lock()
+	defer e.injMu.Unlock()
+	if len(e.injection) == 0 {
+		return nil, false
+	}
+	t := e.injection[0]
+	e.injection[0] = nil
+	e.injection = e.injection[1:]
+	return t, true
+}
+
+// anyWork reports whether any queue appears non-empty. Called under idleMu
+// by parking workers to close the sleep race.
+func (e *Executor) anyWork() bool {
+	e.injMu.Lock()
+	n := len(e.injection)
+	e.injMu.Unlock()
+	if n > 0 {
+		return true
+	}
+	for _, w := range e.workers {
+		if !w.queue.Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// wakeOne pops one parked worker and signals it. Returns false when no
+// worker was parked.
+func (e *Executor) wakeOne() bool {
+	if e.idlerCount.Load() == 0 {
+		return false
+	}
+	e.idleMu.Lock()
+	var w *worker
+	if n := len(e.idlers); n > 0 {
+		w = e.idlers[n-1]
+		e.idlers = e.idlers[:n-1]
+		e.idlerCount.Add(-1)
+	}
+	e.idleMu.Unlock()
+	if w == nil {
+		return false
+	}
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+func (e *Executor) wakeAll() {
+	e.idleMu.Lock()
+	ws := e.idlers
+	e.idlers = nil
+	e.idlerCount.Store(0)
+	e.idleMu.Unlock()
+	for _, w := range ws {
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// steal tries the last victim first, then sweeps the other workers and the
+// injection queue (Algorithm 1 line 3).
+func (w *worker) steal() (Task, bool) {
+	e := w.exec
+	n := len(e.workers)
+	if n > 1 {
+		if w.victim != w.id {
+			if t, ok := e.workers[w.victim].queue.Steal(); ok {
+				return t, true
+			}
+		}
+		start := w.rng.Intn(n)
+		for i := 0; i < n; i++ {
+			v := (start + i) % n
+			if v == w.id {
+				continue
+			}
+			if t, ok := e.workers[v].queue.Steal(); ok {
+				w.victim = v
+				return t, true
+			}
+		}
+	}
+	return e.popInjection()
+}
+
+// run is the main worker loop, a direct transcription of Algorithm 1.
+func (e *Executor) run(w *worker) {
+	defer e.wg.Done()
+	for {
+		// Line 2: try local queue.
+		t, ok := w.queue.Pop()
+		if !ok {
+			// Line 3: steal.
+			t, ok = w.steal()
+		}
+		if !ok {
+			// Spin briefly before parking.
+			for s := 0; s < e.spin && !ok; s++ {
+				if s%spinYieldEvery == spinYieldEvery-1 {
+					runtime.Gosched()
+				}
+				t, ok = w.steal()
+			}
+		}
+		if !ok {
+			if e.stop.Load() {
+				return
+			}
+			// Lines 5-15: park on the idlers list with a re-check under
+			// the lock to avoid lost wakeups.
+			e.idleMu.Lock()
+			if e.anyWork() || e.stop.Load() {
+				e.idleMu.Unlock()
+				continue
+			}
+			e.idlers = append(e.idlers, w)
+			e.idlerCount.Add(1)
+			e.idleMu.Unlock()
+			<-w.wake
+			continue
+		}
+
+		// Lines 16-25: invoke, then drain the speculative cache so linear
+		// chains run without queue operations.
+		for t != nil {
+			e.invoke(w, t)
+			if w.cache != nil {
+				t = w.cache
+				w.cache = nil
+			} else {
+				t = nil
+			}
+		}
+
+		// Lines 26-28: probabilistic wakeup for load balancing.
+		if e.wakeDen > 0 && w.rng.Intn(e.wakeDen) == 0 {
+			e.wakeOne()
+		}
+	}
+}
+
+func (e *Executor) invoke(w *worker, t Task) {
+	if !e.trackBusy {
+		t(w)
+		return
+	}
+	e.busy.Add(1)
+	for _, o := range e.observers {
+		o.OnTaskStart(w.id)
+	}
+	t(w)
+	for _, o := range e.observers {
+		o.OnTaskEnd(w.id)
+	}
+	e.busy.Add(-1)
+}

@@ -1,0 +1,300 @@
+package executor
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitCounter blocks until the counter reaches want or the timeout expires.
+func waitCounter(t *testing.T, c *atomic.Int64, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Load() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("counter = %d, want %d (timeout)", c.Load(), want)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func TestSubmitRunsAllTasks(t *testing.T) {
+	e := New(4)
+	defer e.Shutdown()
+	var n atomic.Int64
+	const total = 10000
+	for i := 0; i < total; i++ {
+		e.Submit(func(Context) { n.Add(1) })
+	}
+	waitCounter(t, &n, total)
+}
+
+func TestSubmitBatch(t *testing.T) {
+	e := New(3)
+	defer e.Shutdown()
+	var n atomic.Int64
+	tasks := make([]Task, 500)
+	for i := range tasks {
+		tasks[i] = func(Context) { n.Add(1) }
+	}
+	e.SubmitBatch(tasks)
+	waitCounter(t, &n, 500)
+}
+
+func TestSubmitBatchEmpty(t *testing.T) {
+	e := New(1)
+	defer e.Shutdown()
+	e.SubmitBatch(nil) // must not panic or wake anything
+}
+
+func TestNestedSubmitFromTask(t *testing.T) {
+	e := New(4)
+	defer e.Shutdown()
+	var n atomic.Int64
+	var spawn func(depth int) Task
+	spawn = func(depth int) Task {
+		return func(ctx Context) {
+			n.Add(1)
+			if depth > 0 {
+				ctx.Submit(spawn(depth - 1))
+				ctx.Submit(spawn(depth - 1))
+			}
+		}
+	}
+	e.Submit(spawn(10)) // 2^11 - 1 tasks
+	waitCounter(t, &n, 1<<11-1)
+}
+
+func TestSubmitCachedLinearChain(t *testing.T) {
+	e := New(2)
+	defer e.Shutdown()
+	var n atomic.Int64
+	var order []int
+	var mu sync.Mutex
+	var link func(i int) Task
+	link = func(i int) Task {
+		return func(ctx Context) {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			n.Add(1)
+			if i < 99 {
+				ctx.SubmitCached(link(i + 1))
+			}
+		}
+	}
+	e.Submit(link(0))
+	waitCounter(t, &n, 100)
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d; cached chain must run in order", i, v)
+		}
+	}
+}
+
+func TestSubmitCachedFallsBackWhenOccupied(t *testing.T) {
+	e := New(1)
+	defer e.Shutdown()
+	var n atomic.Int64
+	e.Submit(func(ctx Context) {
+		ctx.SubmitCached(func(Context) { n.Add(1) })
+		ctx.SubmitCached(func(Context) { n.Add(1) }) // slot taken -> queued
+		ctx.SubmitCached(func(Context) { n.Add(1) })
+	})
+	waitCounter(t, &n, 3)
+}
+
+func TestWorkerID(t *testing.T) {
+	e := New(3)
+	defer e.Shutdown()
+	seen := make(chan int, 100)
+	for i := 0; i < 100; i++ {
+		e.Submit(func(ctx Context) {
+			if ctx.Executor() != e {
+				t.Error("ctx.Executor() mismatch")
+			}
+			seen <- ctx.WorkerID()
+		})
+	}
+	for i := 0; i < 100; i++ {
+		id := <-seen
+		if id < 0 || id >= 3 {
+			t.Fatalf("WorkerID() = %d, want in [0,3)", id)
+		}
+	}
+}
+
+func TestNumWorkersDefault(t *testing.T) {
+	e := New(0)
+	defer e.Shutdown()
+	if e.NumWorkers() < 1 {
+		t.Fatalf("NumWorkers() = %d, want >= 1", e.NumWorkers())
+	}
+	e2 := New(7)
+	defer e2.Shutdown()
+	if e2.NumWorkers() != 7 {
+		t.Fatalf("NumWorkers() = %d, want 7", e2.NumWorkers())
+	}
+}
+
+func TestShutdownIdempotent(t *testing.T) {
+	e := New(2)
+	var n atomic.Int64
+	for i := 0; i < 100; i++ {
+		e.Submit(func(Context) { n.Add(1) })
+	}
+	waitCounter(t, &n, 100)
+	e.Shutdown()
+	e.Shutdown() // second call must not hang or panic
+}
+
+func TestManyProducers(t *testing.T) {
+	e := New(4)
+	defer e.Shutdown()
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	const producers = 8
+	const each = 2000
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				e.Submit(func(Context) { n.Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+	waitCounter(t, &n, producers*each)
+}
+
+func TestStealingHappens(t *testing.T) {
+	// One blocked producer fans out two children that rendezvous with
+	// each other: they can only complete by running concurrently on two
+	// different workers, both of which must have stolen from the
+	// producer's local queue.
+	e := New(4, WithSeed(42))
+	defer e.Shutdown()
+	var n atomic.Int64
+	workers := make(map[int]bool)
+	var mu sync.Mutex
+	block := make(chan struct{})
+	chA, chB := make(chan struct{}), make(chan struct{})
+	e.Submit(func(ctx Context) {
+		ctx.Submit(func(c Context) {
+			mu.Lock()
+			workers[c.WorkerID()] = true
+			mu.Unlock()
+			close(chA)
+			<-chB
+			n.Add(1)
+		})
+		ctx.Submit(func(c Context) {
+			mu.Lock()
+			workers[c.WorkerID()] = true
+			mu.Unlock()
+			close(chB)
+			<-chA
+			n.Add(1)
+		})
+		<-block // keep the producer busy so others must steal
+	})
+	waitCounter(t, &n, 2)
+	close(block)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(workers) < 2 {
+		t.Fatalf("rendezvous children ran on %d distinct workers", len(workers))
+	}
+}
+
+type countingObserver struct {
+	starts atomic.Int64
+	ends   atomic.Int64
+}
+
+func (o *countingObserver) OnTaskStart(int) { o.starts.Add(1) }
+func (o *countingObserver) OnTaskEnd(int)   { o.ends.Add(1) }
+
+func TestObserver(t *testing.T) {
+	obs := &countingObserver{}
+	e := New(2, WithObserver(obs))
+	defer e.Shutdown()
+	var n atomic.Int64
+	for i := 0; i < 50; i++ {
+		e.Submit(func(Context) { n.Add(1) })
+	}
+	waitCounter(t, &n, 50)
+	waitCounter(t, &obs.ends, 50)
+	if obs.starts.Load() != 50 {
+		t.Fatalf("observer starts = %d, want 50", obs.starts.Load())
+	}
+}
+
+func TestBusyWorkers(t *testing.T) {
+	e := New(2, WithBusyTracking())
+	defer e.Shutdown()
+	release := make(chan struct{})
+	started := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		e.Submit(func(Context) {
+			started <- struct{}{}
+			<-release
+		})
+	}
+	<-started
+	<-started
+	if got := e.BusyWorkers(); got != 2 {
+		t.Fatalf("BusyWorkers() = %d, want 2", got)
+	}
+	close(release)
+}
+
+func TestIdleWakeupLatency(t *testing.T) {
+	// After a quiet period (workers parked), a new submission must still run.
+	e := New(4)
+	defer e.Shutdown()
+	var n atomic.Int64
+	e.Submit(func(Context) { n.Add(1) })
+	waitCounter(t, &n, 1)
+	time.Sleep(50 * time.Millisecond) // let workers park
+	for i := 0; i < 10; i++ {
+		e.Submit(func(Context) { n.Add(1) })
+		waitCounter(t, &n, int64(2+i))
+	}
+}
+
+func BenchmarkSubmitThroughput(b *testing.B) {
+	e := New(0)
+	defer e.Shutdown()
+	var n atomic.Int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Submit(func(Context) { n.Add(1) })
+	}
+	for n.Load() != int64(b.N) {
+		time.Sleep(10 * time.Microsecond)
+	}
+}
+
+func BenchmarkLinearChainCached(b *testing.B) {
+	e := New(0)
+	defer e.Shutdown()
+	done := make(chan struct{})
+	var link func(i int) Task
+	link = func(i int) Task {
+		return func(ctx Context) {
+			if i == 0 {
+				done <- struct{}{}
+				return
+			}
+			ctx.SubmitCached(link(i - 1))
+		}
+	}
+	b.ResetTimer()
+	e.Submit(link(b.N))
+	<-done
+}

@@ -1,0 +1,26 @@
+package experiments
+
+import (
+	"io"
+
+	"gotaskflow/internal/bench"
+	"gotaskflow/internal/listings"
+	"gotaskflow/internal/sloc"
+)
+
+// ListingsTable reproduces the programmability comparison of the paper's
+// Listings 3-5 (static Figure-2 graph) and 7-8 (dynamic Figure-4 graph):
+// LOC and token counts of the same graph written against each API.
+func ListingsTable(w io.Writer) error {
+	t := bench.NewTable(
+		"Listings 3-5 and 7-8: LOC and tokens for the same graph per API (Go translations)",
+		"figure", "library", "loc", "tokens")
+	for _, l := range append(listings.Static(), listings.Dynamic()...) {
+		fm, err := sloc.AnalyzeSource(l.Name+".go", []byte(l.Source))
+		if err != nil {
+			return err
+		}
+		t.Row(l.Figure, l.Name, fm.LOC, sloc.CountTokens([]byte(l.Source)))
+	}
+	return t.Fprint(w)
+}

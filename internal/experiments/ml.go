@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+
+	"gotaskflow/internal/bench"
+	"gotaskflow/internal/dnn"
+	"gotaskflow/internal/mnist"
+	"gotaskflow/internal/sloc"
+)
+
+// Table3 reproduces "Software Costs Comparison on Machine Learning": LOC
+// and cyclomatic complexity of the four training implementations. The
+// paper's development-time column is a human measurement and cannot be
+// re-measured mechanically; the relative LOC/CC costs are the
+// reproducible part.
+func Table3(w io.Writer, srcRoot string) error {
+	dir := filepath.Join(srcRoot, "internal", "dnn")
+	seq, err := sloc.AnalyzeFile(filepath.Join(dir, "dnn.go"))
+	if err != nil {
+		return err
+	}
+	tf, err := sloc.AnalyzeFile(filepath.Join(dir, "train_taskflow.go"))
+	if err != nil {
+		return err
+	}
+	fg, err := sloc.AnalyzeFile(filepath.Join(dir, "train_flowgraph.go"))
+	if err != nil {
+		return err
+	}
+	om, err := sloc.AnalyzeFile(filepath.Join(dir, "train_omp.go"))
+	if err != nil {
+		return err
+	}
+	t := bench.NewTable(
+		"Table III: software costs of the DNN decompositions (Go sources)",
+		"backend", "loc", "cc")
+	tfL, tfC := backendCost(tf, "TrainTaskflow", "numSlots", "newSlotStore")
+	fgL, fgC := backendCost(fg, "TrainFlowGraph")
+	omL, omC := backendCost(om, "TrainOMP")
+	sqL, sqC := backendCost(seq, "TrainSequential")
+	t.Row("Cpp-Taskflow", tfL, tfC)
+	t.Row("OpenMP", omL+tfLHelpers(tf), omC)
+	t.Row("TBB", fgL+tfLHelpers(tf), fgC)
+	t.Row("Sequential", sqL, sqC)
+	return t.Fprint(w)
+}
+
+// tfLHelpers returns the LOC of the slot-store helpers defined alongside
+// the taskflow backend but shared by all parallel backends, so each
+// parallel backend is charged for them once.
+func tfLHelpers(tf *sloc.FileMetrics) int {
+	loc, _ := backendCost(tf, "numSlots", "newSlotStore")
+	return loc
+}
+
+// MLConfig mirrors the paper's Section IV-C hyperparameters at a
+// configurable dataset scale (the paper uses the 60k-image MNIST set).
+func MLConfig(sizes []int, epochs, datasetLen int) (dnn.Config, *mnist.Dataset) {
+	cfg := dnn.Config{
+		Sizes:     sizes,
+		Epochs:    epochs,
+		BatchSize: 100,
+		LR:        0.001,
+		Seed:      2019,
+	}
+	return cfg, mnist.Synthetic(datasetLen, cfg.Seed)
+}
+
+// Fig12Epochs reproduces the top half of Figure 12: training runtime
+// versus epoch count at a fixed worker count, for both architectures.
+func Fig12Epochs(w io.Writer, sizes []int, label string, epochCounts []int, datasetLen, workers int) error {
+	t := bench.NewTable(
+		fmt.Sprintf("Figure 12 (top): %s runtime vs epochs (%d workers, %d images)",
+			label, workers, datasetLen),
+		"epochs", "tasks", "taskflow_ms", "tbb_ms", "omp_ms", "seq_ms")
+	for _, epochs := range epochCounts {
+		cfg, data := MLConfig(sizes, epochs, datasetLen)
+		dTF := bench.Measure(func() { dnn.TrainTaskflow(cfg, data, workers) })
+		dFG := bench.Measure(func() { dnn.TrainFlowGraph(cfg, data, workers) })
+		dOM := bench.Measure(func() { dnn.TrainOMP(cfg, data, workers) })
+		dSQ := bench.Measure(func() { dnn.TrainSequential(cfg, data) })
+		t.Row(epochs, epochs*cfg.NumTasksPerEpoch(datasetLen), dTF, dFG, dOM, dSQ)
+	}
+	return t.Fprint(w)
+}
+
+// Fig12CPU reproduces the bottom half of Figure 12: training runtime
+// versus worker count at a fixed epoch count.
+func Fig12CPU(w io.Writer, sizes []int, label string, workerCounts []int, epochs, datasetLen int) error {
+	t := bench.NewTable(
+		fmt.Sprintf("Figure 12 (bottom): %s runtime vs workers (%d epochs, %d images)",
+			label, epochs, datasetLen),
+		"workers", "taskflow_ms", "tbb_ms", "omp_ms")
+	for _, n := range workerCounts {
+		cfg, data := MLConfig(sizes, epochs, datasetLen)
+		dTF := bench.Measure(func() { dnn.TrainTaskflow(cfg, data, n) })
+		dFG := bench.Measure(func() { dnn.TrainFlowGraph(cfg, data, n) })
+		dOM := bench.Measure(func() { dnn.TrainOMP(cfg, data, n) })
+		t.Row(n, dTF, dFG, dOM)
+	}
+	return t.Fprint(w)
+}

@@ -1,0 +1,202 @@
+package flowgraph
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// trace records completion order.
+type trace struct {
+	mu  sync.Mutex
+	pos map[string]int
+	n   int
+}
+
+func newTrace() *trace { return &trace{pos: map[string]int{}} }
+
+func (tr *trace) hit(name string) func(ContinueMsg) {
+	return func(ContinueMsg) {
+		tr.mu.Lock()
+		tr.pos[name] = tr.n
+		tr.n++
+		tr.mu.Unlock()
+	}
+}
+
+func (tr *trace) before(t *testing.T, a, b string) {
+	t.Helper()
+	pa, oka := tr.pos[a]
+	pb, okb := tr.pos[b]
+	if !oka || !okb || pa >= pb {
+		t.Fatalf("want %s before %s; pos=%v", a, b, tr.pos)
+	}
+}
+
+func TestListing5StaticGraph(t *testing.T) {
+	// The Figure 2 graph exactly as the paper's TBB Listing 5 writes it.
+	g := NewGraph(4)
+	defer g.Close()
+	tr := newTrace()
+	a0 := NewContinueNode(g, tr.hit("a0"))
+	a1 := NewContinueNode(g, tr.hit("a1"))
+	a2 := NewContinueNode(g, tr.hit("a2"))
+	a3 := NewContinueNode(g, tr.hit("a3"))
+	b0 := NewContinueNode(g, tr.hit("b0"))
+	b1 := NewContinueNode(g, tr.hit("b1"))
+	b2 := NewContinueNode(g, tr.hit("b2"))
+	MakeEdge(a0, a1)
+	MakeEdge(a1, a2)
+	MakeEdge(a1, b2)
+	MakeEdge(a2, a3)
+	MakeEdge(b0, b1)
+	MakeEdge(b1, b2)
+	MakeEdge(b1, a2)
+	MakeEdge(b2, a3)
+	a0.TryPut(ContinueMsg{})
+	b0.TryPut(ContinueMsg{})
+	g.WaitForAll()
+	for _, e := range [][2]string{
+		{"a0", "a1"}, {"a1", "a2"}, {"a1", "b2"}, {"a2", "a3"},
+		{"b0", "b1"}, {"b1", "b2"}, {"b1", "a2"}, {"b2", "a3"},
+	} {
+		tr.before(t, e[0], e[1])
+	}
+	if tr.n != 7 {
+		t.Fatalf("ran %d nodes, want 7", tr.n)
+	}
+}
+
+func TestSourceNeedsExplicitTryPut(t *testing.T) {
+	g := NewGraph(2)
+	defer g.Close()
+	var ran atomic.Bool
+	NewContinueNode(g, func(ContinueMsg) { ran.Store(true) })
+	g.WaitForAll() // nothing fired: returns immediately
+	if ran.Load() {
+		t.Fatal("node ran without TryPut")
+	}
+}
+
+func TestFanInWaitsForAllPreds(t *testing.T) {
+	g := NewGraph(4)
+	defer g.Close()
+	var order []string
+	var mu sync.Mutex
+	rec := func(s string) func(ContinueMsg) {
+		return func(ContinueMsg) {
+			mu.Lock()
+			order = append(order, s)
+			mu.Unlock()
+		}
+	}
+	sink := NewContinueNode(g, rec("sink"))
+	srcs := make([]*ContinueNode, 10)
+	for i := range srcs {
+		srcs[i] = NewContinueNode(g, rec("src"))
+		MakeEdge(srcs[i], sink)
+	}
+	// Edge construction must finish before firing: mutating a running
+	// graph is undefined in TBB as well.
+	for _, src := range srcs {
+		src.TryPut(ContinueMsg{})
+	}
+	g.WaitForAll()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 11 || order[10] != "sink" {
+		t.Fatalf("order = %v; sink must run last exactly once", order)
+	}
+}
+
+func TestGraphReRunnable(t *testing.T) {
+	g := NewGraph(2)
+	defer g.Close()
+	var n atomic.Int64
+	a := NewContinueNode(g, func(ContinueMsg) { n.Add(1) })
+	b := NewContinueNode(g, func(ContinueMsg) { n.Add(1) })
+	MakeEdge(a, b)
+	for round := 0; round < 5; round++ {
+		a.TryPut(ContinueMsg{})
+		g.WaitForAll()
+	}
+	if n.Load() != 10 {
+		t.Fatalf("ran %d bodies over 5 rounds, want 10", n.Load())
+	}
+}
+
+func TestInnerGraphInsideNode(t *testing.T) {
+	// Paper Listing 8: dynamic tasking in TBB needs a separate inner graph
+	// created inside the node body.
+	outer := NewGraph(2)
+	defer outer.Close()
+	tr := newTrace()
+	B := NewContinueNode(outer, func(ContinueMsg) {
+		tr.hit("B")(ContinueMsg{})
+		inner := NewGraph(2)
+		defer inner.Close()
+		b1 := NewContinueNode(inner, tr.hit("B1"))
+		b2 := NewContinueNode(inner, tr.hit("B2"))
+		b3 := NewContinueNode(inner, tr.hit("B3"))
+		MakeEdge(b1, b3)
+		MakeEdge(b2, b3)
+		b1.TryPut(ContinueMsg{})
+		b2.TryPut(ContinueMsg{})
+		inner.WaitForAll()
+	})
+	D := NewContinueNode(outer, tr.hit("D"))
+	MakeEdge(B, D)
+	B.TryPut(ContinueMsg{})
+	outer.WaitForAll()
+	tr.before(t, "B", "B1")
+	tr.before(t, "B1", "B3")
+	tr.before(t, "B2", "B3")
+	tr.before(t, "B3", "D")
+}
+
+func TestLargeDiamondCascade(t *testing.T) {
+	g := NewGraph(4)
+	defer g.Close()
+	var n atomic.Int64
+	body := func(ContinueMsg) { n.Add(1) }
+	const width = 200
+	src := NewContinueNode(g, body)
+	sink := NewContinueNode(g, body)
+	for i := 0; i < width; i++ {
+		mid := NewContinueNode(g, body)
+		MakeEdge(src, mid)
+		MakeEdge(mid, sink)
+	}
+	src.TryPut(ContinueMsg{})
+	g.WaitForAll()
+	if n.Load() != width+2 {
+		t.Fatalf("ran %d bodies, want %d", n.Load(), width+2)
+	}
+}
+
+func TestWaitForAllIdleGraph(t *testing.T) {
+	g := NewGraph(1)
+	defer g.Close()
+	g.WaitForAll() // must not block
+}
+
+func TestSingleWorkerDeterministicChain(t *testing.T) {
+	g := NewGraph(1)
+	defer g.Close()
+	var order []int
+	prev := NewContinueNode(g, func(ContinueMsg) { order = append(order, 0) })
+	first := prev
+	for i := 1; i < 100; i++ {
+		i := i
+		cur := NewContinueNode(g, func(ContinueMsg) { order = append(order, i) })
+		MakeEdge(prev, cur)
+		prev = cur
+	}
+	first.TryPut(ContinueMsg{})
+	g.WaitForAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d", i, v)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package graphgen produces seeded random directed acyclic graphs for the
+// graph-traversal micro-benchmark of the Cpp-Taskflow paper (Section IV-A).
+//
+// Matching the paper's setup, the generator bounds both the input and the
+// output degree of every node (the paper uses 4 to keep the exhaustive
+// OpenMP dependency-clause enumeration tractable) and emits edges only from
+// lower to higher node indices, so index order is a valid topological order
+// — exactly what the static OpenMP baseline needs.
+package graphgen
+
+import "math/rand"
+
+// DAG is a random task dependency graph. Node indices are a topological
+// order by construction.
+type DAG struct {
+	N        int
+	Succ     [][]int32 // Succ[u] lists v > u
+	InDeg    []int32
+	OutDeg   []int32
+	numEdges int
+}
+
+// Config controls random DAG generation.
+type Config struct {
+	// MaxIn and MaxOut bound the input/output degree of every node.
+	// Non-positive values default to 4, the paper's limit.
+	MaxIn, MaxOut int
+	// Window bounds how far back a node may pick its predecessors,
+	// controlling graph depth and locality. Non-positive defaults to 64.
+	Window int
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+func (c *Config) defaults() {
+	if c.MaxIn <= 0 {
+		c.MaxIn = 4
+	}
+	if c.MaxOut <= 0 {
+		c.MaxOut = 4
+	}
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+}
+
+// Random generates a DAG with n nodes under cfg. The same (n, cfg) always
+// yields the same graph.
+func Random(n int, cfg Config) *DAG {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := &DAG{
+		N:      n,
+		Succ:   make([][]int32, n),
+		InDeg:  make([]int32, n),
+		OutDeg: make([]int32, n),
+	}
+	for v := 1; v < n; v++ {
+		want := rng.Intn(cfg.MaxIn + 1)
+		lo := v - cfg.Window
+		if lo < 0 {
+			lo = 0
+		}
+		for k := 0; k < want; k++ {
+			u := lo + rng.Intn(v-lo)
+			if int(d.OutDeg[u]) >= cfg.MaxOut || d.hasEdge(u, v) {
+				continue
+			}
+			d.Succ[u] = append(d.Succ[u], int32(v))
+			d.OutDeg[u]++
+			d.InDeg[v]++
+			d.numEdges++
+		}
+	}
+	return d
+}
+
+func (d *DAG) hasEdge(u, v int) bool {
+	for _, w := range d.Succ[u] {
+		if int(w) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// NumEdges returns the total number of dependency edges.
+func (d *DAG) NumEdges() int { return d.numEdges }
+
+// NumNodes implements levelize.Graph.
+func (d *DAG) NumNodes() int { return d.N }
+
+// Successors implements levelize.Graph.
+func (d *DAG) Successors(i int, visit func(int)) {
+	for _, j := range d.Succ[i] {
+		visit(int(j))
+	}
+}
+
+// Sources returns the indices of nodes with no predecessors.
+func (d *DAG) Sources() []int {
+	var out []int
+	for i := 0; i < d.N; i++ {
+		if d.InDeg[i] == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package graphgen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gotaskflow/internal/levelize"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := Random(500, Config{Seed: 7})
+	b := Random(500, Config{Seed: 7})
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	for u := range a.Succ {
+		if len(a.Succ[u]) != len(b.Succ[u]) {
+			t.Fatalf("node %d successor lists differ", u)
+		}
+		for k := range a.Succ[u] {
+			if a.Succ[u][k] != b.Succ[u][k] {
+				t.Fatalf("node %d successor %d differs", u, k)
+			}
+		}
+	}
+	c := Random(500, Config{Seed: 8})
+	if c.NumEdges() == a.NumEdges() && equalAdj(a, c) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func equalAdj(a, b *DAG) bool {
+	for u := range a.Succ {
+		if len(a.Succ[u]) != len(b.Succ[u]) {
+			return false
+		}
+		for k := range a.Succ[u] {
+			if a.Succ[u][k] != b.Succ[u][k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestDegreeBounds(t *testing.T) {
+	d := Random(2000, Config{MaxIn: 4, MaxOut: 4, Seed: 11})
+	for v := 0; v < d.N; v++ {
+		if d.InDeg[v] > 4 {
+			t.Fatalf("node %d in-degree %d > 4", v, d.InDeg[v])
+		}
+		if d.OutDeg[v] > 4 {
+			t.Fatalf("node %d out-degree %d > 4", v, d.OutDeg[v])
+		}
+		if int(d.OutDeg[v]) != len(d.Succ[v]) {
+			t.Fatalf("node %d OutDeg inconsistent", v)
+		}
+	}
+}
+
+func TestEdgesGoForward(t *testing.T) {
+	d := Random(1000, Config{Seed: 3})
+	for u := range d.Succ {
+		for _, v := range d.Succ[u] {
+			if int(v) <= u {
+				t.Fatalf("backward edge %d -> %d", u, v)
+			}
+			if u+int(d.N) < int(v) {
+				t.Fatalf("edge out of range")
+			}
+		}
+	}
+}
+
+func TestNoDuplicateEdges(t *testing.T) {
+	d := Random(1000, Config{Seed: 5})
+	for u := range d.Succ {
+		seen := map[int32]bool{}
+		for _, v := range d.Succ[u] {
+			if seen[v] {
+				t.Fatalf("duplicate edge %d -> %d", u, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestAcyclicViaLevelize(t *testing.T) {
+	d := Random(5000, Config{Seed: 13})
+	if _, err := levelize.Levels(d); err != nil {
+		t.Fatalf("generated graph not levelizable: %v", err)
+	}
+}
+
+func TestSources(t *testing.T) {
+	d := Random(300, Config{Seed: 1})
+	srcs := d.Sources()
+	if len(srcs) == 0 {
+		t.Fatal("no sources")
+	}
+	seen := map[int]bool{}
+	for _, s := range srcs {
+		if d.InDeg[s] != 0 {
+			t.Fatalf("source %d has in-degree %d", s, d.InDeg[s])
+		}
+		seen[s] = true
+	}
+	for v := 0; v < d.N; v++ {
+		if d.InDeg[v] == 0 && !seen[v] {
+			t.Fatalf("node %d with in-degree 0 missing from Sources", v)
+		}
+	}
+	// Node 0 can never have predecessors.
+	if !seen[0] {
+		t.Fatal("node 0 must be a source")
+	}
+}
+
+func TestEmptyAndTiny(t *testing.T) {
+	d := Random(0, Config{})
+	if d.N != 0 || d.NumEdges() != 0 {
+		t.Fatal("empty graph malformed")
+	}
+	d1 := Random(1, Config{Seed: 9})
+	if d1.NumEdges() != 0 || len(d1.Sources()) != 1 {
+		t.Fatal("single-node graph malformed")
+	}
+}
+
+// Property: in/out degree sums both equal the edge count, for any size,
+// bounds, and seed.
+func TestQuickDegreeAccounting(t *testing.T) {
+	f := func(seed int64, sz uint16, maxIn, maxOut uint8) bool {
+		n := int(sz % 512)
+		d := Random(n, Config{
+			MaxIn:  int(maxIn % 8),
+			MaxOut: int(maxOut % 8),
+			Seed:   seed,
+		})
+		var in, out int32
+		for v := 0; v < n; v++ {
+			in += d.InDeg[v]
+			out += d.OutDeg[v]
+		}
+		return int(in) == d.NumEdges() && int(out) == d.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

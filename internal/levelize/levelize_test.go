@@ -1,0 +1,150 @@
+package levelize
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevelsChain(t *testing.T) {
+	g := Adjacency{{1}, {2}, {3}, nil}
+	levels, err := Levels(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 4 {
+		t.Fatalf("len(levels) = %d, want 4", len(levels))
+	}
+	for k, lv := range levels {
+		if len(lv) != 1 || lv[0] != k {
+			t.Fatalf("levels = %v", levels)
+		}
+	}
+}
+
+func TestLevelsDiamond(t *testing.T) {
+	g := Adjacency{{1, 2}, {3}, {3}, nil}
+	levels, err := Levels(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 3 || len(levels[1]) != 2 {
+		t.Fatalf("levels = %v", levels)
+	}
+}
+
+func TestLevelsEmpty(t *testing.T) {
+	levels, err := Levels(Adjacency{})
+	if err != nil || len(levels) != 0 {
+		t.Fatalf("Levels(empty) = %v, %v", levels, err)
+	}
+}
+
+func TestLevelsDisconnected(t *testing.T) {
+	g := Adjacency{nil, nil, nil}
+	levels, err := Levels(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 1 || len(levels[0]) != 3 {
+		t.Fatalf("levels = %v", levels)
+	}
+}
+
+func TestCycleDetected(t *testing.T) {
+	g := Adjacency{{1}, {2}, {0}}
+	if _, err := Levels(g); err == nil {
+		t.Fatal("cycle not detected")
+	}
+	g2 := Adjacency{{1}, {2}, {1}} // cycle not at a source
+	if _, err := Levels(g2); err == nil {
+		t.Fatal("cycle behind source not detected")
+	}
+}
+
+func TestLevelOf(t *testing.T) {
+	g := Adjacency{{1, 2}, {3}, {3}, nil}
+	lv, err := LevelOf(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 1, 2}
+	for i := range want {
+		if lv[i] != want[i] {
+			t.Fatalf("LevelOf = %v, want %v", lv, want)
+		}
+	}
+}
+
+// randomDAG builds a seeded DAG where edges only go forward in index order.
+func randomDAG(n int, density float64, seed int64) Adjacency {
+	rng := rand.New(rand.NewSource(seed))
+	g := make(Adjacency, n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < density {
+				g[u] = append(g[u], v)
+			}
+		}
+	}
+	return g
+}
+
+// Property: for any random DAG, every edge crosses to a strictly higher
+// level, and every node appears in exactly one level.
+func TestQuickLevelsRespectEdges(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%60) + 1
+		g := randomDAG(n, 0.15, seed)
+		lv, err := LevelOf(g)
+		if err != nil {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			for _, v := range g[u] {
+				if lv[u] >= lv[v] {
+					return false
+				}
+			}
+		}
+		levels, _ := Levels(g)
+		count := 0
+		for _, l := range levels {
+			count += len(l)
+		}
+		return count == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: level numbers equal longest-path depth.
+func TestQuickLevelIsLongestPath(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%40) + 1
+		g := randomDAG(n, 0.2, seed)
+		lv, err := LevelOf(g)
+		if err != nil {
+			return false
+		}
+		// longest path by DP in index order (edges go forward).
+		depth := make([]int, n)
+		for u := 0; u < n; u++ {
+			for _, v := range g[u] {
+				if depth[u]+1 > depth[v] {
+					depth[v] = depth[u] + 1
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			if lv[i] != depth[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

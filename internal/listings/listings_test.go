@@ -1,0 +1,69 @@
+package listings
+
+import (
+	"testing"
+
+	"gotaskflow/internal/sloc"
+)
+
+func metrics(t *testing.T, l Listing) (loc, tokens int) {
+	t.Helper()
+	fm, err := sloc.AnalyzeSource(l.Name+".go", []byte(l.Source))
+	if err != nil {
+		t.Fatalf("listing %s does not parse: %v", l.Name, err)
+	}
+	return fm.LOC, sloc.CountTokens([]byte(l.Source))
+}
+
+func TestAllListingsParse(t *testing.T) {
+	for _, l := range append(Static(), Dynamic()...) {
+		loc, tokens := metrics(t, l)
+		if loc < 5 || tokens < 20 {
+			t.Fatalf("listing %s (%s) suspiciously small: %d LOC %d tokens", l.Name, l.Figure, loc, tokens)
+		}
+	}
+}
+
+func TestStaticOrderingMatchesPaper(t *testing.T) {
+	// Paper Listings 3-5 report 178 / 181 / 295 tokens and 17 / 22 / 37
+	// LOC for taskflow / openmp / tbb. The token ordering
+	// taskflow < openmp < tbb carries over exactly. In LOC, taskflow < tbb
+	// also holds; the Go translation of the OpenMP model compresses the
+	// pragma boilerplate into variadic In/Out calls, so its LOC lands
+	// below the C++ pragma count — an expected translation artifact that
+	// EXPERIMENTS.md documents.
+	ls := Static()
+	tfLOC, tfTok := metrics(t, ls[0])
+	_, ompTok := metrics(t, ls[1])
+	tbbLOC, tbbTok := metrics(t, ls[2])
+	if !(tfTok < ompTok && ompTok < tbbTok) {
+		t.Fatalf("token ordering broken: tf=%d omp=%d tbb=%d", tfTok, ompTok, tbbTok)
+	}
+	if tfLOC >= tbbLOC {
+		t.Fatalf("taskflow %d LOC not below TBB %d LOC", tfLOC, tbbLOC)
+	}
+}
+
+func TestDynamicOrderingMatchesPaper(t *testing.T) {
+	// Paper Listings 7-8: Cpp-Taskflow 20 LOC vs TBB 38 LOC.
+	ls := Dynamic()
+	tfLOC, tfTok := metrics(t, ls[0])
+	tbbLOC, tbbTok := metrics(t, ls[1])
+	if tfLOC >= tbbLOC {
+		t.Fatalf("dynamic tasking: taskflow %d LOC not below TBB %d LOC", tfLOC, tbbLOC)
+	}
+	if tfTok >= tbbTok {
+		t.Fatalf("dynamic tasking: taskflow %d tokens not below TBB %d tokens", tfTok, tbbTok)
+	}
+}
+
+func TestListingsMetadata(t *testing.T) {
+	if len(Static()) != 3 || len(Dynamic()) != 2 {
+		t.Fatal("listing counts wrong")
+	}
+	for _, l := range Static() {
+		if l.Figure != "Figure 2" {
+			t.Fatalf("static listing %s tagged %s", l.Name, l.Figure)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Package omp is a Go model of the OpenMP 4.5 tasking constructs the
+// Cpp-Taskflow paper uses as its weaker baseline (Listing 4): tasks created
+// inside a single region, ordered by depend(in:)/depend(out:) clauses over
+// named dependency tokens, plus the classic levelized parallel-for idiom
+// (paper Section II-D) that OpenMP-based timing analyzers rely on.
+//
+// The model reproduces OpenMP's structural properties honestly:
+//
+//   - Static annotation: tasks must be created in an order consistent with
+//     a sequential execution — a depend(in:) clause only matches writers
+//     created earlier, exactly like the pragma model, so declaring tasks
+//     out of topological order silently yields wrong dependencies (the
+//     pitfall the paper describes).
+//
+//   - Centralized bookkeeping: dependency resolution at task creation and
+//     completion takes a global lock, and ready tasks feed a single shared
+//     queue, modeling libgomp's centralized task bookkeeping that the
+//     paper's measurements expose on large irregular graphs.
+//
+//     p := omp.NewParallel(8)
+//     defer p.Close()
+//     p.Single(func(s *omp.Scope) {
+//     s.Task(f0, omp.Out("a0_a1"))
+//     s.Task(f1, omp.In("a0_a1"), omp.Out("a1_a2"))
+//     ...
+//     }) // implicit barrier at the end of the parallel region
+package omp
+
+import (
+	"sync"
+)
+
+// Dep is one depend(...) clause: a direction plus a token list.
+type Dep struct {
+	out    bool
+	tokens []string
+}
+
+// In returns a depend(in: tokens...) clause.
+func In(tokens ...string) Dep { return Dep{out: false, tokens: tokens} }
+
+// Out returns a depend(out: tokens...) clause. As in OpenMP, out also
+// carries inout semantics against earlier readers.
+func Out(tokens ...string) Dep { return Dep{out: true, tokens: tokens} }
+
+// Parallel is a thread team, the counterpart of an omp parallel region
+// factory. Teams are reusable across Single and ParallelFor invocations.
+type Parallel struct {
+	nthreads int
+
+	// shared task queue + global dependency bookkeeping lock (libgomp
+	// model: one task lock for the whole team).
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*ompTask
+	closed bool
+
+	outstanding int
+	idleCond    *sync.Cond
+
+	wg sync.WaitGroup
+}
+
+type ompTask struct {
+	fn    func()
+	nwait int // unfinished predecessors
+	succs []*ompTask
+	done  bool
+}
+
+// NewParallel creates a team of n threads (n <= 0 selects 1).
+func NewParallel(n int) *Parallel {
+	if n < 1 {
+		n = 1
+	}
+	p := &Parallel{nthreads: n}
+	p.cond = sync.NewCond(&p.mu)
+	p.idleCond = sync.NewCond(&p.mu)
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go p.run()
+	}
+	return p
+}
+
+// NumThreads returns the team size.
+func (p *Parallel) NumThreads() int { return p.nthreads }
+
+// Close terminates the team. All submitted work must have completed.
+func (p *Parallel) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}
+
+func (p *Parallel) run() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 && p.closed {
+			p.mu.Unlock()
+			return
+		}
+		t := p.queue[0]
+		p.queue[0] = nil
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+
+		t.fn()
+
+		// Completion: global lock to release successors (libgomp-style).
+		p.mu.Lock()
+		t.done = true
+		woke := false
+		for _, s := range t.succs {
+			s.nwait--
+			if s.nwait == 0 {
+				p.queue = append(p.queue, s)
+				woke = true
+			}
+		}
+		p.outstanding--
+		if p.outstanding == 0 {
+			p.idleCond.Broadcast()
+		}
+		p.mu.Unlock()
+		if woke {
+			p.cond.Broadcast()
+		}
+	}
+}
+
+// Scope is the task-creation context inside a Single region. It carries the
+// dependency-token table; it is only valid during the Single body, which
+// runs on the caller like a #pragma omp single block.
+type Scope struct {
+	p *Parallel
+	// token -> last writer and readers since that write
+	lastWriter map[string]*ompTask
+	readers    map[string][]*ompTask
+	created    int
+}
+
+// Single runs body as the task-producing region of the team and then waits
+// for every created task to complete (the implicit barrier at the end of
+// the parallel region in Listing 4).
+func (p *Parallel) Single(body func(*Scope)) {
+	s := &Scope{
+		p:          p,
+		lastWriter: map[string]*ompTask{},
+		readers:    map[string][]*ompTask{},
+	}
+	body(s)
+	p.mu.Lock()
+	for p.outstanding > 0 {
+		p.idleCond.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// Task creates a task with the given depend clauses. Matching OpenMP, an
+// in-clause orders the task after the last earlier-created writer of each
+// token; an out-clause additionally orders it after earlier readers and
+// makes it the new last writer.
+func (s *Scope) Task(fn func(), deps ...Dep) {
+	t := &ompTask{fn: fn}
+	p := s.p
+
+	p.mu.Lock()
+	for _, d := range deps {
+		for _, tok := range d.tokens {
+			if w := s.lastWriter[tok]; w != nil && !w.done {
+				w.succs = append(w.succs, t)
+				t.nwait++
+			}
+			if d.out {
+				for _, r := range s.readers[tok] {
+					if r != t && !r.done {
+						r.succs = append(r.succs, t)
+						t.nwait++
+					}
+				}
+				s.readers[tok] = nil
+				s.lastWriter[tok] = t
+			} else {
+				s.readers[tok] = append(s.readers[tok], t)
+			}
+		}
+	}
+	p.outstanding++
+	s.created++
+	ready := t.nwait == 0
+	if ready {
+		p.queue = append(p.queue, t)
+	}
+	p.mu.Unlock()
+	if ready {
+		p.cond.Signal()
+	}
+}
+
+// NumTasks returns the number of tasks created in this scope so far.
+func (s *Scope) NumTasks() int { return s.created }
+
+// ParallelFor runs fn over [0, n) with static chunking across the team and
+// an implicit barrier at the end — the "#pragma omp parallel for" idiom
+// that levelized timing analyzers apply level by level (paper Section
+// II-D). chunk <= 0 selects n/nthreads rounding up.
+func (p *Parallel) ParallelFor(n int, chunk int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = (n + p.nthreads - 1) / p.nthreads
+	}
+	var wg sync.WaitGroup
+	for beg := 0; beg < n; beg += chunk {
+		end := beg + chunk
+		if end > n {
+			end = n
+		}
+		beg := beg
+		wg.Add(1)
+		t := &ompTask{fn: func() {
+			defer wg.Done()
+			for i := beg; i < end; i++ {
+				fn(i)
+			}
+		}}
+		p.mu.Lock()
+		p.outstanding++
+		p.queue = append(p.queue, t)
+		p.mu.Unlock()
+		p.cond.Signal()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,223 @@
+package omp
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+type trace struct {
+	mu  sync.Mutex
+	pos map[string]int
+	n   int
+}
+
+func newTrace() *trace { return &trace{pos: map[string]int{}} }
+
+func (tr *trace) hit(name string) func() {
+	return func() {
+		tr.mu.Lock()
+		tr.pos[name] = tr.n
+		tr.n++
+		tr.mu.Unlock()
+	}
+}
+
+func (tr *trace) before(t *testing.T, a, b string) {
+	t.Helper()
+	pa, oka := tr.pos[a]
+	pb, okb := tr.pos[b]
+	if !oka || !okb || pa >= pb {
+		t.Fatalf("want %s before %s; pos=%v", a, b, tr.pos)
+	}
+}
+
+func TestListing4StaticGraph(t *testing.T) {
+	// The Figure 2 graph exactly as the paper's OpenMP Listing 4 writes
+	// it: tasks declared in sequential-consistent order with depend
+	// clauses on edge tokens.
+	p := NewParallel(4)
+	defer p.Close()
+	tr := newTrace()
+	p.Single(func(s *Scope) {
+		s.Task(tr.hit("a0"), Out("a0_a1"))
+		s.Task(tr.hit("b0"), Out("b0_b1"))
+		s.Task(tr.hit("a1"), In("a0_a1"), Out("a1_a2", "a1_b2"))
+		s.Task(tr.hit("b1"), In("b0_b1"), Out("b1_b2", "b1_a2"))
+		s.Task(tr.hit("a2"), In("a1_a2", "b1_a2"), Out("a2_a3"))
+		s.Task(tr.hit("b2"), In("a1_b2", "b1_b2"), Out("b2_a3"))
+		s.Task(tr.hit("a3"), In("a2_a3", "b2_a3"))
+	})
+	for _, e := range [][2]string{
+		{"a0", "a1"}, {"a1", "a2"}, {"a1", "b2"}, {"a2", "a3"},
+		{"b0", "b1"}, {"b1", "b2"}, {"b1", "a2"}, {"b2", "a3"},
+	} {
+		tr.before(t, e[0], e[1])
+	}
+	if tr.n != 7 {
+		t.Fatalf("ran %d tasks, want 7", tr.n)
+	}
+}
+
+func TestSingleHasImplicitBarrier(t *testing.T) {
+	p := NewParallel(3)
+	defer p.Close()
+	var n atomic.Int64
+	p.Single(func(s *Scope) {
+		for i := 0; i < 100; i++ {
+			s.Task(func() { n.Add(1) })
+		}
+		if s.NumTasks() != 100 {
+			t.Errorf("NumTasks = %d", s.NumTasks())
+		}
+	})
+	if n.Load() != 100 {
+		t.Fatalf("barrier leaked: %d of 100 tasks done", n.Load())
+	}
+}
+
+func TestOutAfterInAntiDependency(t *testing.T) {
+	// A writer with depend(out:) must wait for earlier readers of the
+	// token (anti-dependency), matching OpenMP semantics.
+	p := NewParallel(4)
+	defer p.Close()
+	tr := newTrace()
+	p.Single(func(s *Scope) {
+		s.Task(tr.hit("w1"), Out("x"))
+		s.Task(tr.hit("r1"), In("x"))
+		s.Task(tr.hit("r2"), In("x"))
+		s.Task(tr.hit("w2"), Out("x"))
+		s.Task(tr.hit("r3"), In("x"))
+	})
+	tr.before(t, "w1", "r1")
+	tr.before(t, "w1", "r2")
+	tr.before(t, "r1", "w2")
+	tr.before(t, "r2", "w2")
+	tr.before(t, "w2", "r3")
+}
+
+func TestDeclarationOrderMatters(t *testing.T) {
+	// The static-annotation pitfall from the paper: an in-clause declared
+	// BEFORE its writer does not see it, so the "dependency" is silently
+	// absent. We assert the model reproduces that behaviour.
+	p := NewParallel(2)
+	defer p.Close()
+	gate := make(chan struct{})
+	var readerRanFirst atomic.Bool
+	p.Single(func(s *Scope) {
+		s.Task(func() { readerRanFirst.Store(true) }, In("x")) // no writer yet
+		s.Task(func() { <-gate }, Out("x"))
+		close(gate)
+	})
+	if !readerRanFirst.Load() {
+		t.Fatal("reader should have run immediately: no earlier writer existed")
+	}
+}
+
+func TestChainThroughTokens(t *testing.T) {
+	p := NewParallel(4)
+	defer p.Close()
+	count := 0 // data race unless the chain is sequential
+	p.Single(func(s *Scope) {
+		for i := 0; i < 500; i++ {
+			s.Task(func() { count++ }, Out("chain")) // out-after-out chain
+		}
+	})
+	if count != 500 {
+		t.Fatalf("count = %d, want 500 (out-after-out must serialize)", count)
+	}
+}
+
+func TestIndependentTasksRunConcurrently(t *testing.T) {
+	// Two independent tasks rendezvous with each other: this only
+	// completes if the team really runs them concurrently.
+	p := NewParallel(2)
+	defer p.Close()
+	a2b := make(chan struct{})
+	b2a := make(chan struct{})
+	p.Single(func(s *Scope) {
+		s.Task(func() { close(a2b); <-b2a })
+		s.Task(func() { <-a2b; close(b2a) })
+	})
+}
+
+func TestParallelFor(t *testing.T) {
+	p := NewParallel(4)
+	defer p.Close()
+	hits := make([]atomic.Int32, 1000)
+	p.ParallelFor(1000, 0, func(i int) { hits[i].Add(1) })
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d hit %d times", i, hits[i].Load())
+		}
+	}
+}
+
+func TestParallelForChunked(t *testing.T) {
+	p := NewParallel(3)
+	defer p.Close()
+	var sum atomic.Int64
+	p.ParallelFor(100, 7, func(i int) { sum.Add(int64(i)) })
+	if sum.Load() != 99*100/2 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+}
+
+func TestParallelForEmpty(t *testing.T) {
+	p := NewParallel(2)
+	defer p.Close()
+	p.ParallelFor(0, 0, func(int) { t.Error("ran on empty range") })
+}
+
+func TestParallelForBarrier(t *testing.T) {
+	// ParallelFor must not return until all iterations complete.
+	p := NewParallel(4)
+	defer p.Close()
+	for round := 0; round < 20; round++ {
+		var n atomic.Int64
+		p.ParallelFor(64, 1, func(int) { n.Add(1) })
+		if n.Load() != 64 {
+			t.Fatalf("round %d: %d of 64 iterations done at return", round, n.Load())
+		}
+	}
+}
+
+func TestReuseTeamAcrossRegions(t *testing.T) {
+	p := NewParallel(2)
+	defer p.Close()
+	var n atomic.Int64
+	for r := 0; r < 10; r++ {
+		p.Single(func(s *Scope) {
+			s.Task(func() { n.Add(1) }, Out("t"))
+			s.Task(func() { n.Add(1) }, In("t"))
+		})
+	}
+	if n.Load() != 20 {
+		t.Fatalf("ran %d tasks, want 20", n.Load())
+	}
+	if p.NumThreads() != 2 {
+		t.Fatalf("NumThreads = %d", p.NumThreads())
+	}
+}
+
+func TestLevelizedBarrierPattern(t *testing.T) {
+	// The Section II-D idiom: level-by-level ParallelFor with strictly
+	// increasing level stamps.
+	p := NewParallel(4)
+	defer p.Close()
+	levels := [][]int{{0, 1}, {2, 3, 4}, {5}}
+	stamp := make([]int, 6)
+	step := 0
+	for _, lv := range levels {
+		lv := lv
+		step++
+		s := step
+		p.ParallelFor(len(lv), 1, func(i int) { stamp[lv[i]] = s })
+	}
+	want := []int{1, 1, 2, 2, 2, 3}
+	for i := range want {
+		if stamp[i] != want[i] {
+			t.Fatalf("stamp = %v, want %v", stamp, want)
+		}
+	}
+}

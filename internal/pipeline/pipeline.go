@@ -1,0 +1,266 @@
+// Package pipeline implements a task-parallel pipeline scheduling
+// framework in the style of tf::Pipeline — the pattern the Cpp-Taskflow
+// line of work grew into for token-based streaming parallelism (and the
+// generalization of the paper's Figure-11 DNN pipeline).
+//
+// A pipeline is a row of pipes (stages), each Serial (tokens pass through
+// in strict order, one at a time) or Parallel (any number of tokens in
+// flight), executed over a fixed number of lines — the maximum number of
+// tokens processed concurrently. The first pipe must be Serial: it
+// generates the token sequence and decides when to stop.
+//
+// Scheduling uses the classic (line × pipe) join-counter matrix: cell
+// (l, p) becomes ready when cell (l, p-1) finishes (its token advances)
+// and, for a Serial pipe, when cell (l-1, p) finishes (token order across
+// lines); counters re-arm as lines wrap around for subsequent tokens.
+package pipeline
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"gotaskflow/internal/executor"
+)
+
+// Type classifies a pipe.
+type Type uint8
+
+const (
+	// Serial pipes process tokens one at a time in token order.
+	Serial Type = iota
+	// Parallel pipes process any number of tokens concurrently.
+	Parallel
+)
+
+// Pipeflow carries the per-invocation state handed to a pipe callable,
+// mirroring tf::Pipeflow.
+type Pipeflow struct {
+	line  int
+	pipe  int
+	token int64
+	stop  bool
+}
+
+// Line returns the line (row) this invocation runs on.
+func (pf *Pipeflow) Line() int { return pf.line }
+
+// Pipe returns the pipe (stage) index.
+func (pf *Pipeflow) Pipe() int { return pf.pipe }
+
+// Token returns the token sequence number.
+func (pf *Pipeflow) Token() int64 { return pf.token }
+
+// Stop ends token generation. Only meaningful in the first pipe; the
+// stopping token itself is not propagated to later pipes.
+func (pf *Pipeflow) Stop() { pf.stop = true }
+
+// Pipe couples a type with a callable.
+type Pipe struct {
+	Type Type
+	Fn   func(*Pipeflow)
+}
+
+// Pipeline schedules tokens through pipes over a fixed set of lines.
+// A Pipeline is single-shot: build, Run once, inspect.
+type Pipeline struct {
+	exec  *executor.Executor
+	pipes []Pipe
+	lines int
+
+	joins       [][]atomic.Int32 // [line][pipe]
+	stopped     atomic.Bool
+	nextToken   atomic.Int64
+	processed   atomic.Int64 // tokens that completed the last pipe
+	outstanding atomic.Int64 // scheduled-but-unfinished cells
+	done        chan struct{}
+	ran         atomic.Bool
+	panicErr    atomic.Pointer[pipePanic]
+}
+
+// New builds a pipeline over e with the given number of lines. The first
+// pipe must be Serial and at least one pipe is required.
+func New(e *executor.Executor, lines int, pipes ...Pipe) *Pipeline {
+	if len(pipes) == 0 {
+		panic("pipeline: need at least one pipe")
+	}
+	if pipes[0].Type != Serial {
+		panic("pipeline: the first pipe must be Serial")
+	}
+	if lines < 1 {
+		lines = 1
+	}
+	p := &Pipeline{
+		exec:  e,
+		pipes: pipes,
+		lines: lines,
+		done:  make(chan struct{}),
+	}
+	p.joins = make([][]atomic.Int32, lines)
+	for l := 0; l < lines; l++ {
+		p.joins[l] = make([]atomic.Int32, len(pipes))
+		for q := range p.joins[l] {
+			p.joins[l][q].Store(p.initialJoin(l, q))
+		}
+	}
+	return p
+}
+
+// initialJoin computes the dependency count of cell (l, q) for its first
+// activation; rearmJoin applies on every wrap-around thereafter.
+func (p *Pipeline) initialJoin(l, q int) int32 {
+	if q == 0 {
+		if l == 0 {
+			return 0 // the very first token starts immediately
+		}
+		return 1 // waits for (l-1, 0); no previous round on this line yet
+	}
+	if p.pipes[q].Type == Serial && l > 0 {
+		return 2 // (l, q-1) and (l-1, q)
+	}
+	// Parallel pipe, or serial pipe's first passage on line 0.
+	return 1
+}
+
+// rearmJoin is the steady-state dependency count of cell (l, q).
+func (p *Pipeline) rearmJoin(q int) int32 {
+	if q == 0 {
+		return 2 // previous round's last pipe on this line + (l-1, 0)
+	}
+	if p.pipes[q].Type == Serial {
+		return 2
+	}
+	return 1
+}
+
+// Run processes tokens until the first pipe calls Stop, then drains the
+// in-flight tokens and returns the number that completed every pipe. Run
+// may be called once.
+func (p *Pipeline) Run() int64 {
+	if p.ran.Swap(true) {
+		panic("pipeline: Run called twice")
+	}
+	p.outstanding.Store(1)
+	// The head cell is submitted directly rather than through signal, so
+	// its counter is re-armed here for the wrap-around rounds.
+	p.joins[0][0].Store(p.rearmJoin(0))
+	p.exec.Submit(p.cellTask(0, 0))
+	<-p.done
+	return p.processed.Load()
+}
+
+func (p *Pipeline) cellTask(l, q int) executor.Task {
+	return func(ctx executor.Context) { p.runCell(ctx, l, q) }
+}
+
+// signal decrements cell (l, q)'s join counter and schedules it on zero,
+// re-arming the counter for the next round.
+func (p *Pipeline) signal(ctx executor.Context, l, q int, cached bool) {
+	if p.joins[l][q].Add(-1) != 0 {
+		return
+	}
+	p.joins[l][q].Store(p.rearmJoin(q))
+	p.outstanding.Add(1)
+	if cached {
+		ctx.SubmitCached(p.cellTask(l, q))
+	} else {
+		ctx.Submit(p.cellTask(l, q))
+	}
+}
+
+func (p *Pipeline) runCell(ctx executor.Context, l, q int) {
+	last := len(p.pipes) - 1
+	nextLine := (l + 1) % p.lines
+
+	if q == 0 {
+		// Token generation at the serial head.
+		if p.stopped.Load() {
+			// Stopped: do not generate or propagate; token order along
+			// the first pipe also ends here.
+			p.retire()
+			return
+		}
+		pf := &Pipeflow{line: l, pipe: 0, token: p.nextToken.Add(1) - 1}
+		p.invoke(&p.pipes[0], pf)
+		if pf.stop {
+			p.stopped.Store(true)
+			p.retire()
+			return
+		}
+		// Hand token order to the next line's head, then advance this
+		// token to pipe 1 (or complete if single-pipe).
+		p.signal(ctx, nextLine, 0, false)
+		if last == 0 {
+			p.processed.Add(1)
+			p.signal(ctx, l, 0, true) // line wraps directly
+		} else {
+			p.signal(ctx, l, 1, true)
+		}
+		p.retire()
+		return
+	}
+
+	token := p.nextTokenOnLine(l)
+	pf := &Pipeflow{line: l, pipe: q, token: token}
+	p.invoke(&p.pipes[q], pf)
+
+	if p.pipes[q].Type == Serial {
+		p.signal(ctx, nextLine, q, false)
+	}
+	if q == last {
+		p.processed.Add(1)
+		p.signal(ctx, l, 0, true) // line becomes free: wrap to the head
+	} else {
+		p.signal(ctx, l, q+1, true)
+	}
+	p.retire()
+}
+
+// nextTokenOnLine reconstructs the token currently traversing line l: the
+// line processes tokens l, l+L, l+2L, ... and exactly one is in flight.
+func (p *Pipeline) nextTokenOnLine(l int) int64 {
+	// rounds completed on this line = tokens this line has fully retired;
+	// derive from the line's position in the global sequence.
+	// The token at line l is the largest t = l (mod lines) with t <
+	// nextToken; since each line has one token in flight, that is the
+	// most recent generation on this line.
+	n := p.nextToken.Load()
+	r := (n - 1 - int64(l)) / int64(p.lines)
+	return int64(l) + r*int64(p.lines)
+}
+
+func (p *Pipeline) invoke(pipe *Pipe, pf *Pipeflow) {
+	defer func() {
+		if r := recover(); r != nil {
+			// A panicking pipe stops the pipeline; in-flight work drains.
+			p.stopped.Store(true)
+			p.panicErr.CompareAndSwap(nil, &pipePanic{fmt.Sprint(r)})
+		}
+	}()
+	pipe.Fn(pf)
+}
+
+// retire decrements the outstanding-cell count and completes the run at
+// quiescence.
+func (p *Pipeline) retire() {
+	if p.outstanding.Add(-1) == 0 {
+		close(p.done)
+	}
+}
+
+type pipePanic struct{ msg string }
+
+func (e *pipePanic) Error() string { return "pipeline: pipe panicked: " + e.msg }
+
+// Err returns the first pipe panic converted to an error, or nil.
+func (p *Pipeline) Err() error {
+	if v := p.panicErr.Load(); v != nil {
+		return v
+	}
+	return nil
+}
+
+// NumLines returns the line count.
+func (p *Pipeline) NumLines() int { return p.lines }
+
+// NumPipes returns the pipe count.
+func (p *Pipeline) NumPipes() int { return len(p.pipes) }

@@ -1,0 +1,310 @@
+package pipeline
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"gotaskflow/internal/executor"
+)
+
+// recorder tracks, per pipe, the order tokens were processed in.
+type recorder struct {
+	mu    sync.Mutex
+	order [][]int64
+}
+
+func newRecorder(pipes int) *recorder {
+	return &recorder{order: make([][]int64, pipes)}
+}
+
+func (r *recorder) hit(pipe int, token int64) {
+	r.mu.Lock()
+	r.order[pipe] = append(r.order[pipe], token)
+	r.mu.Unlock()
+}
+
+// verify checks each pipe saw exactly tokens 0..n-1, and serial pipes saw
+// them in ascending order.
+func (r *recorder) verify(t *testing.T, n int64, types []Type) {
+	t.Helper()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for p, seq := range r.order {
+		if int64(len(seq)) != n {
+			t.Fatalf("pipe %d processed %d tokens, want %d (%v)", p, len(seq), n, seq)
+		}
+		seen := map[int64]bool{}
+		for i, tok := range seq {
+			if tok < 0 || tok >= n {
+				t.Fatalf("pipe %d: token %d out of range", p, tok)
+			}
+			if seen[tok] {
+				t.Fatalf("pipe %d: token %d processed twice", p, tok)
+			}
+			seen[tok] = true
+			if types[p] == Serial && int64(i) != tok {
+				t.Fatalf("serial pipe %d: position %d got token %d (order broken: %v)", p, i, tok, seq)
+			}
+		}
+	}
+}
+
+func runPipeline(t *testing.T, workers, lines int, n int64, types []Type) *recorder {
+	t.Helper()
+	e := executor.New(workers)
+	defer e.Shutdown()
+	rec := newRecorder(len(types))
+	pipes := make([]Pipe, len(types))
+	for i, ty := range types {
+		i, ty := i, ty
+		pipes[i] = Pipe{Type: ty, Fn: func(pf *Pipeflow) {
+			if i == 0 {
+				if pf.Token() >= n {
+					pf.Stop()
+					return
+				}
+			}
+			rec.hit(i, pf.Token())
+		}}
+	}
+	p := New(e, lines, pipes...)
+	if p.NumLines() != lines || p.NumPipes() != len(types) {
+		t.Fatal("pipeline metadata wrong")
+	}
+	got := p.Run()
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("Run() = %d tokens, want %d", got, n)
+	}
+	rec.verify(t, n, types)
+	return rec
+}
+
+func TestSingleLineAllSerial(t *testing.T) {
+	runPipeline(t, 2, 1, 50, []Type{Serial, Serial, Serial})
+}
+
+func TestMultiLineAllSerial(t *testing.T) {
+	runPipeline(t, 2, 4, 100, []Type{Serial, Serial, Serial})
+}
+
+func TestParallelMiddlePipe(t *testing.T) {
+	runPipeline(t, 4, 4, 200, []Type{Serial, Parallel, Serial})
+}
+
+func TestAllParallelAfterHead(t *testing.T) {
+	runPipeline(t, 4, 8, 300, []Type{Serial, Parallel, Parallel, Parallel})
+}
+
+func TestSinglePipePipeline(t *testing.T) {
+	runPipeline(t, 2, 3, 40, []Type{Serial})
+}
+
+func TestZeroTokens(t *testing.T) {
+	e := executor.New(2)
+	defer e.Shutdown()
+	p := New(e, 2,
+		Pipe{Serial, func(pf *Pipeflow) { pf.Stop() }},
+		Pipe{Serial, func(pf *Pipeflow) { t.Error("second pipe ran with zero tokens") }},
+	)
+	if got := p.Run(); got != 0 {
+		t.Fatalf("Run() = %d, want 0", got)
+	}
+}
+
+func TestPipelineOverlapsLines(t *testing.T) {
+	// With a Parallel middle pipe and multiple lines, at least two tokens
+	// must be inside the middle pipe simultaneously at some point.
+	e := executor.New(2)
+	defer e.Shutdown()
+	var inFlight, peak atomic.Int64
+	const n = 64
+	p := New(e, 4,
+		Pipe{Serial, func(pf *Pipeflow) {
+			if pf.Token() >= n {
+				pf.Stop()
+			}
+		}},
+		Pipe{Parallel, func(pf *Pipeflow) {
+			c := inFlight.Add(1)
+			for {
+				pk := peak.Load()
+				if c <= pk || peak.CompareAndSwap(pk, c) {
+					break
+				}
+			}
+			for i := 0; i < 20000; i++ {
+				_ = i * i
+			}
+			inFlight.Add(-1)
+		}},
+		Pipe{Serial, func(*Pipeflow) {}},
+	)
+	if got := p.Run(); got != n {
+		t.Fatalf("Run() = %d", got)
+	}
+	if peak.Load() < 2 {
+		t.Logf("note: peak parallel-pipe occupancy %d (timing dependent on 2 cores)", peak.Load())
+	}
+}
+
+func TestStopTokenNotProcessed(t *testing.T) {
+	e := executor.New(2)
+	defer e.Shutdown()
+	var headCalls, bodyCalls atomic.Int64
+	p := New(e, 3,
+		Pipe{Serial, func(pf *Pipeflow) {
+			headCalls.Add(1)
+			if pf.Token() >= 10 {
+				pf.Stop()
+			}
+		}},
+		Pipe{Serial, func(*Pipeflow) { bodyCalls.Add(1) }},
+	)
+	if got := p.Run(); got != 10 {
+		t.Fatalf("Run() = %d", got)
+	}
+	if bodyCalls.Load() != 10 {
+		t.Fatalf("body saw %d tokens, want 10 (stop token must not propagate)", bodyCalls.Load())
+	}
+	if headCalls.Load() != 11 {
+		t.Fatalf("head invoked %d times, want 11 (10 tokens + stop)", headCalls.Load())
+	}
+}
+
+func TestPipeflowMetadata(t *testing.T) {
+	e := executor.New(2)
+	defer e.Shutdown()
+	var bad atomic.Bool
+	p := New(e, 2,
+		Pipe{Serial, func(pf *Pipeflow) {
+			if pf.Token() >= 8 {
+				pf.Stop()
+				return
+			}
+			if pf.Pipe() != 0 || pf.Line() < 0 || pf.Line() >= 2 {
+				bad.Store(true)
+			}
+		}},
+		Pipe{Serial, func(pf *Pipeflow) {
+			if pf.Pipe() != 1 {
+				bad.Store(true)
+			}
+		}},
+	)
+	p.Run()
+	if bad.Load() {
+		t.Fatal("pipeflow metadata wrong")
+	}
+}
+
+func TestPipePanicStopsAndReports(t *testing.T) {
+	e := executor.New(2)
+	defer e.Shutdown()
+	p := New(e, 2,
+		Pipe{Serial, func(pf *Pipeflow) {
+			if pf.Token() >= 100 {
+				pf.Stop()
+			}
+		}},
+		Pipe{Serial, func(pf *Pipeflow) {
+			if pf.Token() == 3 {
+				panic("stage blew up")
+			}
+		}},
+	)
+	p.Run() // must terminate
+	if p.Err() == nil {
+		t.Fatal("pipe panic not reported")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	e := executor.New(1)
+	defer e.Shutdown()
+	for name, fn := range map[string]func(){
+		"noPipes":      func() { New(e, 1) },
+		"parallelHead": func() { New(e, 1, Pipe{Parallel, func(*Pipeflow) {}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	p := New(e, 0, Pipe{Serial, func(pf *Pipeflow) { pf.Stop() }})
+	if p.NumLines() != 1 {
+		t.Fatal("lines not clamped to 1")
+	}
+	p.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Run did not panic")
+		}
+	}()
+	p.Run()
+}
+
+// Property: any mix of serial/parallel pipes over any line count
+// processes each token exactly once per pipe and keeps serial order.
+func TestQuickPipelineCorrectness(t *testing.T) {
+	f := func(lineSel, pipeSel, tokSel uint8, mask uint16) bool {
+		lines := int(lineSel%6) + 1
+		numPipes := int(pipeSel%4) + 1
+		n := int64(tokSel % 64)
+		types := make([]Type, numPipes)
+		types[0] = Serial
+		for i := 1; i < numPipes; i++ {
+			if mask&(1<<i) != 0 {
+				types[i] = Parallel
+			}
+		}
+		e := executor.New(2)
+		defer e.Shutdown()
+		rec := newRecorder(numPipes)
+		pipes := make([]Pipe, numPipes)
+		for i := range pipes {
+			i := i
+			pipes[i] = Pipe{Type: types[i], Fn: func(pf *Pipeflow) {
+				if i == 0 && pf.Token() >= n {
+					pf.Stop()
+					return
+				}
+				rec.hit(i, pf.Token())
+			}}
+		}
+		p := New(e, lines, pipes...)
+		if p.Run() != n {
+			return false
+		}
+		// Inline verify (no *testing.T in quick property).
+		rec.mu.Lock()
+		defer rec.mu.Unlock()
+		for pi, seq := range rec.order {
+			if int64(len(seq)) != n {
+				return false
+			}
+			seen := map[int64]bool{}
+			for idx, tok := range seq {
+				if seen[tok] {
+					return false
+				}
+				seen[tok] = true
+				if types[pi] == Serial && int64(idx) != tok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

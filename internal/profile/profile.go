@@ -1,0 +1,97 @@
+// Package profile samples executor occupancy over time, reproducing the
+// CPU-utilization profile of the Cpp-Taskflow paper's Figure 10: the
+// number of busy workers is polled on a fixed interval while a workload
+// runs, yielding a utilization-vs-time series per worker-count
+// configuration.
+package profile
+
+import (
+	"sync"
+	"time"
+
+	"gotaskflow/internal/executor"
+)
+
+// Sample is one utilization observation.
+type Sample struct {
+	At   time.Duration // offset from Start
+	Busy int           // workers inside a task at the sample instant
+}
+
+// Sampler polls an executor's busy-worker count on an interval.
+type Sampler struct {
+	exec     *executor.Executor
+	interval time.Duration
+
+	mu      sync.Mutex
+	samples []Sample
+	stop    chan struct{}
+	done    chan struct{}
+	start   time.Time
+}
+
+// NewSampler creates a sampler polling e every interval (minimum 100µs).
+func NewSampler(e *executor.Executor, interval time.Duration) *Sampler {
+	if interval < 100*time.Microsecond {
+		interval = 100 * time.Microsecond
+	}
+	return &Sampler{exec: e, interval: interval}
+}
+
+// Start begins sampling in a background goroutine.
+func (s *Sampler) Start() {
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	s.start = time.Now()
+	go func() {
+		defer close(s.done)
+		ticker := time.NewTicker(s.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-ticker.C:
+				sample := Sample{At: time.Since(s.start), Busy: s.exec.BusyWorkers()}
+				s.mu.Lock()
+				s.samples = append(s.samples, sample)
+				s.mu.Unlock()
+			}
+		}
+	}()
+}
+
+// Stop ends sampling and returns the collected series.
+func (s *Sampler) Stop() []Sample {
+	close(s.stop)
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Sample, len(s.samples))
+	copy(out, s.samples)
+	return out
+}
+
+// MeanUtilization returns the average busy fraction (0..1) of the series
+// for an executor with the given worker count.
+func MeanUtilization(samples []Sample, workers int) float64 {
+	if len(samples) == 0 || workers == 0 {
+		return 0
+	}
+	var total float64
+	for _, s := range samples {
+		total += float64(s.Busy)
+	}
+	return total / float64(len(samples)) / float64(workers)
+}
+
+// PeakBusy returns the maximum busy-worker count observed.
+func PeakBusy(samples []Sample) int {
+	peak := 0
+	for _, s := range samples {
+		if s.Busy > peak {
+			peak = s.Busy
+		}
+	}
+	return peak
+}

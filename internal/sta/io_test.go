@@ -1,0 +1,70 @@
+package sta
+
+import (
+	"strings"
+	"testing"
+
+	"gotaskflow/internal/celllib"
+	"gotaskflow/internal/circuit"
+)
+
+// TestTimingSurvivesVerilogAndLibertyRoundTrip runs full STA on a
+// generated circuit, serializes the netlist to Verilog and the library to
+// Liberty, reads both back, re-runs STA and compares every timing quantity
+// by gate name — the end-to-end interchange fidelity a real timing flow
+// depends on.
+func TestTimingSurvivesVerilogAndLibertyRoundTrip(t *testing.T) {
+	orig := circuit.Generate("rt", circuit.Config{Gates: 600, Seed: 23})
+	tmOrig := New(orig, clock)
+	tmOrig.FullUpdateSequential()
+
+	// Library through Liberty.
+	var libText strings.Builder
+	if err := orig.Lib.WriteLiberty(&libText, "rt45"); err != nil {
+		t.Fatal(err)
+	}
+	lib2, err := celllib.ParseLiberty(strings.NewReader(libText.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Netlist through Verilog, resolved against the round-tripped library.
+	var vText strings.Builder
+	if err := orig.WriteVerilog(&vText); err != nil {
+		t.Fatal(err)
+	}
+	ckt2, err := circuit.ParseVerilog(strings.NewReader(vText.String()), lib2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm2 := New(ckt2, clock)
+	tm2.FullUpdateSequential()
+
+	// Compare by gate name: node ids may be permuted by re-indexing.
+	idByName := map[string]int{}
+	for v, g := range ckt2.Gates {
+		idByName[g.Name] = v
+	}
+	for v, g := range orig.Gates {
+		v2, ok := idByName[g.Name]
+		if !ok {
+			t.Fatalf("gate %s missing after round-trip", g.Name)
+		}
+		for tr := 0; tr < ntr; tr++ {
+			if tmOrig.Arrival[tr][v] != tm2.Arrival[tr][v2] {
+				t.Fatalf("gate %s arrival[%d]: %v vs %v", g.Name, tr, tmOrig.Arrival[tr][v], tm2.Arrival[tr][v2])
+			}
+			if tmOrig.Slack[tr][v] != tm2.Slack[tr][v2] {
+				t.Fatalf("gate %s slack[%d] differs", g.Name, tr)
+			}
+			if tmOrig.EarlySlack[tr][v] != tm2.EarlySlack[tr][v2] {
+				t.Fatalf("gate %s early slack[%d] differs", g.Name, tr)
+			}
+		}
+	}
+	ws1, _ := tmOrig.WorstSlack()
+	ws2, _ := tm2.WorstSlack()
+	if ws1 != ws2 {
+		t.Fatalf("worst slack %v vs %v", ws1, ws2)
+	}
+}

@@ -1,0 +1,145 @@
+package stav2
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gotaskflow/internal/circuit"
+	"gotaskflow/internal/executor"
+	"gotaskflow/internal/sta"
+)
+
+const clock = 2000.0
+
+func compare(t *testing.T, got, ref *sta.Timing, label string) {
+	t.Helper()
+	for v := range got.Ckt.Gates {
+		for tr := 0; tr < 2; tr++ {
+			if got.Arrival[tr][v] != ref.Arrival[tr][v] {
+				t.Fatalf("%s: arrival[%d][%d] = %v, want %v", label, tr, v, got.Arrival[tr][v], ref.Arrival[tr][v])
+			}
+			if got.Slew[tr][v] != ref.Slew[tr][v] {
+				t.Fatalf("%s: slew[%d][%d] mismatch", label, tr, v)
+			}
+			if got.Required[tr][v] != ref.Required[tr][v] {
+				t.Fatalf("%s: required[%d][%d] = %v, want %v", label, tr, v, got.Required[tr][v], ref.Required[tr][v])
+			}
+			if got.Slack[tr][v] != ref.Slack[tr][v] {
+				t.Fatalf("%s: slack[%d][%d] mismatch", label, tr, v)
+			}
+			if got.EarlyArrival[tr][v] != ref.EarlyArrival[tr][v] {
+				t.Fatalf("%s: early arrival[%d][%d] mismatch", label, tr, v)
+			}
+			if got.EarlySlack[tr][v] != ref.EarlySlack[tr][v] {
+				t.Fatalf("%s: early slack[%d][%d] mismatch", label, tr, v)
+			}
+		}
+	}
+}
+
+func TestFullUpdateMatchesSequential(t *testing.T) {
+	ckt := circuit.Generate("t", circuit.Config{Gates: 1500, Seed: 8})
+	tm := sta.New(ckt, clock)
+	a := New(tm, 4)
+	defer a.Close()
+	a.Run(tm.FullUpdate())
+
+	ref := sta.New(ckt, clock)
+	ref.FullUpdateSequential()
+	compare(t, tm, ref, "full")
+}
+
+func TestIncrementalMatchesSequential(t *testing.T) {
+	ckt := circuit.Generate("t", circuit.Config{Gates: 1000, Seed: 17})
+	tm := sta.New(ckt, clock)
+	a := New(tm, 4)
+	defer a.Close()
+	a.Run(tm.FullUpdate())
+
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 20; iter++ {
+		seeds := tm.RandomModifier(rng)
+		if len(seeds) == 0 {
+			continue
+		}
+		a.Run(tm.PrepareUpdate(seeds))
+		ref := sta.New(ckt, clock)
+		ref.FullUpdateSequential()
+		compare(t, tm, ref, "incremental")
+	}
+}
+
+func TestV1V2Agree(t *testing.T) {
+	// The paper's central claim setup: v1 and v2 compute identical timing.
+	ckt1 := circuit.Generate("t", circuit.Config{Gates: 800, Seed: 33})
+	ckt2 := circuit.Generate("t", circuit.Config{Gates: 800, Seed: 33})
+	tm2 := sta.New(ckt2, clock)
+	a2 := New(tm2, 2)
+	defer a2.Close()
+	a2.Run(tm2.FullUpdate())
+
+	ref := sta.New(ckt1, clock)
+	ref.FullUpdateSequential()
+	compare(t, tm2, ref, "v2-vs-seq")
+}
+
+func TestSharedExecutor(t *testing.T) {
+	e := executor.New(2)
+	defer e.Shutdown()
+	ckt := circuit.Generate("t", circuit.Config{Gates: 300, Seed: 3})
+	tm := sta.New(ckt, clock)
+	a := NewShared(tm, e)
+	a.Run(tm.FullUpdate())
+	if a.NumWorkers() != 2 {
+		t.Fatalf("NumWorkers = %d", a.NumWorkers())
+	}
+	ref := sta.New(ckt, clock)
+	ref.FullUpdateSequential()
+	compare(t, tm, ref, "shared")
+}
+
+func TestTaskflowDumpFigure8(t *testing.T) {
+	// The paper's Figure 8: the task dependency graph of a single timing
+	// update on the sample circuit.
+	ckt := circuit.Figure8()
+	tm := sta.New(ckt, clock)
+	a := New(tm, 2)
+	defer a.Close()
+	tf := a.Taskflow(tm.FullUpdate())
+	var sb strings.Builder
+	if err := tf.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`"inp1"`, `"u1"`, `"u4"`, `"f1:D"`, `"out"`, `"u1" -> "u4";`, `"fwd_bwd_barrier"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+	ref := sta.New(ckt, clock)
+	ref.FullUpdateSequential()
+	compare(t, tm, ref, "figure8")
+}
+
+func TestRepeatedIncrementalStress(t *testing.T) {
+	ckt := circuit.Generate("t", circuit.Config{Gates: 2000, Seed: 77})
+	tm := sta.New(ckt, clock)
+	a := New(tm, 2)
+	defer a.Close()
+	a.Run(tm.FullUpdate())
+	rng := rand.New(rand.NewSource(123))
+	for iter := 0; iter < 100; iter++ {
+		seeds := tm.RandomModifier(rng)
+		if len(seeds) == 0 {
+			continue
+		}
+		a.Run(tm.PrepareUpdate(seeds))
+	}
+	ref := sta.New(ckt, clock)
+	ref.FullUpdateSequential()
+	compare(t, tm, ref, "stress")
+}

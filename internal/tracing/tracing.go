@@ -1,0 +1,129 @@
+// Package tracing records per-worker task execution timelines from an
+// executor observer and exports them in the Chrome trace-event JSON format
+// (chrome://tracing, Perfetto), the role TFProf plays for Cpp-Taskflow:
+// visualizing where every worker spends its time without modifying user
+// code.
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"gotaskflow/internal/executor"
+)
+
+// Event is one completed task execution on a worker.
+type Event struct {
+	Worker int
+	Start  time.Duration // offset from profiler creation
+	End    time.Duration
+}
+
+// Profiler is an executor.Observer that records task execution spans.
+// Register it at executor construction:
+//
+//	p := tracing.NewProfiler()
+//	e := executor.New(4, executor.WithObserver(p))
+type Profiler struct {
+	epoch time.Time
+
+	mu     sync.Mutex
+	open   map[int]time.Duration // worker -> start offset
+	events []Event
+}
+
+var _ executor.Observer = (*Profiler)(nil)
+
+// NewProfiler creates an empty profiler; its epoch is the creation time.
+func NewProfiler() *Profiler {
+	return &Profiler{
+		epoch: time.Now(),
+		open:  map[int]time.Duration{},
+	}
+}
+
+// OnTaskStart implements executor.Observer.
+func (p *Profiler) OnTaskStart(worker int) {
+	now := time.Since(p.epoch)
+	p.mu.Lock()
+	p.open[worker] = now
+	p.mu.Unlock()
+}
+
+// OnTaskEnd implements executor.Observer.
+func (p *Profiler) OnTaskEnd(worker int) {
+	now := time.Since(p.epoch)
+	p.mu.Lock()
+	if start, ok := p.open[worker]; ok {
+		delete(p.open, worker)
+		p.events = append(p.events, Event{Worker: worker, Start: start, End: now})
+	}
+	p.mu.Unlock()
+}
+
+// NumEvents returns the number of completed task executions recorded.
+func (p *Profiler) NumEvents() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.events)
+}
+
+// Events returns a copy of the recorded spans.
+func (p *Profiler) Events() []Event {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Event, len(p.events))
+	copy(out, p.events)
+	return out
+}
+
+// Reset discards all recorded events.
+func (p *Profiler) Reset() {
+	p.mu.Lock()
+	p.open = map[int]time.Duration{}
+	p.events = nil
+	p.mu.Unlock()
+}
+
+// traceEvent is the Chrome trace-event wire format ("X" complete events).
+type traceEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// WriteChromeTrace exports the recorded spans as a Chrome trace-event JSON
+// array, one "thread" per worker.
+func (p *Profiler) WriteChromeTrace(w io.Writer) error {
+	evs := p.Events()
+	out := make([]traceEvent, 0, len(evs))
+	for i, e := range evs {
+		out = append(out, traceEvent{
+			Name: fmt.Sprintf("task#%d", i),
+			Cat:  "task",
+			Ph:   "X",
+			Ts:   float64(e.Start.Nanoseconds()) / 1e3,
+			Dur:  float64((e.End - e.Start).Nanoseconds()) / 1e3,
+			Pid:  0,
+			Tid:  e.Worker,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// TotalBusy returns the summed task execution time per worker.
+func (p *Profiler) TotalBusy() map[int]time.Duration {
+	totals := map[int]time.Duration{}
+	for _, e := range p.Events() {
+		totals[e.Worker] += e.End - e.Start
+	}
+	return totals
+}

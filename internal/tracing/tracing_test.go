@@ -1,0 +1,102 @@
+package tracing
+
+import (
+	"encoding/json"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gotaskflow/internal/core"
+	"gotaskflow/internal/executor"
+)
+
+func runTasks(t *testing.T, p *Profiler, n int) {
+	t.Helper()
+	e := executor.New(2, executor.WithObserver(p))
+	defer e.Shutdown()
+	tf := core.NewShared(e)
+	var count atomic.Int64
+	for i := 0; i < n; i++ {
+		tf.Emplace1(func() {
+			count.Add(1)
+			time.Sleep(100 * time.Microsecond)
+		})
+	}
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != int64(n) {
+		t.Fatalf("ran %d tasks", count.Load())
+	}
+}
+
+func TestProfilerRecordsAllTasks(t *testing.T) {
+	p := NewProfiler()
+	runTasks(t, p, 50)
+	if got := p.NumEvents(); got != 50 {
+		t.Fatalf("recorded %d events, want 50", got)
+	}
+	for _, e := range p.Events() {
+		if e.End < e.Start {
+			t.Fatal("event ends before it starts")
+		}
+		if e.Worker < 0 || e.Worker >= 2 {
+			t.Fatalf("bad worker id %d", e.Worker)
+		}
+		if e.End-e.Start < 50*time.Microsecond {
+			t.Fatalf("span %v too short for a 100µs task", e.End-e.Start)
+		}
+	}
+}
+
+func TestChromeTraceFormat(t *testing.T) {
+	p := NewProfiler()
+	runTasks(t, p, 10)
+	var sb strings.Builder
+	if err := p.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(events) != 10 {
+		t.Fatalf("trace has %d events, want 10", len(events))
+	}
+	for _, ev := range events {
+		if ev["ph"] != "X" || ev["cat"] != "task" {
+			t.Fatalf("malformed event: %v", ev)
+		}
+		if ev["dur"].(float64) <= 0 {
+			t.Fatal("non-positive duration")
+		}
+	}
+}
+
+func TestTotalBusyAndReset(t *testing.T) {
+	p := NewProfiler()
+	runTasks(t, p, 20)
+	totals := p.TotalBusy()
+	var sum time.Duration
+	for _, d := range totals {
+		sum += d
+	}
+	if sum < 20*50*time.Microsecond {
+		t.Fatalf("total busy %v implausibly small", sum)
+	}
+	p.Reset()
+	if p.NumEvents() != 0 {
+		t.Fatal("Reset did not clear events")
+	}
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	p := NewProfiler()
+	runTasks(t, p, 5)
+	evs := p.Events()
+	evs[0].Worker = 99
+	if p.Events()[0].Worker == 99 {
+		t.Fatal("Events exposes internal storage")
+	}
+}

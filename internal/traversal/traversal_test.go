@@ -1,0 +1,77 @@
+package traversal
+
+import (
+	"testing"
+
+	"gotaskflow/internal/graphgen"
+)
+
+func gen(n int, seed int64) *graphgen.DAG {
+	return graphgen.Random(n, graphgen.Config{MaxIn: 4, MaxOut: 4, Seed: seed})
+}
+
+func TestBackendsAgree(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 100, 1000} {
+		d := gen(n, int64(n))
+		want := Sequential(d, 16)
+		if got := Taskflow(d, 16, 4); got != want {
+			t.Fatalf("n=%d: Taskflow = %#x, want %#x", n, got, want)
+		}
+		if got := FlowGraph(d, 16, 4); got != want {
+			t.Fatalf("n=%d: FlowGraph = %#x, want %#x", n, got, want)
+		}
+		if got := OMP(d, 16, 4); got != want {
+			t.Fatalf("n=%d: OMP = %#x, want %#x", n, got, want)
+		}
+	}
+}
+
+func TestSingleWorker(t *testing.T) {
+	d := gen(500, 42)
+	want := Sequential(d, 8)
+	if got := Taskflow(d, 8, 1); got != want {
+		t.Fatalf("Taskflow(1) = %#x, want %#x", got, want)
+	}
+	if got := FlowGraph(d, 8, 1); got != want {
+		t.Fatalf("FlowGraph(1) = %#x, want %#x", got, want)
+	}
+	if got := OMP(d, 8, 1); got != want {
+		t.Fatalf("OMP(1) = %#x, want %#x", got, want)
+	}
+}
+
+func TestChecksumSensitivity(t *testing.T) {
+	d := gen(200, 1)
+	if Sequential(d, 8) == Sequential(d, 9) {
+		t.Fatal("spin count does not affect checksum")
+	}
+	d2 := gen(200, 2)
+	if Sequential(d, 8) == Sequential(d2, 8) {
+		t.Fatal("graph structure does not affect checksum")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	d := gen(0, 0)
+	want := Sequential(d, 4)
+	if got := Taskflow(d, 4, 2); got != want {
+		t.Fatalf("empty Taskflow = %#x, want %#x", got, want)
+	}
+	if got := FlowGraph(d, 4, 2); got != want {
+		t.Fatalf("empty FlowGraph = %#x, want %#x", got, want)
+	}
+	if got := OMP(d, 4, 2); got != want {
+		t.Fatalf("empty OMP = %#x, want %#x", got, want)
+	}
+}
+
+func TestLargeGraph(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	d := gen(20000, 7)
+	want := Sequential(d, 2)
+	if got := Taskflow(d, 2, 2); got != want {
+		t.Fatalf("Taskflow large = %#x, want %#x", got, want)
+	}
+}

@@ -1,0 +1,62 @@
+package wavefront
+
+import "testing"
+
+func TestBackendsAgree(t *testing.T) {
+	for _, m := range []int{1, 2, 3, 8, 16, 31} {
+		want := Sequential(m, 16)
+		if got := Taskflow(m, 16, 4); got != want {
+			t.Fatalf("m=%d: Taskflow = %#x, want %#x", m, got, want)
+		}
+		if got := FlowGraph(m, 16, 4); got != want {
+			t.Fatalf("m=%d: FlowGraph = %#x, want %#x", m, got, want)
+		}
+		if got := OMP(m, 16, 4); got != want {
+			t.Fatalf("m=%d: OMP = %#x, want %#x", m, got, want)
+		}
+	}
+}
+
+func TestSingleWorker(t *testing.T) {
+	want := Sequential(12, 8)
+	if got := Taskflow(12, 8, 1); got != want {
+		t.Fatalf("Taskflow(1 worker) = %#x, want %#x", got, want)
+	}
+	if got := FlowGraph(12, 8, 1); got != want {
+		t.Fatalf("FlowGraph(1 worker) = %#x, want %#x", got, want)
+	}
+	if got := OMP(12, 8, 1); got != want {
+		t.Fatalf("OMP(1 worker) = %#x, want %#x", got, want)
+	}
+}
+
+func TestDeterministicChecksum(t *testing.T) {
+	a := Sequential(10, 32)
+	b := Sequential(10, 32)
+	if a != b {
+		t.Fatal("Sequential not deterministic")
+	}
+	if Sequential(10, 32) == Sequential(10, 33) {
+		t.Fatal("spin count does not affect checksum (kernel optimized away?)")
+	}
+	if Sequential(10, 32) == Sequential(11, 32) {
+		t.Fatal("size does not affect checksum")
+	}
+}
+
+func TestNumTasks(t *testing.T) {
+	if NumTasks(16) != 256 {
+		t.Fatalf("NumTasks(16) = %d", NumTasks(16))
+	}
+}
+
+func TestLargerGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	m := 64 // 4096 tasks
+	want := Sequential(m, 4)
+	if got := Taskflow(m, 4, 2); got != want {
+		t.Fatalf("Taskflow large = %#x, want %#x", got, want)
+	}
+}

@@ -1,0 +1,153 @@
+// Package wsq provides an unbounded Chase-Lev work-stealing deque.
+//
+// The deque has a single owner goroutine that pushes and pops items at the
+// bottom, while any number of thief goroutines concurrently steal items from
+// the top. It is the queue primitive underneath the work-stealing executor
+// (paper Section III-E, Algorithm 1): each worker owns one deque, runs in
+// LIFO order for locality, and is robbed in FIFO order for load balance.
+//
+// The implementation follows Chase and Lev, "Dynamic Circular Work-Stealing
+// Deque" (SPAA 2005), with the memory-ordering fixes from Lê et al.,
+// "Correct and Efficient Work-Stealing for Weak Memory Models" (PPoPP 2013),
+// mapped onto Go's sequentially-consistent sync/atomic operations.
+package wsq
+
+import (
+	"sync/atomic"
+)
+
+// ring is a fixed-capacity circular array. Capacity is always a power of two
+// so index wrapping is a mask operation.
+type ring[T any] struct {
+	mask int64
+	buf  []atomic.Pointer[T]
+}
+
+func newRing[T any](capacity int64) *ring[T] {
+	if capacity <= 0 || capacity&(capacity-1) != 0 {
+		panic("wsq: ring capacity must be a positive power of two")
+	}
+	return &ring[T]{
+		mask: capacity - 1,
+		buf:  make([]atomic.Pointer[T], capacity),
+	}
+}
+
+func (r *ring[T]) cap() int64 { return r.mask + 1 }
+
+func (r *ring[T]) store(i int64, v *T) { r.buf[i&r.mask].Store(v) }
+
+func (r *ring[T]) load(i int64) *T { return r.buf[i&r.mask].Load() }
+
+// grow returns a ring of twice the capacity holding the items in [top, bottom).
+func (r *ring[T]) grow(bottom, top int64) *ring[T] {
+	bigger := newRing[T](2 * r.cap())
+	for i := top; i < bottom; i++ {
+		bigger.store(i, r.load(i))
+	}
+	return bigger
+}
+
+// Deque is an unbounded single-owner multi-thief work-stealing deque.
+// The zero value is not usable; construct with New.
+//
+// Push and Pop must only be called by the owner goroutine. Steal may be
+// called by any goroutine. Empty and Len may be called by any goroutine but
+// are inherently racy snapshots.
+type Deque[T any] struct {
+	bottom atomic.Int64
+	top    atomic.Int64
+	array  atomic.Pointer[ring[T]]
+}
+
+// New creates an empty deque with at least the given initial capacity
+// (rounded up to a power of two, minimum 64).
+func New[T any](capacity int) *Deque[T] {
+	c := int64(64)
+	for c < int64(capacity) {
+		c <<= 1
+	}
+	d := &Deque[T]{}
+	d.array.Store(newRing[T](c))
+	return d
+}
+
+// Push adds an item at the bottom of the deque. Owner only.
+func (d *Deque[T]) Push(item T) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	a := d.array.Load()
+	if b-t > a.cap()-1 {
+		a = a.grow(b, t)
+		d.array.Store(a)
+	}
+	a.store(b, &item)
+	d.bottom.Store(b + 1)
+}
+
+// Pop removes and returns the most recently pushed item. Owner only.
+// The second result reports whether an item was obtained.
+func (d *Deque[T]) Pop() (T, bool) {
+	var zero T
+	b := d.bottom.Load() - 1
+	a := d.array.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Deque was empty; restore bottom.
+		d.bottom.Store(b + 1)
+		return zero, false
+	}
+	item := a.load(b)
+	if t == b {
+		// Last item: race against thieves via CAS on top.
+		if !d.top.CompareAndSwap(t, t+1) {
+			// A thief got it first.
+			d.bottom.Store(b + 1)
+			return zero, false
+		}
+		d.bottom.Store(b + 1)
+		return *item, true
+	}
+	return *item, true
+}
+
+// Steal removes and returns the oldest item in the deque. Any goroutine.
+// The second result reports whether an item was obtained; contention with
+// the owner or another thief yields (zero, false), which callers should
+// treat as "retry elsewhere" rather than "empty".
+func (d *Deque[T]) Steal() (T, bool) {
+	var zero T
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return zero, false
+	}
+	a := d.array.Load()
+	item := a.load(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return zero, false
+	}
+	return *item, true
+}
+
+// Empty reports whether the deque appears empty at this instant.
+func (d *Deque[T]) Empty() bool {
+	return d.bottom.Load() <= d.top.Load()
+}
+
+// Len returns the apparent number of items at this instant. It may be
+// transiently negative under owner/thief races; callers use it only as a
+// load-balancing hint, so it is clamped at zero.
+func (d *Deque[T]) Len() int {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		n = 0
+	}
+	return int(n)
+}
+
+// Capacity returns the current capacity of the backing ring.
+func (d *Deque[T]) Capacity() int {
+	return int(d.array.Load().cap())
+}

@@ -1,0 +1,311 @@
+package wsq
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopLIFO(t *testing.T) {
+	d := New[int](4)
+	for i := 0; i < 100; i++ {
+		d.Push(i)
+	}
+	for i := 99; i >= 0; i-- {
+		v, ok := d.Pop()
+		if !ok {
+			t.Fatalf("Pop() empty at i=%d", i)
+		}
+		if v != i {
+			t.Fatalf("Pop() = %d, want %d", v, i)
+		}
+	}
+	if _, ok := d.Pop(); ok {
+		t.Fatal("Pop() on empty deque returned ok")
+	}
+}
+
+func TestStealFIFO(t *testing.T) {
+	d := New[int](4)
+	for i := 0; i < 100; i++ {
+		d.Push(i)
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := d.Steal()
+		if !ok {
+			t.Fatalf("Steal() empty at i=%d", i)
+		}
+		if v != i {
+			t.Fatalf("Steal() = %d, want %d", v, i)
+		}
+	}
+	if _, ok := d.Steal(); ok {
+		t.Fatal("Steal() on empty deque returned ok")
+	}
+}
+
+func TestEmptyAndLen(t *testing.T) {
+	d := New[string](1)
+	if !d.Empty() {
+		t.Fatal("new deque not Empty()")
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", d.Len())
+	}
+	d.Push("a")
+	d.Push("b")
+	if d.Empty() {
+		t.Fatal("deque with items reports Empty()")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", d.Len())
+	}
+	d.Pop()
+	d.Pop()
+	if !d.Empty() {
+		t.Fatal("drained deque not Empty()")
+	}
+}
+
+func TestGrowth(t *testing.T) {
+	d := New[int](1)
+	start := d.Capacity()
+	n := start * 8
+	for i := 0; i < n; i++ {
+		d.Push(i)
+	}
+	if d.Capacity() < n {
+		t.Fatalf("Capacity() = %d after %d pushes, want >= %d", d.Capacity(), n, n)
+	}
+	// Items must survive growth, oldest first when stolen.
+	for i := 0; i < n; i++ {
+		v, ok := d.Steal()
+		if !ok || v != i {
+			t.Fatalf("Steal() after growth = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	d := New[int](4)
+	next := 0
+	expect := []int{}
+	for round := 0; round < 50; round++ {
+		for i := 0; i < round%7+1; i++ {
+			d.Push(next)
+			expect = append(expect, next)
+			next++
+		}
+		for i := 0; i < round%3; i++ {
+			if len(expect) == 0 {
+				break
+			}
+			v, ok := d.Pop()
+			if !ok {
+				t.Fatalf("round %d: unexpected empty", round)
+			}
+			want := expect[len(expect)-1]
+			expect = expect[:len(expect)-1]
+			if v != want {
+				t.Fatalf("round %d: Pop() = %d, want %d", round, v, want)
+			}
+		}
+	}
+}
+
+// Property: pushing any sequence and popping it all returns the reverse.
+func TestQuickPopReversesPush(t *testing.T) {
+	f := func(xs []int64) bool {
+		d := New[int64](2)
+		for _, x := range xs {
+			d.Push(x)
+		}
+		for i := len(xs) - 1; i >= 0; i-- {
+			v, ok := d.Pop()
+			if !ok || v != xs[i] {
+				return false
+			}
+		}
+		_, ok := d.Pop()
+		return !ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any split between owner pops and thief steals consumes each
+// pushed item exactly once.
+func TestQuickMixedConsumption(t *testing.T) {
+	f := func(xs []uint16, popFirst bool) bool {
+		d := New[uint16](2)
+		for _, x := range xs {
+			d.Push(x)
+		}
+		seen := make(map[int]int) // index in deque order -> count
+		// Consume half by steal, half by pop (order depends on popFirst).
+		remaining := len(xs)
+		for remaining > 0 {
+			if popFirst {
+				if _, ok := d.Pop(); ok {
+					remaining--
+				}
+			} else {
+				if _, ok := d.Steal(); ok {
+					remaining--
+				}
+			}
+			popFirst = !popFirst
+		}
+		_, okP := d.Pop()
+		_, okS := d.Steal()
+		_ = seen
+		return !okP && !okS
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Concurrent stress: one owner pushes N items and pops opportunistically,
+// several thieves steal; every item must be consumed exactly once.
+func TestConcurrentStealExactlyOnce(t *testing.T) {
+	const n = 100000
+	const thieves = 4
+	d := New[int](64)
+	var consumed [n]atomic.Int32
+	var total atomic.Int64
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if v, ok := d.Steal(); ok {
+					consumed[v].Add(1)
+					total.Add(1)
+				}
+				select {
+				case <-stop:
+					// Drain whatever is left before exiting.
+					for {
+						v, ok := d.Steal()
+						if !ok {
+							return
+						}
+						consumed[v].Add(1)
+						total.Add(1)
+					}
+				default:
+				}
+			}
+		}()
+	}
+
+	// Owner: push all items, interleaving pops.
+	for i := 0; i < n; i++ {
+		d.Push(i)
+		if i%3 == 0 {
+			if v, ok := d.Pop(); ok {
+				consumed[v].Add(1)
+				total.Add(1)
+			}
+		}
+	}
+	// Owner drains its own remainder.
+	for {
+		v, ok := d.Pop()
+		if !ok {
+			break
+		}
+		consumed[v].Add(1)
+		total.Add(1)
+	}
+	close(stop)
+	wg.Wait()
+	// One final drain in case a thief CAS-failed the owner's last pop.
+	for {
+		v, ok := d.Steal()
+		if !ok {
+			break
+		}
+		consumed[v].Add(1)
+		total.Add(1)
+	}
+
+	if got := total.Load(); got != n {
+		t.Fatalf("consumed %d items, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		if c := consumed[i].Load(); c != 1 {
+			t.Fatalf("item %d consumed %d times", i, c)
+		}
+	}
+}
+
+func TestConcurrentStealOnlyExactlyOnce(t *testing.T) {
+	const n = 50000
+	const thieves = 3
+	d := New[int](64)
+	for i := 0; i < n; i++ {
+		d.Push(i)
+	}
+	var consumed [n]atomic.Int32
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			misses := 0
+			for misses < 1000 {
+				if v, ok := d.Steal(); ok {
+					consumed[v].Add(1)
+					total.Add(1)
+					misses = 0
+				} else {
+					misses++
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := total.Load(); got != n {
+		t.Fatalf("consumed %d items, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		if c := consumed[i].Load(); c != 1 {
+			t.Fatalf("item %d consumed %d times", i, c)
+		}
+	}
+}
+
+func TestNewRingValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("newRing with non-power-of-two capacity did not panic")
+		}
+	}()
+	newRing[int](3)
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	d := New[int](1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Push(i)
+		d.Pop()
+	}
+}
+
+func BenchmarkPushSteal(b *testing.B) {
+	d := New[int](1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Push(i)
+		d.Steal()
+	}
+}
