@@ -1,0 +1,30 @@
+# Development targets. The repo is plain `go build ./... && go test ./...`;
+# these are conveniences around the common loops.
+
+GO ?= go
+
+.PHONY: all build test vet race bench
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race -short ./internal/...
+
+# bench runs the scheduler hot-path benchmarks (steady-state re-runs plus
+# the paper's wavefront/traversal end-to-end figures) with allocation
+# reporting and records the raw output in BENCH_scheduler.json alongside
+# the kept before/after medians.
+bench:
+	$(GO) test -run '^$$' \
+		-bench 'BenchmarkSched|Fig7WavefrontSizeTaskflow|Fig7TraversalSizeTaskflow' \
+		-benchmem -benchtime 2s -count 3 . | tee /tmp/bench_scheduler.txt
+	@echo "raw output in /tmp/bench_scheduler.txt; curate BENCH_scheduler.json from it"

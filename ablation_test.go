@@ -79,9 +79,9 @@ func TestNoCacheExecutorDrainsEverything(t *testing.T) {
 	defer e.Shutdown()
 	var n atomic.Int64
 	done := make(chan struct{})
-	var spawn func(depth int) executor.Task
-	spawn = func(depth int) executor.Task {
-		return func(ctx executor.Context) {
+	var spawn func(depth int) *executor.Runnable
+	spawn = func(depth int) *executor.Runnable {
+		return executor.NewTask(func(ctx executor.Context) {
 			if n.Add(1) == 1<<10-1 {
 				close(done)
 			}
@@ -89,7 +89,7 @@ func TestNoCacheExecutorDrainsEverything(t *testing.T) {
 				ctx.SubmitCached(spawn(depth - 1)) // degrades to Submit
 				ctx.Submit(spawn(depth - 1))
 			}
-		}
+		})
 	}
 	e.Submit(spawn(9))
 	<-done

@@ -17,12 +17,17 @@ import "runtime"
 // (*Subflow) alike.
 
 // chunkSize resolves a user-provided chunk size: non-positive means
-// auto-partition into roughly 4 tasks per processor.
-func chunkSize(n, chunk int) int {
+// auto-partition into roughly 4 tasks per worker of the executor that will
+// actually run the flow (falling back to GOMAXPROCS when the worker count
+// is unknown), so a 2-worker executor gets ~8 chunks rather than 4×NumCPU.
+func chunkSize(n, chunk, workers int) int {
 	if chunk > 0 {
 		return chunk
 	}
-	pieces := 4 * runtime.GOMAXPROCS(0)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pieces := 4 * workers
 	c := (n + pieces - 1) / pieces
 	if c < 1 {
 		c = 1
@@ -41,7 +46,7 @@ func ParallelFor[T any](fb FlowBuilder, items []T, fn func(T), chunk int) (Task,
 		s.Precede(t)
 		return s, t
 	}
-	c := chunkSize(n, chunk)
+	c := chunkSize(n, chunk, fb.workerCount())
 	for beg := 0; beg < n; beg += c {
 		end := beg + c
 		if end > n {
@@ -69,7 +74,7 @@ func ParallelForPtr[T any](fb FlowBuilder, items []T, fn func(*T), chunk int) (T
 		s.Precede(t)
 		return s, t
 	}
-	c := chunkSize(n, chunk)
+	c := chunkSize(n, chunk, fb.workerCount())
 	for beg := 0; beg < n; beg += c {
 		end := beg + c
 		if end > n {
@@ -100,7 +105,7 @@ func ParallelForIndex(fb FlowBuilder, beg, end, step int, fn func(int), chunk in
 		return s, t
 	}
 	total := (end - beg + step - 1) / step
-	c := chunkSize(total, chunk)
+	c := chunkSize(total, chunk, fb.workerCount())
 	for i := 0; i < total; i += c {
 		hi := i + c
 		if hi > total {
@@ -130,7 +135,7 @@ func Reduce[T any](fb FlowBuilder, items []T, result *T, bop func(T, T) T, chunk
 		s.Precede(t)
 		return s, t
 	}
-	c := chunkSize(n, chunk)
+	c := chunkSize(n, chunk, fb.workerCount())
 	numChunks := (n + c - 1) / c
 	partials := make([]T, numChunks)
 	have := make([]bool, numChunks)
@@ -179,7 +184,7 @@ func Transform[T, U any](fb FlowBuilder, src []T, dst []U, fn func(T) U, chunk i
 		s.Precede(t)
 		return s, t
 	}
-	c := chunkSize(n, chunk)
+	c := chunkSize(n, chunk, fb.workerCount())
 	for beg := 0; beg < n; beg += c {
 		end := beg + c
 		if end > n {
@@ -207,7 +212,7 @@ func TransformReduce[T, U any](fb FlowBuilder, items []T, result *U, bop func(U,
 		s.Precede(t)
 		return s, t
 	}
-	c := chunkSize(n, chunk)
+	c := chunkSize(n, chunk, fb.workerCount())
 	numChunks := (n + c - 1) / c
 	partials := make([]U, numChunks)
 	have := make([]bool, numChunks)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -282,13 +283,24 @@ func TestQuickTransformMatchesSequential(t *testing.T) {
 }
 
 func TestChunkSize(t *testing.T) {
-	if got := chunkSize(100, 7); got != 7 {
-		t.Fatalf("chunkSize(100,7) = %d", got)
+	if got := chunkSize(100, 7, 4); got != 7 {
+		t.Fatalf("chunkSize(100,7,4) = %d", got)
 	}
-	if got := chunkSize(0, 0); got < 1 {
-		t.Fatalf("chunkSize(0,0) = %d, want >= 1", got)
+	if got := chunkSize(0, 0, 4); got < 1 {
+		t.Fatalf("chunkSize(0,0,4) = %d, want >= 1", got)
 	}
-	if got := chunkSize(5, -1); got < 1 {
-		t.Fatalf("chunkSize(5,-1) = %d, want >= 1", got)
+	if got := chunkSize(5, -1, 4); got < 1 {
+		t.Fatalf("chunkSize(5,-1,4) = %d, want >= 1", got)
+	}
+	// Auto-chunking partitions by the actual worker count: 4 chunks per
+	// worker, so 2 workers split 80 items into 8 chunks of 10.
+	if got := chunkSize(80, 0, 2); got != 10 {
+		t.Fatalf("chunkSize(80,0,2) = %d, want 10", got)
+	}
+	// Unknown worker count falls back to GOMAXPROCS.
+	pieces := 4 * runtime.GOMAXPROCS(0)
+	want := (1000 + pieces - 1) / pieces
+	if got := chunkSize(1000, 0, 0); got != want {
+		t.Fatalf("chunkSize(1000,0,0) = %d, want %d", got, want)
 	}
 }

@@ -79,16 +79,16 @@ func (d *dotDumper) dumpGraph(g *graph, indent string) {
 				d.printf("%s  %q -> %q;\n", indent, d.id(n), d.id(s))
 			})
 		}
-		if n.subgraph != nil && n.subgraph.len() > 0 {
+		if sg := n.spawned(); sg != nil && sg.len() > 0 {
 			d.printf("%s  subgraph \"cluster_%s\" {\n", indent, d.id(n))
 			d.printf("%s    label = \"Subflow_%s\";\n", indent, d.id(n))
-			d.dumpGraph(n.subgraph, indent+"    ")
+			d.dumpGraph(sg, indent+"    ")
 			// Joined subflows complete before the parent's successors run;
 			// draw the join edges from the subflow sinks to the parent's
 			// successors for readability.
 			d.printf("%s  }\n", indent)
-			if !n.detached {
-				for _, c := range n.subgraph.nodes {
+			if !n.ext.detached {
+				for _, c := range sg.nodes {
 					if c.numSuccessors() == 0 {
 						n.eachSuccessor(func(s *node) {
 							d.printf("%s  %q -> %q [style=dashed];\n", indent, d.id(c), d.id(s))

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sync/atomic"
+
+	"gotaskflow/internal/executor"
 )
 
 // node is one vertex of a task dependency graph. It stores a general-purpose
@@ -22,10 +24,11 @@ type node struct {
 	subflowWork func(*Subflow)
 	condWork    func() int
 
-	// Successor edges: the first two live inline (most task graphs —
-	// wavefronts, circuit netlists, training pipelines — have fanout <= 2,
-	// so the common case allocates nothing); the rest overflow to a slice.
-	succInline [2]*node
+	// Successor edges: the first four live inline (most task graphs —
+	// wavefronts, circuit netlists, training pipelines, and the paper's
+	// degree-4-bounded random DAGs — have fanout <= 4, so the common case
+	// allocates nothing); the rest overflow to a slice.
+	succInline [4]*node
 	succCount  int
 	succSpill  []*node
 
@@ -47,6 +50,28 @@ type node struct {
 	// top-level and detached nodes.
 	parent *node
 
+	// ext holds the node's rarely used cold fields (display name,
+	// semaphore lists, spawned subgraph), allocated on first use. Most
+	// graphs never touch them, and large graphs are built in bulk, so
+	// keeping them out of line shrinks every node the arena allocates —
+	// less to zero and less for the garbage collector to scan.
+	ext *nodeExt
+
+	topo *topology
+
+	// rbox is the node's intrusive task slot: a Runnable interface value
+	// holding the node itself, initialized once at allocation. The
+	// scheduler's currency is &n.rbox, so submitting an execution pushes a
+	// pre-existing pointer — no closure is minted and nothing is boxed on
+	// the hot path. A node has at most one outstanding scheduled execution
+	// (the join-counter protocol guarantees it), so one slot suffices.
+	rbox executor.Runnable
+}
+
+// nodeExt is the out-of-line cold part of a node; see node.ext.
+type nodeExt struct {
+	name string
+
 	// acquires lists semaphores the node must obtain before each
 	// execution (kept sorted by identity); releases lists semaphores it
 	// returns units to afterwards.
@@ -57,14 +82,65 @@ type node struct {
 	// re-dispatch invalidation and DOT dumps).
 	subgraph *graph
 	detached bool
+}
 
-	topo *topology
+// extra returns the node's cold-field block, allocating it on first use.
+// Callers mutate it only while they own the node (graph construction, or
+// the node's own execution).
+func (n *node) extra() *nodeExt {
+	if n.ext == nil {
+		n.ext = &nodeExt{}
+	}
+	return n.ext
+}
+
+// nodeName returns the assigned display name ("" if unnamed).
+func (n *node) nodeName() string {
+	if n.ext != nil {
+		return n.ext.name
+	}
+	return ""
+}
+
+// hasAcquires reports whether the node must obtain semaphores before each
+// execution — the scheduling hot path's one-branch test for the rare case.
+func (n *node) hasAcquires() bool {
+	return n.ext != nil && len(n.ext.acquires) > 0
+}
+
+// semAcquires returns the node's acquisition list (nil when absent).
+func (n *node) semAcquires() []*Semaphore {
+	if n.ext != nil {
+		return n.ext.acquires
+	}
+	return nil
+}
+
+// semReleases returns the node's release list (nil when absent).
+func (n *node) semReleases() []*Semaphore {
+	if n.ext != nil {
+		return n.ext.releases
+	}
+	return nil
+}
+
+// spawned returns the child graph recorded by the node's last execution.
+func (n *node) spawned() *graph {
+	if n.ext != nil {
+		return n.ext.subgraph
+	}
+	return nil
 }
 
 func (n *node) precede(m *node) {
 	if n.succCount < len(n.succInline) {
 		n.succInline[n.succCount] = m
 	} else {
+		if n.succSpill == nil {
+			// Skip append's 1->2->4 regrowth: high-fanout nodes land here
+			// once and then double from a useful size.
+			n.succSpill = make([]*node, 0, 4)
+		}
 		n.succSpill = append(n.succSpill, m)
 	}
 	n.succCount++
@@ -76,6 +152,14 @@ func (n *node) precede(m *node) {
 }
 
 func (n *node) isCondition() bool { return n.condWork != nil }
+
+// Run implements executor.Runnable: one execution of the node under its
+// current topology. The executor invokes it through the node's intrusive
+// rbox slot.
+func (n *node) Run(ctx executor.Context) { n.topo.runNode(ctx, n) }
+
+// ref returns the node's submit-ready task reference.
+func (n *node) ref() *executor.Runnable { return &n.rbox }
 
 // isSource reports whether the node starts when its topology starts.
 func (n *node) isSource() bool { return n.numDependents == 0 && n.numWeakPreds == 0 }
@@ -107,8 +191,8 @@ func (n *node) eachSuccessor(visit func(*node)) {
 
 // label returns the display name used in DOT dumps and errors.
 func (n *node) label(i int) string {
-	if n.name != "" {
-		return n.name
+	if name := n.nodeName(); name != "" {
+		return name
 	}
 	return fmt.Sprintf("p%#x", i)
 }
@@ -125,13 +209,15 @@ type graph struct {
 	arena []node
 }
 
-// alloc returns a zeroed node from the arena.
+// alloc returns a zeroed node from the arena with its intrusive task slot
+// armed.
 func (g *graph) alloc() *node {
 	if len(g.arena) == 0 {
 		g.arena = make([]node, arenaChunk)
 	}
 	n := &g.arena[0]
 	g.arena = g.arena[1:]
+	n.rbox = n
 	return n
 }
 
@@ -174,8 +260,8 @@ func (g *graph) len() int { return len(g.nodes) }
 func (g *graph) totalNodes() int {
 	total := len(g.nodes)
 	for _, n := range g.nodes {
-		if n.subgraph != nil {
-			total += n.subgraph.totalNodes()
+		if sg := n.spawned(); sg != nil {
+			total += sg.totalNodes()
 		}
 	}
 	return total

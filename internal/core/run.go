@@ -1,0 +1,116 @@
+package core
+
+// Synchronous re-run support — the Go counterpart of Cpp-Taskflow's
+// executor.run(taskflow, N) steady-state mode. Unlike Dispatch, Run does
+// not consume the present graph: the same graph executes again and again,
+// which is the shape of iterative workloads (timing propagation sweeps,
+// training epochs, simulation steps). Because every node carries its own
+// intrusive task slot and the reusable topology and source batch are built
+// once, steady-state re-runs allocate nothing.
+
+// Run executes the present graph once and blocks until it finishes,
+// returning the first task error (panics are converted). The graph is NOT
+// consumed: calling Run again re-executes it, and steady-state re-runs of
+// an unchanged graph are allocation-free. Adding tasks between runs is
+// allowed (the run state is rebuilt); mixing Run with Dispatch is allowed
+// (Dispatch consumes the graph as usual). Run must not be called
+// concurrently with itself or with graph construction.
+func (tf *Taskflow) Run() error {
+	g := tf.present
+	if g.len() == 0 {
+		return nil
+	}
+	t := tf.runTopo
+	if t == nil || t.graph != g || len(tf.runSources)+len(tf.runSemSources) == 0 ||
+		tf.runStale() {
+		var err error
+		if t, err = tf.prepareRun(); err != nil {
+			return err
+		}
+	}
+
+	// Per-run reset. Join counters must be re-armed for every node: a
+	// node that executed last run was already re-armed at schedule time,
+	// but an untaken condition branch retains a partial count.
+	t.errMu.Lock()
+	t.err = nil
+	t.errMu.Unlock()
+	t.cancelled.Store(false)
+	for _, n := range g.nodes {
+		n.topo = t
+		n.parent = nil
+		n.join.Store(int32(n.numDependents))
+	}
+	t.pending.Store(int64(len(tf.runSources) + len(tf.runSemSources)))
+
+	// Semaphore-guarded sources are admitted or parked individually (rare
+	// path); the rest start as one batch.
+	for _, n := range tf.runSemSources {
+		if t.admit(tf.exec, n) {
+			tf.exec.Submit(n.ref())
+		}
+	}
+	tf.exec.SubmitBatch(tf.runSources)
+	<-t.done
+
+	t.errMu.Lock()
+	err := t.err
+	t.errMu.Unlock()
+	return err
+}
+
+// RunN executes the present graph n times sequentially, stopping at the
+// first error.
+func (tf *Taskflow) RunN(n int) error {
+	for i := 0; i < n; i++ {
+		if err := tf.Run(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runStale reports whether tasks were added to the present graph since the
+// run state was built.
+func (tf *Taskflow) runStale() bool {
+	return tf.runTopo == nil || tf.runTopo.builtLen != tf.present.len()
+}
+
+// prepareRun (re)builds the reusable topology and the pre-partitioned
+// source lists for the present graph.
+func (tf *Taskflow) prepareRun() (*topology, error) {
+	g := tf.present
+	t := &topology{
+		graph:    g,
+		exec:     tf.exec,
+		reusable: true,
+		done:     make(chan struct{}, 1),
+		builtLen: g.len(),
+	}
+	tf.runSources = tf.runSources[:0]
+	tf.runSemSources = tf.runSemSources[:0]
+	for _, n := range g.nodes {
+		if !n.isSource() {
+			continue
+		}
+		if n.hasAcquires() {
+			tf.runSemSources = append(tf.runSemSources, n)
+		} else {
+			tf.runSources = append(tf.runSources, n.ref())
+		}
+	}
+	if len(tf.runSources)+len(tf.runSemSources) == 0 {
+		tf.invalidateRun()
+		return nil, ErrNoSource
+	}
+	tf.runTopo = t
+	return t, nil
+}
+
+// invalidateRun drops the cached run state (the present graph moved or
+// changed shape).
+func (tf *Taskflow) invalidateRun() {
+	tf.runTopo = nil
+	tf.runSources = tf.runSources[:0]
+	tf.runSemSources = tf.runSemSources[:0]
+}

@@ -72,8 +72,9 @@ func (s *Semaphore) release() *node {
 // identity so tasks acquiring the same set cannot deadlock each other.
 func (t Task) Acquire(sems ...*Semaphore) Task {
 	t.must("Acquire")
+	ext := t.node.extra()
 	for _, s := range sems {
-		t.node.acquires = insertSem(t.node.acquires, s)
+		ext.acquires = insertSem(ext.acquires, s)
 	}
 	return t
 }
@@ -82,7 +83,8 @@ func (t Task) Acquire(sems ...*Semaphore) Task {
 // callable finishes (per execution).
 func (t Task) Release(sems ...*Semaphore) Task {
 	t.must("Release")
-	t.node.releases = append(t.node.releases, sems...)
+	ext := t.node.extra()
+	ext.releases = append(ext.releases, sems...)
 	return t
 }
 
@@ -100,17 +102,27 @@ func insertSem(list []*Semaphore, s *Semaphore) []*Semaphore {
 	return list
 }
 
+// submitter abstracts "where a semaphore-admitted task goes": a worker's
+// scheduling Context during execution, or the Executor itself at dispatch
+// time. Both already implement Submit(*executor.Runnable), so admission
+// paths pass them directly instead of minting a method-value closure per
+// call.
+type submitter interface {
+	Submit(r *executor.Runnable)
+}
+
 // admit obtains every semaphore of n or parks it on the first unavailable
 // one, rolling back units already taken (waking their waiters through
-// submit). Returns whether n may be submitted now.
-func (t *topology) admit(submit func(executor.Task), n *node) bool {
-	for i, s := range n.acquires {
+// sub). Returns whether n may be submitted now.
+func (t *topology) admit(sub submitter, n *node) bool {
+	acquires := n.semAcquires()
+	for i, s := range acquires {
 		if s.tryAcquireOrPark(n) {
 			continue
 		}
 		// Roll back the units taken so far; each may admit a waiter.
 		for j := 0; j < i; j++ {
-			t.handBack(submit, n.acquires[j])
+			t.handBack(sub, acquires[j])
 		}
 		return false
 	}
@@ -119,18 +131,22 @@ func (t *topology) admit(submit func(executor.Task), n *node) bool {
 
 // handBack releases one unit of s and retries admission of a woken
 // waiter.
-func (t *topology) handBack(submit func(executor.Task), s *Semaphore) {
+func (t *topology) handBack(sub submitter, s *Semaphore) {
 	if w := s.release(); w != nil {
 		wt := w.topo
-		if wt.admit(submit, w) {
-			submit(wt.nodeTask(w))
+		if wt.admit(sub, w) {
+			sub.Submit(w.ref())
 		}
 	}
 }
 
 // releaseSems runs after n's callable: return units and admit waiters.
-func (t *topology) releaseSems(submit func(executor.Task), n *node) {
-	for _, s := range n.releases {
-		t.handBack(submit, s)
+// The common no-semaphore case costs one nil check.
+func (t *topology) releaseSems(sub submitter, n *node) {
+	if n.ext == nil {
+		return
+	}
+	for _, s := range n.ext.releases {
+		t.handBack(sub, s)
 	}
 }

@@ -207,7 +207,7 @@ func TestSemaphoreInsertSorted(t *testing.T) {
 	tf := New(1)
 	defer tf.Close()
 	task := tf.Emplace1(func() {}).Acquire(c, a, b)
-	sems := task.node.acquires
+	sems := task.node.semAcquires()
 	if len(sems) != 3 {
 		t.Fatalf("len = %d", len(sems))
 	}

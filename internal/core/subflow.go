@@ -66,3 +66,12 @@ func (sf *Subflow) IsDetached() bool { return sf.detached }
 
 // NumNodes returns the number of tasks spawned so far.
 func (sf *Subflow) NumNodes() int { return sf.g.len() }
+
+// workerCount implements FlowBuilder: a subflow runs on the executor of
+// the topology that spawned it.
+func (sf *Subflow) workerCount() int {
+	if sf.topo == nil || sf.topo.exec == nil {
+		return 0
+	}
+	return sf.topo.exec.NumWorkers()
+}

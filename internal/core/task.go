@@ -16,14 +16,14 @@ func (t Task) IsEmpty() bool { return t.node == nil }
 // handle for chaining.
 func (t Task) Name(name string) Task {
 	t.must("Name")
-	t.node.name = name
+	t.node.extra().name = name
 	return t
 }
 
 // NameOf returns the task's assigned name ("" if unnamed).
 func (t Task) NameOf() string {
 	t.must("NameOf")
-	return t.node.name
+	return t.node.nodeName()
 }
 
 // Precede adds dependency edges so that t runs before each task in others

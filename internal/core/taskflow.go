@@ -36,6 +36,12 @@ type FlowBuilder interface {
 	// Placeholder creates a task with no work assigned; work can be bound
 	// later through Task.Work or Task.WorkSubflow.
 	Placeholder() Task
+
+	// workerCount reports the worker count of the executor that will run
+	// the flow (0 when unknown). The built-in algorithms use it to
+	// auto-partition work into chunks proportional to the actual pool
+	// size rather than GOMAXPROCS.
+	workerCount() int
 }
 
 // Taskflow is the main entry of the library: the place to create task
@@ -47,6 +53,14 @@ type Taskflow struct {
 
 	present    *graph
 	topologies []*topology
+
+	// Reusable execution state behind Run/RunN: a topology whose done
+	// channel is signalled (not closed) at quiescence and a pre-built
+	// source batch, so steady-state re-runs of an unchanged graph are
+	// allocation-free.
+	runTopo       *topology
+	runSources    []*executor.Runnable
+	runSemSources []*node
 }
 
 var _ FlowBuilder = (*Taskflow)(nil)
@@ -79,6 +93,9 @@ func (tf *Taskflow) Close() {
 
 // Executor returns the underlying executor (shared or owned).
 func (tf *Taskflow) Executor() *executor.Executor { return tf.exec }
+
+// workerCount implements FlowBuilder.
+func (tf *Taskflow) workerCount() int { return tf.exec.NumWorkers() }
 
 // SetName names the taskflow for DOT dumps. Returns tf for chaining.
 func (tf *Taskflow) SetName(name string) *Taskflow {
@@ -182,7 +199,8 @@ func (tf *Taskflow) SilentDispatch() {
 func (tf *Taskflow) dispatch() *topology {
 	g := tf.present
 	tf.present = &graph{}
-	t := &topology{graph: g, done: make(chan struct{})}
+	tf.invalidateRun()
+	t := &topology{graph: g, exec: tf.exec, done: make(chan struct{})}
 	tf.topologies = append(tf.topologies, t)
 
 	if g.len() == 0 {
@@ -209,15 +227,15 @@ func (tf *Taskflow) dispatch() *topology {
 	t.pending.Store(int64(numSources))
 	// Sources guarded by semaphores are admitted or parked; the rest
 	// start as a batch.
-	runnable := make([]executor.Task, 0, numSources)
+	runnable := make([]*executor.Runnable, 0, numSources)
 	for _, n := range g.nodes {
 		if !n.isSource() {
 			continue
 		}
-		if len(n.acquires) > 0 && !t.admit(tf.exec.Submit, n) {
+		if n.hasAcquires() && !t.admit(tf.exec, n) {
 			continue
 		}
-		runnable = append(runnable, t.nodeTask(n))
+		runnable = append(runnable, n.ref())
 	}
 	tf.exec.SubmitBatch(runnable)
 	return t

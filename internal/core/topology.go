@@ -17,14 +17,37 @@ import (
 // increments pending before the new execution can retire, and every
 // execution decrements it exactly once at retirement, so pending reaching
 // zero is exactly quiescence.
+//
+// Scheduling pushes each node's intrusive task reference (&n.rbox) rather
+// than a freshly allocated closure, so steady-state execution performs no
+// allocation; see graph.go and the executor package documentation.
 type topology struct {
 	graph     *graph
+	exec      *executor.Executor
 	pending   atomic.Int64
 	cancelled atomic.Bool
 	done      chan struct{}
 
+	// reusable marks a topology driven by Taskflow.Run: completion is
+	// signalled with a token on the (buffered) done channel instead of a
+	// close, so the same topology object serves many runs without
+	// reallocating. builtLen records the graph size the cached run state
+	// was prepared for, invalidating it when tasks are added.
+	reusable bool
+	builtLen int
+
 	errMu sync.Mutex
 	err   error
+}
+
+// finish signals quiescence: close for one-shot (dispatched) topologies,
+// a token for reusable (Run) topologies.
+func (t *topology) finish() {
+	if t.reusable {
+		t.done <- struct{}{}
+	} else {
+		close(t.done)
+	}
 }
 
 // Future provides access to the execution status of a dispatched task
@@ -77,11 +100,6 @@ func (t *topology) setErr(err error) {
 	t.errMu.Unlock()
 }
 
-// nodeTask wraps a node into an executor task.
-func (t *topology) nodeTask(n *node) executor.Task {
-	return func(ctx executor.Context) { t.runNode(ctx, n) }
-}
-
 // schedule accounts for and submits one new execution of node s from
 // within a running execution. The join counter is re-armed so the node can
 // run again on a later loop iteration.
@@ -91,13 +109,13 @@ func (t *topology) schedule(ctx executor.Context, s *node, cached bool) {
 		s.parent.children.Add(1)
 	}
 	t.pending.Add(1)
-	if len(s.acquires) > 0 && !t.admit(ctx.Submit, s) {
+	if s.hasAcquires() && !t.admit(ctx, s) {
 		return // parked on a semaphore; a release will submit it
 	}
 	if cached {
-		ctx.SubmitCached(t.nodeTask(s))
+		ctx.SubmitCached(s.ref())
 	} else {
-		ctx.Submit(t.nodeTask(s))
+		ctx.Submit(s.ref())
 	}
 }
 
@@ -110,7 +128,7 @@ func (t *topology) runNode(ctx executor.Context, n *node) {
 		// dependency structure so waiters unblock (including semaphore
 		// units this execution was admitted with). Condition tasks signal
 		// nothing, which terminates loops.
-		t.releaseSems(ctx.Submit, n)
+		t.releaseSems(ctx, n)
 		if n.condWork != nil {
 			t.retire(ctx, n)
 			return
@@ -122,7 +140,7 @@ func (t *topology) runNode(ctx executor.Context, n *node) {
 	case n.condWork != nil:
 		idx := -1
 		t.invoke(n, func() { idx = n.condWork() })
-		t.releaseSems(ctx.Submit, n)
+		t.releaseSems(ctx, n)
 		// Signal exactly the chosen successor; an out-of-range index
 		// (including the -1 left by a panic) signals nothing, which is
 		// how a branch terminates.
@@ -134,29 +152,29 @@ func (t *topology) runNode(ctx executor.Context, n *node) {
 	case n.subflowWork != nil:
 		sf := &Subflow{topo: t, parent: n}
 		sf.g = &graph{}
-		n.subgraph = sf.g
+		n.extra().subgraph = sf.g
 		t.invoke(n, func() { n.subflowWork(sf) })
-		t.releaseSems(ctx.Submit, n)
+		t.releaseSems(ctx, n)
 		if sf.g.len() > 0 {
 			if !sf.detached {
 				// Joined subflow: the parent completes only after every
 				// spawned execution (recursively) finishes.
-				n.detached = false
+				n.ext.detached = false
 				if t.spawn(ctx, sf.g, n) {
 					return
 				}
 			} else {
 				// Detached subflow: flows independently but holds the
 				// enclosing topology open until it drains.
-				n.detached = true
+				n.ext.detached = true
 				t.spawn(ctx, sf.g, nil)
 			}
 		}
 	case n.work != nil:
 		t.invoke(n, n.work)
-		t.releaseSems(ctx.Submit, n)
+		t.releaseSems(ctx, n)
 	default:
-		t.releaseSems(ctx.Submit, n)
+		t.releaseSems(ctx, n)
 	}
 	t.finishNode(ctx, n)
 }
@@ -166,7 +184,7 @@ func (t *topology) runNode(ctx executor.Context, n *node) {
 func (t *topology) invoke(n *node, fn func()) {
 	defer func() {
 		if r := recover(); r != nil {
-			t.setErr(fmt.Errorf("core: task %q panicked: %v", n.name, r))
+			t.setErr(fmt.Errorf("core: task %q panicked: %v", n.nodeName(), r))
 		}
 	}()
 	fn()
@@ -197,46 +215,77 @@ func (t *topology) spawn(ctx executor.Context, g *graph, parent *node) bool {
 	if parent != nil {
 		parent.children.Store(int32(nsrc))
 	}
+	// The first source goes to the worker's speculative cache slot; the
+	// rest are published as one batch with a single computed wake count.
+	var batch []*executor.Runnable
+	if nsrc > 1 {
+		batch = make([]*executor.Runnable, 0, nsrc-1)
+	}
 	cached := false
 	for _, c := range g.nodes {
 		if !c.isSource() {
 			continue
 		}
-		if len(c.acquires) > 0 && !t.admit(ctx.Submit, c) {
+		if c.hasAcquires() && !t.admit(ctx, c) {
 			continue // parked; a release will submit it
 		}
 		if !cached {
-			ctx.SubmitCached(t.nodeTask(c))
+			ctx.SubmitCached(c.ref())
 			cached = true
 		} else {
-			ctx.Submit(t.nodeTask(c))
+			batch = append(batch, c.ref())
 		}
 	}
+	ctx.SubmitBatch(batch)
 	return true
 }
 
 // finishNode completes an execution of n: release its strong successors,
 // then retire. The first ready successor goes into the worker's cache slot
-// so linear chains run back-to-back (Algorithm 1 speculative execution).
+// so linear chains run back-to-back (Algorithm 1 speculative execution);
+// the rest are pushed without individual wakeups and a single Wake with
+// the batch's ready count replaces one wake attempt per successor.
 func (t *topology) finishNode(ctx executor.Context, n *node) {
 	cached := false
-	notify := func(s *node) {
-		if s.join.Add(-1) == 0 {
-			t.schedule(ctx, s, !cached)
-			cached = true
-		}
-	}
+	extra := 0
 	k := n.succCount
 	if k > len(n.succInline) {
 		k = len(n.succInline)
 	}
 	for i := 0; i < k; i++ {
-		notify(n.succInline[i])
+		cached, extra = t.notifySucc(ctx, n.succInline[i], cached, extra)
 	}
 	for _, s := range n.succSpill {
-		notify(s)
+		cached, extra = t.notifySucc(ctx, s, cached, extra)
+	}
+	if extra > 0 {
+		ctx.Wake(extra)
 	}
 	t.retire(ctx, n)
+}
+
+// notifySucc decrements s's join counter and, on readiness, accounts and
+// submits a new execution: the first ready successor of the batch goes to
+// the speculative cache slot, later ones are queued without waking (the
+// caller issues one Wake for the whole batch).
+func (t *topology) notifySucc(ctx executor.Context, s *node, cached bool, extra int) (bool, int) {
+	if s.join.Add(-1) != 0 {
+		return cached, extra
+	}
+	s.join.Store(int32(s.numDependents))
+	if s.parent != nil {
+		s.parent.children.Add(1)
+	}
+	t.pending.Add(1)
+	if s.hasAcquires() && !t.admit(ctx, s) {
+		return cached, extra // parked on a semaphore; a release will submit it
+	}
+	if !cached {
+		ctx.SubmitCached(s.ref())
+		return true, extra
+	}
+	ctx.SubmitNoWake(s.ref())
+	return cached, extra + 1
 }
 
 // retire performs the bookkeeping tail of an execution: notify a joined
@@ -249,6 +298,6 @@ func (t *topology) retire(ctx executor.Context, n *node) {
 		}
 	}
 	if t.pending.Add(-1) == 0 {
-		close(t.done)
+		t.finish()
 	}
 }

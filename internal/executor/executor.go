@@ -10,6 +10,13 @@
 //  3. otherwise register itself on the idlers list and block until a task
 //     producer wakes it precisely.
 //
+// The scheduling currency is *Runnable: a pointer to an interface slot that
+// lives inside a pre-built task object (an intrusive task). Graph nodes
+// implement Runnable once at construction and carry their own slot, so the
+// steady-state dispatch path — push, pop, steal, invoke — performs no
+// allocation: no closures are minted per execution and the deques store the
+// pointers without any boxing layer.
+//
 // Two heuristics from the paper are implemented faithfully:
 //
 //   - Per-worker task cache: a task that finishes and makes exactly one
@@ -22,6 +29,11 @@
 //     wake exactly one spare worker per new batch of work instead of
 //     broadcasting; additionally, after each task batch a worker wakes one
 //     idler with small probability to rebalance load (lines 26-28).
+//
+// Producers that make several tasks ready at once submit them as a batch
+// (SubmitBatch, or SubmitNoWake followed by one Wake) with a single
+// computed wake count — min(batch size, parked workers) — instead of one
+// wake attempt per task.
 //
 // The executor is pluggable and shareable: multiple Taskflow instances can
 // dispatch graphs to one executor, avoiding thread over-subscription
@@ -37,9 +49,31 @@ import (
 	"gotaskflow/internal/wsq"
 )
 
-// A Task is a unit of work. It receives the scheduling Context of the worker
-// executing it, through which it can submit follow-up tasks cheaply.
-type Task func(ctx Context)
+// Runnable is a unit of work: a pre-built task object executed by pointer.
+// It receives the scheduling Context of the worker executing it, through
+// which it can submit follow-up tasks cheaply.
+//
+// The scheduler passes tasks around as *Runnable — a pointer to the
+// interface slot, one word in the queues. Long-lived task objects (graph
+// nodes, pipeline cells) embed a Runnable field initialized to themselves
+// and submit its address, so re-executing them allocates nothing.
+type Runnable interface {
+	Run(ctx Context)
+}
+
+// Func adapts an ordinary function to a Runnable, for producers that have
+// no pre-built task object (one-shot jobs, tests).
+type Func func(Context)
+
+// Run implements Runnable.
+func (f Func) Run(ctx Context) { f(ctx) }
+
+// NewTask boxes fn into a submit-ready task reference. Each call allocates
+// one box; hot paths should use intrusive task objects instead.
+func NewTask(fn func(Context)) *Runnable {
+	r := Runnable(Func(fn))
+	return &r
+}
 
 // Context is the scheduling interface visible to a running task. It is
 // implemented by the worker executing the task and must not be retained
@@ -47,11 +81,22 @@ type Task func(ctx Context)
 type Context interface {
 	// Submit schedules a task on this worker's local deque and wakes an
 	// idler if one exists.
-	Submit(t Task)
+	Submit(r *Runnable)
+	// SubmitNoWake schedules a task on this worker's local deque without
+	// waking anyone. Producers making a batch of tasks ready use it for
+	// every task in the batch and then issue a single Wake(n), so the wake
+	// count is computed once per batch instead of once per task.
+	SubmitNoWake(r *Runnable)
+	// SubmitBatch schedules all tasks onto this worker's local deque with
+	// one queue publication and wakes at most min(len(rs), idle workers).
+	SubmitBatch(rs []*Runnable)
 	// SubmitCached places the task in this worker's cache slot so that it
 	// runs immediately after the current task, bypassing all queues. If the
 	// slot is occupied the task is submitted normally instead.
-	SubmitCached(t Task)
+	SubmitCached(r *Runnable)
+	// Wake wakes up to n parked workers, stopping at the first failure.
+	// It pairs with SubmitNoWake.
+	Wake(n int)
 	// WorkerID returns the executing worker's index in [0, NumWorkers).
 	WorkerID() int
 	// Executor returns the owning executor.
@@ -85,8 +130,8 @@ const spinYieldEvery = 4
 type worker struct {
 	id     int
 	exec   *Executor
-	queue  *wsq.Deque[Task]
-	cache  Task
+	queue  *wsq.Deque[Runnable]
+	cache  *Runnable
 	rng    *rand.Rand
 	victim int           // last successful steal victim
 	wake   chan struct{} // buffered(1); signalled when this idler is woken
@@ -97,27 +142,46 @@ var _ Context = (*worker)(nil)
 func (w *worker) WorkerID() int       { return w.id }
 func (w *worker) Executor() *Executor { return w.exec }
 
-func (w *worker) Submit(t Task) {
-	w.queue.Push(t)
+func (w *worker) Submit(r *Runnable) {
+	w.queue.Push(r)
 	w.exec.wakeOne()
 }
 
-func (w *worker) SubmitCached(t Task) {
-	if w.cache == nil && !w.exec.noCache {
-		w.cache = t
-		return
-	}
-	w.Submit(t)
+func (w *worker) SubmitNoWake(r *Runnable) {
+	w.queue.Push(r)
 }
 
-// Executor schedules Tasks over a fixed set of worker goroutines.
+func (w *worker) SubmitBatch(rs []*Runnable) {
+	if len(rs) == 0 {
+		return
+	}
+	w.queue.PushBatch(rs)
+	w.exec.wakeUpTo(len(rs))
+}
+
+func (w *worker) SubmitCached(r *Runnable) {
+	if w.cache == nil && !w.exec.noCache {
+		w.cache = r
+		return
+	}
+	w.Submit(r)
+}
+
+func (w *worker) Wake(n int) {
+	w.exec.wakeUpTo(n)
+}
+
+// Executor schedules Runnables over a fixed set of worker goroutines.
 type Executor struct {
 	workers []*worker
 
 	// injection is the external submission queue used by non-worker
-	// goroutines (work sharing).
-	injMu     sync.Mutex
-	injection []Task
+	// goroutines (work sharing): a growable ring buffer whose storage is
+	// recycled as tasks drain, plus an atomic length so workers can check
+	// for external work without taking the lock.
+	injMu  sync.Mutex
+	inj    taskRing
+	injLen atomic.Int64
 
 	// notifier state: parked workers, LIFO.
 	idleMu     sync.Mutex
@@ -198,12 +262,13 @@ func New(n int, opts ...Option) *Executor {
 	for _, opt := range opts {
 		opt(e)
 	}
+	e.inj.init(injInitialCap)
 	e.workers = make([]*worker, n)
 	for i := 0; i < n; i++ {
 		e.workers[i] = &worker{
 			id:     i,
 			exec:   e,
-			queue:  wsq.New[Task](256),
+			queue:  wsq.New[Runnable](256),
 			rng:    rand.New(rand.NewSource(e.seed + int64(i)*7919)),
 			victim: (i + 1) % n,
 			wake:   make(chan struct{}, 1),
@@ -227,26 +292,30 @@ func (e *Executor) BusyWorkers() int { return int(e.busy.Load()) }
 // Submit schedules a task from outside the worker pool via the injection
 // queue (work sharing). Tasks running inside the pool should use their
 // Context instead.
-func (e *Executor) Submit(t Task) {
+func (e *Executor) Submit(r *Runnable) {
 	e.injMu.Lock()
-	e.injection = append(e.injection, t)
+	e.inj.push(r)
 	e.injMu.Unlock()
+	e.injLen.Add(1)
 	e.wakeOne()
 }
 
-// SubmitBatch schedules several tasks at once and wakes up to len(ts) idlers.
-func (e *Executor) SubmitBatch(ts []Task) {
-	if len(ts) == 0 {
+// SubmitFunc boxes fn and submits it — a convenience for one-shot jobs.
+func (e *Executor) SubmitFunc(fn func(Context)) {
+	e.Submit(NewTask(fn))
+}
+
+// SubmitBatch schedules several tasks at once and wakes at most
+// min(len(rs), parked workers) idlers, stopping at the first failed wake.
+func (e *Executor) SubmitBatch(rs []*Runnable) {
+	if len(rs) == 0 {
 		return
 	}
 	e.injMu.Lock()
-	e.injection = append(e.injection, ts...)
+	e.inj.pushBatch(rs)
 	e.injMu.Unlock()
-	for i := 0; i < len(ts); i++ {
-		if !e.wakeOne() {
-			break
-		}
-	}
+	e.injLen.Add(int64(len(rs)))
+	e.wakeUpTo(len(rs))
 }
 
 // Shutdown stops all workers and waits for them to exit. Pending tasks that
@@ -262,26 +331,32 @@ func (e *Executor) Shutdown() {
 	e.wg.Wait()
 }
 
-// popInjection removes the oldest externally submitted task, if any.
-func (e *Executor) popInjection() (Task, bool) {
-	e.injMu.Lock()
-	defer e.injMu.Unlock()
-	if len(e.injection) == 0 {
+// popInjection removes the oldest externally submitted task, if any. The
+// atomic length check keeps the common empty case lock-free.
+func (e *Executor) popInjection() (*Runnable, bool) {
+	if e.injLen.Load() == 0 {
 		return nil, false
 	}
-	t := e.injection[0]
-	e.injection[0] = nil
-	e.injection = e.injection[1:]
-	return t, true
+	e.injMu.Lock()
+	r, ok := e.inj.pop()
+	e.injMu.Unlock()
+	if ok {
+		e.injLen.Add(-1)
+	}
+	return r, ok
+}
+
+// injCap reports the injection ring's current capacity (for tests).
+func (e *Executor) injCap() int {
+	e.injMu.Lock()
+	defer e.injMu.Unlock()
+	return len(e.inj.buf)
 }
 
 // anyWork reports whether any queue appears non-empty. Called under idleMu
 // by parking workers to close the sleep race.
 func (e *Executor) anyWork() bool {
-	e.injMu.Lock()
-	n := len(e.injection)
-	e.injMu.Unlock()
-	if n > 0 {
+	if e.injLen.Load() > 0 {
 		return true
 	}
 	for _, w := range e.workers {
@@ -316,6 +391,23 @@ func (e *Executor) wakeOne() bool {
 	return true
 }
 
+// wakeUpTo wakes at most min(n, parked workers) idlers, stopping at the
+// first failed wake, and returns the number woken. One bounded wake pass
+// per ready batch replaces a wake attempt per task: a spinning worker that
+// will drain the batch anyway is never displaced by futile wakeups.
+func (e *Executor) wakeUpTo(n int) int {
+	if c := int(e.idlerCount.Load()); c < n {
+		n = c
+	}
+	woke := 0
+	for ; woke < n; woke++ {
+		if !e.wakeOne() {
+			break
+		}
+	}
+	return woke
+}
+
 func (e *Executor) wakeAll() {
 	e.idleMu.Lock()
 	ws := e.idlers
@@ -332,13 +424,13 @@ func (e *Executor) wakeAll() {
 
 // steal tries the last victim first, then sweeps the other workers and the
 // injection queue (Algorithm 1 line 3).
-func (w *worker) steal() (Task, bool) {
+func (w *worker) steal() (*Runnable, bool) {
 	e := w.exec
 	n := len(e.workers)
 	if n > 1 {
 		if w.victim != w.id {
-			if t, ok := e.workers[w.victim].queue.Steal(); ok {
-				return t, true
+			if r, ok := e.workers[w.victim].queue.Steal(); ok {
+				return r, true
 			}
 		}
 		start := w.rng.Intn(n)
@@ -347,9 +439,9 @@ func (w *worker) steal() (Task, bool) {
 			if v == w.id {
 				continue
 			}
-			if t, ok := e.workers[v].queue.Steal(); ok {
+			if r, ok := e.workers[v].queue.Steal(); ok {
 				w.victim = v
-				return t, true
+				return r, true
 			}
 		}
 	}
@@ -361,10 +453,10 @@ func (e *Executor) run(w *worker) {
 	defer e.wg.Done()
 	for {
 		// Line 2: try local queue.
-		t, ok := w.queue.Pop()
+		r, ok := w.queue.Pop()
 		if !ok {
 			// Line 3: steal.
-			t, ok = w.steal()
+			r, ok = w.steal()
 		}
 		if !ok {
 			// Spin briefly before parking.
@@ -372,7 +464,7 @@ func (e *Executor) run(w *worker) {
 				if s%spinYieldEvery == spinYieldEvery-1 {
 					runtime.Gosched()
 				}
-				t, ok = w.steal()
+				r, ok = w.steal()
 			}
 		}
 		if !ok {
@@ -395,14 +487,10 @@ func (e *Executor) run(w *worker) {
 
 		// Lines 16-25: invoke, then drain the speculative cache so linear
 		// chains run without queue operations.
-		for t != nil {
-			e.invoke(w, t)
-			if w.cache != nil {
-				t = w.cache
-				w.cache = nil
-			} else {
-				t = nil
-			}
+		for r != nil {
+			e.invoke(w, r)
+			r = w.cache
+			w.cache = nil
 		}
 
 		// Lines 26-28: probabilistic wakeup for load balancing.
@@ -412,16 +500,16 @@ func (e *Executor) run(w *worker) {
 	}
 }
 
-func (e *Executor) invoke(w *worker, t Task) {
+func (e *Executor) invoke(w *worker, r *Runnable) {
 	if !e.trackBusy {
-		t(w)
+		(*r).Run(w)
 		return
 	}
 	e.busy.Add(1)
 	for _, o := range e.observers {
 		o.OnTaskStart(w.id)
 	}
-	t(w)
+	(*r).Run(w)
 	for _, o := range e.observers {
 		o.OnTaskEnd(w.id)
 	}

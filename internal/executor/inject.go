@@ -1,0 +1,79 @@
+package executor
+
+// injInitialCap is the initial capacity of the injection ring. Small: most
+// work flows through worker-local deques; external submission is the
+// topology-dispatch path.
+const injInitialCap = 64
+
+// injShrinkCap is the capacity floor below which the ring never shrinks.
+const injShrinkCap = 1024
+
+// taskRing is a growable power-of-two ring buffer of task references — the
+// storage behind the executor's external injection queue. Unlike the
+// append/re-slice queue it replaces, a drained ring reuses its slots instead
+// of marching through (and retaining) an ever-growing backing array, and it
+// shrinks back after bursts so capacity stays proportional to the live
+// backlog. All methods are called with the executor's injection lock held.
+type taskRing struct {
+	buf  []*Runnable
+	head int64 // next slot to pop
+	tail int64 // next slot to push; length = tail - head
+}
+
+func (q *taskRing) init(capacity int) {
+	q.buf = make([]*Runnable, capacity)
+}
+
+func (q *taskRing) len() int { return int(q.tail - q.head) }
+
+// resize moves the live window [head, tail) into a fresh buffer of the
+// given power-of-two capacity.
+func (q *taskRing) resize(capacity int64) {
+	buf := make([]*Runnable, capacity)
+	mask := int64(len(q.buf) - 1)
+	for i := q.head; i < q.tail; i++ {
+		buf[i&(capacity-1)] = q.buf[i&mask]
+	}
+	q.buf = buf
+}
+
+func (q *taskRing) push(r *Runnable) {
+	if q.tail-q.head == int64(len(q.buf)) {
+		q.resize(int64(len(q.buf)) * 2)
+	}
+	q.buf[q.tail&int64(len(q.buf)-1)] = r
+	q.tail++
+}
+
+func (q *taskRing) pushBatch(rs []*Runnable) {
+	need := q.tail - q.head + int64(len(rs))
+	if need > int64(len(q.buf)) {
+		c := int64(len(q.buf)) * 2
+		for c < need {
+			c *= 2
+		}
+		q.resize(c)
+	}
+	mask := int64(len(q.buf) - 1)
+	for _, r := range rs {
+		q.buf[q.tail&mask] = r
+		q.tail++
+	}
+}
+
+func (q *taskRing) pop() (*Runnable, bool) {
+	if q.head == q.tail {
+		return nil, false
+	}
+	i := q.head & int64(len(q.buf)-1)
+	r := q.buf[i]
+	q.buf[i] = nil // release the task for GC
+	q.head++
+	// Shrink after bursts: once the live backlog fits in a quarter of the
+	// ring, halve it (down to the floor) so a one-off spike does not pin
+	// the high-water-mark capacity forever.
+	if c := int64(len(q.buf)); c > injShrinkCap && (q.tail-q.head)*4 <= c {
+		q.resize(c / 2)
+	}
+	return r, true
+}

@@ -33,7 +33,8 @@ const (
 )
 
 // Pipeflow carries the per-invocation state handed to a pipe callable,
-// mirroring tf::Pipeflow.
+// mirroring tf::Pipeflow. The object is owned by the scheduling cell and
+// reused across invocations; it is only valid during the callable.
 type Pipeflow struct {
 	line  int
 	pipe  int
@@ -60,6 +61,23 @@ type Pipe struct {
 	Fn   func(*Pipeflow)
 }
 
+// cell is the pre-built task object for one (line, pipe) slot of the
+// scheduling matrix. Cells implement executor.Runnable and carry their own
+// intrusive task slot and a reusable Pipeflow, so the steady-state token
+// loop schedules pointers into the matrix without allocating per
+// invocation. A cell has at most one invocation in flight (its join
+// counter gates readiness), so the reuse is safe.
+type cell struct {
+	p    *Pipeline
+	line int
+	pipe int
+	pf   Pipeflow
+	self executor.Runnable // == &cell; &self is the scheduling currency
+}
+
+// Run implements executor.Runnable.
+func (c *cell) Run(ctx executor.Context) { c.p.runCell(ctx, c.line, c.pipe) }
+
 // Pipeline schedules tokens through pipes over a fixed set of lines.
 // A Pipeline is single-shot: build, Run once, inspect.
 type Pipeline struct {
@@ -67,6 +85,7 @@ type Pipeline struct {
 	pipes []Pipe
 	lines int
 
+	cells       [][]cell         // [line][pipe] pre-built task objects
 	joins       [][]atomic.Int32 // [line][pipe]
 	stopped     atomic.Bool
 	nextToken   atomic.Int64
@@ -96,10 +115,15 @@ func New(e *executor.Executor, lines int, pipes ...Pipe) *Pipeline {
 		done:  make(chan struct{}),
 	}
 	p.joins = make([][]atomic.Int32, lines)
+	p.cells = make([][]cell, lines)
 	for l := 0; l < lines; l++ {
 		p.joins[l] = make([]atomic.Int32, len(pipes))
+		p.cells[l] = make([]cell, len(pipes))
 		for q := range p.joins[l] {
 			p.joins[l][q].Store(p.initialJoin(l, q))
+			c := &p.cells[l][q]
+			c.p, c.line, c.pipe = p, l, q
+			c.self = c
 		}
 	}
 	return p
@@ -143,13 +167,14 @@ func (p *Pipeline) Run() int64 {
 	// The head cell is submitted directly rather than through signal, so
 	// its counter is re-armed here for the wrap-around rounds.
 	p.joins[0][0].Store(p.rearmJoin(0))
-	p.exec.Submit(p.cellTask(0, 0))
+	p.exec.Submit(p.cellRef(0, 0))
 	<-p.done
 	return p.processed.Load()
 }
 
-func (p *Pipeline) cellTask(l, q int) executor.Task {
-	return func(ctx executor.Context) { p.runCell(ctx, l, q) }
+// cellRef returns the pre-built task reference of cell (l, q).
+func (p *Pipeline) cellRef(l, q int) *executor.Runnable {
+	return &p.cells[l][q].self
 }
 
 // signal decrements cell (l, q)'s join counter and schedules it on zero,
@@ -161,9 +186,9 @@ func (p *Pipeline) signal(ctx executor.Context, l, q int, cached bool) {
 	p.joins[l][q].Store(p.rearmJoin(q))
 	p.outstanding.Add(1)
 	if cached {
-		ctx.SubmitCached(p.cellTask(l, q))
+		ctx.SubmitCached(p.cellRef(l, q))
 	} else {
-		ctx.Submit(p.cellTask(l, q))
+		ctx.Submit(p.cellRef(l, q))
 	}
 }
 
@@ -179,7 +204,8 @@ func (p *Pipeline) runCell(ctx executor.Context, l, q int) {
 			p.retire()
 			return
 		}
-		pf := &Pipeflow{line: l, pipe: 0, token: p.nextToken.Add(1) - 1}
+		pf := &p.cells[l][0].pf
+		pf.line, pf.pipe, pf.token, pf.stop = l, 0, p.nextToken.Add(1)-1, false
 		p.invoke(&p.pipes[0], pf)
 		if pf.stop {
 			p.stopped.Store(true)
@@ -200,7 +226,8 @@ func (p *Pipeline) runCell(ctx executor.Context, l, q int) {
 	}
 
 	token := p.nextTokenOnLine(l)
-	pf := &Pipeflow{line: l, pipe: q, token: token}
+	pf := &p.cells[l][q].pf
+	pf.line, pf.pipe, pf.token, pf.stop = l, q, token, false
 	p.invoke(&p.pipes[q], pf)
 
 	if p.pipes[q].Type == Serial {

@@ -17,7 +17,7 @@ func TestSamplerObservesBusyWorkers(t *testing.T) {
 	release := make(chan struct{})
 	var started atomic.Int64
 	for i := 0; i < 2; i++ {
-		e.Submit(func(executor.Context) {
+		e.SubmitFunc(func(executor.Context) {
 			started.Add(1)
 			<-release
 		})

@@ -33,9 +33,21 @@ func kernel(acc uint64, node int, spin int) uint64 {
 	return x
 }
 
-// preds inverts the successor lists of d.
+// preds inverts the successor lists of d. The per-node lists are windows
+// of one flat backing array sized from the known in-degrees, so the
+// inversion costs two allocations instead of one growth chain per node.
 func preds(d *graphgen.DAG) [][]int32 {
 	p := make([][]int32, d.N)
+	total := 0
+	for v := 0; v < d.N; v++ {
+		total += int(d.InDeg[v])
+	}
+	flat := make([]int32, total)
+	off := 0
+	for v := 0; v < d.N; v++ {
+		p[v] = flat[off : off : off+int(d.InDeg[v])]
+		off += int(d.InDeg[v])
+	}
 	for u := range d.Succ {
 		for _, v := range d.Succ[u] {
 			p[v] = append(p[v], int32(u))

@@ -37,11 +37,13 @@ func kernel(left, up uint64, spin int) uint64 {
 }
 
 // grid allocates the (m+1)×(m+1) value grid with unit borders so block
-// (0,0) has well-defined inputs.
+// (0,0) has well-defined inputs. Rows are windows of one flat backing
+// array: two allocations regardless of m.
 func grid(m int) [][]uint64 {
 	g := make([][]uint64, m+1)
+	flat := make([]uint64, (m+1)*(m+1))
 	for i := range g {
-		g[i] = make([]uint64, m+1)
+		g[i], flat = flat[:m+1:m+1], flat[m+1:]
 	}
 	for i := 0; i <= m; i++ {
 		g[i][0] = 1

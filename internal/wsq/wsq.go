@@ -6,6 +6,12 @@
 // (paper Section III-E, Algorithm 1): each worker owns one deque, runs in
 // LIFO order for locality, and is robbed in FIFO order for load balance.
 //
+// Elements are pointers: a Deque[T] stores *T values directly in its slots,
+// so pushing never boxes or copies the item. Schedulers push pointers to
+// pre-built, long-lived task objects (intrusive tasks), which keeps the
+// steady-state dispatch path allocation-free. Pushing a nil pointer is not
+// allowed.
+//
 // The implementation follows Chase and Lev, "Dynamic Circular Work-Stealing
 // Deque" (SPAA 2005), with the memory-ordering fixes from Lê et al.,
 // "Correct and Efficient Work-Stealing for Weak Memory Models" (PPoPP 2013),
@@ -39,21 +45,26 @@ func (r *ring[T]) store(i int64, v *T) { r.buf[i&r.mask].Store(v) }
 
 func (r *ring[T]) load(i int64) *T { return r.buf[i&r.mask].Load() }
 
-// grow returns a ring of twice the capacity holding the items in [top, bottom).
-func (r *ring[T]) grow(bottom, top int64) *ring[T] {
-	bigger := newRing[T](2 * r.cap())
+// grow returns a ring of at least twice the capacity (enough to also fit
+// need extra items) holding the items in [top, bottom).
+func (r *ring[T]) grow(bottom, top, need int64) *ring[T] {
+	c := 2 * r.cap()
+	for c-(bottom-top) < need {
+		c *= 2
+	}
+	bigger := newRing[T](c)
 	for i := top; i < bottom; i++ {
 		bigger.store(i, r.load(i))
 	}
 	return bigger
 }
 
-// Deque is an unbounded single-owner multi-thief work-stealing deque.
-// The zero value is not usable; construct with New.
+// Deque is an unbounded single-owner multi-thief work-stealing deque of
+// pointers. The zero value is not usable; construct with New.
 //
-// Push and Pop must only be called by the owner goroutine. Steal may be
-// called by any goroutine. Empty and Len may be called by any goroutine but
-// are inherently racy snapshots.
+// Push, PushBatch and Pop must only be called by the owner goroutine. Steal
+// may be called by any goroutine. Empty and Len may be called by any
+// goroutine but are inherently racy snapshots.
 type Deque[T any] struct {
 	bottom atomic.Int64
 	top    atomic.Int64
@@ -72,23 +83,46 @@ func New[T any](capacity int) *Deque[T] {
 	return d
 }
 
-// Push adds an item at the bottom of the deque. Owner only.
-func (d *Deque[T]) Push(item T) {
+// Push adds an item at the bottom of the deque. Owner only. The pointer is
+// stored as-is — no boxing, no allocation (amortized; growth reallocates the
+// ring).
+func (d *Deque[T]) Push(item *T) {
 	b := d.bottom.Load()
 	t := d.top.Load()
 	a := d.array.Load()
 	if b-t > a.cap()-1 {
-		a = a.grow(b, t)
+		a = a.grow(b, t, 1)
 		d.array.Store(a)
 	}
-	a.store(b, &item)
+	a.store(b, item)
 	d.bottom.Store(b + 1)
+}
+
+// PushBatch adds all items at the bottom of the deque with a single bottom
+// update and at most one ring growth. Owner only. Thieves observe the whole
+// batch at once, so a producer making many tasks ready can publish them with
+// one release instead of len(items) individual pushes.
+func (d *Deque[T]) PushBatch(items []*T) {
+	n := int64(len(items))
+	if n == 0 {
+		return
+	}
+	b := d.bottom.Load()
+	t := d.top.Load()
+	a := d.array.Load()
+	if b-t+n > a.cap() {
+		a = a.grow(b, t, n)
+		d.array.Store(a)
+	}
+	for i, item := range items {
+		a.store(b+int64(i), item)
+	}
+	d.bottom.Store(b + n)
 }
 
 // Pop removes and returns the most recently pushed item. Owner only.
 // The second result reports whether an item was obtained.
-func (d *Deque[T]) Pop() (T, bool) {
-	var zero T
+func (d *Deque[T]) Pop() (*T, bool) {
 	b := d.bottom.Load() - 1
 	a := d.array.Load()
 	d.bottom.Store(b)
@@ -96,7 +130,7 @@ func (d *Deque[T]) Pop() (T, bool) {
 	if t > b {
 		// Deque was empty; restore bottom.
 		d.bottom.Store(b + 1)
-		return zero, false
+		return nil, false
 	}
 	item := a.load(b)
 	if t == b {
@@ -104,31 +138,30 @@ func (d *Deque[T]) Pop() (T, bool) {
 		if !d.top.CompareAndSwap(t, t+1) {
 			// A thief got it first.
 			d.bottom.Store(b + 1)
-			return zero, false
+			return nil, false
 		}
 		d.bottom.Store(b + 1)
-		return *item, true
+		return item, true
 	}
-	return *item, true
+	return item, true
 }
 
 // Steal removes and returns the oldest item in the deque. Any goroutine.
 // The second result reports whether an item was obtained; contention with
-// the owner or another thief yields (zero, false), which callers should
+// the owner or another thief yields (nil, false), which callers should
 // treat as "retry elsewhere" rather than "empty".
-func (d *Deque[T]) Steal() (T, bool) {
-	var zero T
+func (d *Deque[T]) Steal() (*T, bool) {
 	t := d.top.Load()
 	b := d.bottom.Load()
 	if t >= b {
-		return zero, false
+		return nil, false
 	}
 	a := d.array.Load()
 	item := a.load(t)
 	if !d.top.CompareAndSwap(t, t+1) {
-		return zero, false
+		return nil, false
 	}
-	return *item, true
+	return item, true
 }
 
 // Empty reports whether the deque appears empty at this instant.

@@ -7,18 +7,31 @@ import (
 	"testing/quick"
 )
 
+// ints returns stable pointers to the values 0..n-1, the way a scheduler
+// owns stable pre-built task objects.
+func ints(n int) []*int {
+	backing := make([]int, n)
+	ptrs := make([]*int, n)
+	for i := range backing {
+		backing[i] = i
+		ptrs[i] = &backing[i]
+	}
+	return ptrs
+}
+
 func TestPushPopLIFO(t *testing.T) {
 	d := New[int](4)
-	for i := 0; i < 100; i++ {
-		d.Push(i)
+	items := ints(100)
+	for _, p := range items {
+		d.Push(p)
 	}
 	for i := 99; i >= 0; i-- {
 		v, ok := d.Pop()
 		if !ok {
 			t.Fatalf("Pop() empty at i=%d", i)
 		}
-		if v != i {
-			t.Fatalf("Pop() = %d, want %d", v, i)
+		if v != items[i] {
+			t.Fatalf("Pop() = %v, want item %d", v, i)
 		}
 	}
 	if _, ok := d.Pop(); ok {
@@ -28,20 +41,67 @@ func TestPushPopLIFO(t *testing.T) {
 
 func TestStealFIFO(t *testing.T) {
 	d := New[int](4)
-	for i := 0; i < 100; i++ {
-		d.Push(i)
+	items := ints(100)
+	for _, p := range items {
+		d.Push(p)
 	}
 	for i := 0; i < 100; i++ {
 		v, ok := d.Steal()
 		if !ok {
 			t.Fatalf("Steal() empty at i=%d", i)
 		}
-		if v != i {
-			t.Fatalf("Steal() = %d, want %d", v, i)
+		if v != items[i] {
+			t.Fatalf("Steal() = %v, want item %d", v, i)
 		}
 	}
 	if _, ok := d.Steal(); ok {
 		t.Fatal("Steal() on empty deque returned ok")
+	}
+}
+
+func TestPushBatchOrder(t *testing.T) {
+	d := New[int](4)
+	items := ints(100)
+	d.Push(items[0])
+	d.PushBatch(items[1:50])
+	d.PushBatch(nil) // no-op
+	d.PushBatch(items[50:])
+	// Steal sees the oldest first, across batch boundaries.
+	for i := 0; i < 100; i++ {
+		v, ok := d.Steal()
+		if !ok || v != items[i] {
+			t.Fatalf("Steal() after PushBatch = (%v,%v), want item %d", v, ok, i)
+		}
+	}
+}
+
+func TestPushBatchPopLIFO(t *testing.T) {
+	d := New[int](4)
+	items := ints(64)
+	d.PushBatch(items)
+	for i := 63; i >= 0; i-- {
+		v, ok := d.Pop()
+		if !ok || v != items[i] {
+			t.Fatalf("Pop() after PushBatch = (%v,%v), want item %d", v, ok, i)
+		}
+	}
+}
+
+func TestPushBatchGrowsOnce(t *testing.T) {
+	d := New[int](1) // capacity 64
+	items := ints(1000)
+	d.PushBatch(items)
+	if d.Len() != 1000 {
+		t.Fatalf("Len() = %d, want 1000", d.Len())
+	}
+	if d.Capacity() < 1000 {
+		t.Fatalf("Capacity() = %d, want >= 1000", d.Capacity())
+	}
+	for i := 0; i < 1000; i++ {
+		v, ok := d.Steal()
+		if !ok || v != items[i] {
+			t.Fatalf("Steal() = (%v,%v), want item %d", v, ok, i)
+		}
 	}
 }
 
@@ -53,8 +113,9 @@ func TestEmptyAndLen(t *testing.T) {
 	if d.Len() != 0 {
 		t.Fatalf("Len() = %d, want 0", d.Len())
 	}
-	d.Push("a")
-	d.Push("b")
+	a, b := "a", "b"
+	d.Push(&a)
+	d.Push(&b)
 	if d.Empty() {
 		t.Fatal("deque with items reports Empty()")
 	}
@@ -72,8 +133,9 @@ func TestGrowth(t *testing.T) {
 	d := New[int](1)
 	start := d.Capacity()
 	n := start * 8
-	for i := 0; i < n; i++ {
-		d.Push(i)
+	items := ints(n)
+	for _, p := range items {
+		d.Push(p)
 	}
 	if d.Capacity() < n {
 		t.Fatalf("Capacity() = %d after %d pushes, want >= %d", d.Capacity(), n, n)
@@ -81,20 +143,21 @@ func TestGrowth(t *testing.T) {
 	// Items must survive growth, oldest first when stolen.
 	for i := 0; i < n; i++ {
 		v, ok := d.Steal()
-		if !ok || v != i {
-			t.Fatalf("Steal() after growth = (%d,%v), want (%d,true)", v, ok, i)
+		if !ok || v != items[i] {
+			t.Fatalf("Steal() after growth = (%v,%v), want item %d", v, ok, i)
 		}
 	}
 }
 
 func TestInterleavedPushPop(t *testing.T) {
 	d := New[int](4)
+	items := ints(500)
 	next := 0
-	expect := []int{}
+	expect := []*int{}
 	for round := 0; round < 50; round++ {
 		for i := 0; i < round%7+1; i++ {
-			d.Push(next)
-			expect = append(expect, next)
+			d.Push(items[next])
+			expect = append(expect, items[next])
 			next++
 		}
 		for i := 0; i < round%3; i++ {
@@ -108,7 +171,7 @@ func TestInterleavedPushPop(t *testing.T) {
 			want := expect[len(expect)-1]
 			expect = expect[:len(expect)-1]
 			if v != want {
-				t.Fatalf("round %d: Pop() = %d, want %d", round, v, want)
+				t.Fatalf("round %d: Pop() = %v, want %v", round, v, want)
 			}
 		}
 	}
@@ -118,12 +181,12 @@ func TestInterleavedPushPop(t *testing.T) {
 func TestQuickPopReversesPush(t *testing.T) {
 	f := func(xs []int64) bool {
 		d := New[int64](2)
-		for _, x := range xs {
-			d.Push(x)
+		for i := range xs {
+			d.Push(&xs[i])
 		}
 		for i := len(xs) - 1; i >= 0; i-- {
 			v, ok := d.Pop()
-			if !ok || v != xs[i] {
+			if !ok || v != &xs[i] {
 				return false
 			}
 		}
@@ -136,15 +199,13 @@ func TestQuickPopReversesPush(t *testing.T) {
 }
 
 // Property: any split between owner pops and thief steals consumes each
-// pushed item exactly once.
+// pushed item exactly once and fully drains the deque.
 func TestQuickMixedConsumption(t *testing.T) {
 	f := func(xs []uint16, popFirst bool) bool {
 		d := New[uint16](2)
-		for _, x := range xs {
-			d.Push(x)
+		for i := range xs {
+			d.Push(&xs[i])
 		}
-		seen := make(map[int]int) // index in deque order -> count
-		// Consume half by steal, half by pop (order depends on popFirst).
 		remaining := len(xs)
 		for remaining > 0 {
 			if popFirst {
@@ -160,7 +221,6 @@ func TestQuickMixedConsumption(t *testing.T) {
 		}
 		_, okP := d.Pop()
 		_, okS := d.Steal()
-		_ = seen
 		return !okP && !okS
 	}
 	if err := quick.Check(f, nil); err != nil {
@@ -174,6 +234,7 @@ func TestConcurrentStealExactlyOnce(t *testing.T) {
 	const n = 100000
 	const thieves = 4
 	d := New[int](64)
+	items := ints(n)
 	var consumed [n]atomic.Int32
 	var total atomic.Int64
 
@@ -185,7 +246,7 @@ func TestConcurrentStealExactlyOnce(t *testing.T) {
 			defer wg.Done()
 			for {
 				if v, ok := d.Steal(); ok {
-					consumed[v].Add(1)
+					consumed[*v].Add(1)
 					total.Add(1)
 				}
 				select {
@@ -196,7 +257,7 @@ func TestConcurrentStealExactlyOnce(t *testing.T) {
 						if !ok {
 							return
 						}
-						consumed[v].Add(1)
+						consumed[*v].Add(1)
 						total.Add(1)
 					}
 				default:
@@ -207,10 +268,10 @@ func TestConcurrentStealExactlyOnce(t *testing.T) {
 
 	// Owner: push all items, interleaving pops.
 	for i := 0; i < n; i++ {
-		d.Push(i)
+		d.Push(items[i])
 		if i%3 == 0 {
 			if v, ok := d.Pop(); ok {
-				consumed[v].Add(1)
+				consumed[*v].Add(1)
 				total.Add(1)
 			}
 		}
@@ -221,7 +282,7 @@ func TestConcurrentStealExactlyOnce(t *testing.T) {
 		if !ok {
 			break
 		}
-		consumed[v].Add(1)
+		consumed[*v].Add(1)
 		total.Add(1)
 	}
 	close(stop)
@@ -232,7 +293,90 @@ func TestConcurrentStealExactlyOnce(t *testing.T) {
 		if !ok {
 			break
 		}
-		consumed[v].Add(1)
+		consumed[*v].Add(1)
+		total.Add(1)
+	}
+
+	if got := total.Load(); got != n {
+		t.Fatalf("consumed %d items, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		if c := consumed[i].Load(); c != 1 {
+			t.Fatalf("item %d consumed %d times", i, c)
+		}
+	}
+}
+
+// Concurrent stress targeting the batch-publish path: the owner publishes
+// work in batches of varying size (interleaving pops) while thieves hammer
+// Steal. Every item must still be consumed exactly once. Run with -race to
+// check the PushBatch publication ordering.
+func TestConcurrentPushBatchSteal(t *testing.T) {
+	const n = 100000
+	const thieves = 4
+	d := New[int](64)
+	items := ints(n)
+	var consumed [n]atomic.Int32
+	var total atomic.Int64
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if v, ok := d.Steal(); ok {
+					consumed[*v].Add(1)
+					total.Add(1)
+				}
+				select {
+				case <-stop:
+					for {
+						v, ok := d.Steal()
+						if !ok {
+							return
+						}
+						consumed[*v].Add(1)
+						total.Add(1)
+					}
+				default:
+				}
+			}
+		}()
+	}
+
+	// Owner: publish in batches of 1..17 items, popping a few in between.
+	for beg := 0; beg < n; {
+		size := beg%17 + 1
+		if beg+size > n {
+			size = n - beg
+		}
+		d.PushBatch(items[beg : beg+size])
+		beg += size
+		if beg%5 == 0 {
+			if v, ok := d.Pop(); ok {
+				consumed[*v].Add(1)
+				total.Add(1)
+			}
+		}
+	}
+	for {
+		v, ok := d.Pop()
+		if !ok {
+			break
+		}
+		consumed[*v].Add(1)
+		total.Add(1)
+	}
+	close(stop)
+	wg.Wait()
+	for {
+		v, ok := d.Steal()
+		if !ok {
+			break
+		}
+		consumed[*v].Add(1)
 		total.Add(1)
 	}
 
@@ -250,8 +394,9 @@ func TestConcurrentStealOnlyExactlyOnce(t *testing.T) {
 	const n = 50000
 	const thieves = 3
 	d := New[int](64)
+	items := ints(n)
 	for i := 0; i < n; i++ {
-		d.Push(i)
+		d.Push(items[i])
 	}
 	var consumed [n]atomic.Int32
 	var total atomic.Int64
@@ -263,7 +408,7 @@ func TestConcurrentStealOnlyExactlyOnce(t *testing.T) {
 			misses := 0
 			for misses < 1000 {
 				if v, ok := d.Steal(); ok {
-					consumed[v].Add(1)
+					consumed[*v].Add(1)
 					total.Add(1)
 					misses = 0
 				} else {
@@ -292,20 +437,51 @@ func TestNewRingValidation(t *testing.T) {
 	newRing[int](3)
 }
 
+// Steady-state Push/Pop must not allocate: the deque stores the caller's
+// pointer directly, with no boxing layer.
+func TestPushPopZeroAlloc(t *testing.T) {
+	d := New[int](1024)
+	item := new(int)
+	allocs := testing.AllocsPerRun(1000, func() {
+		d.Push(item)
+		d.Pop()
+	})
+	if allocs != 0 {
+		t.Fatalf("Push+Pop allocates %v objects per op, want 0", allocs)
+	}
+}
+
 func BenchmarkPushPop(b *testing.B) {
 	d := New[int](1024)
+	item := new(int)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		d.Push(i)
+		d.Push(item)
 		d.Pop()
 	}
 }
 
 func BenchmarkPushSteal(b *testing.B) {
 	d := New[int](1024)
+	item := new(int)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		d.Push(i)
+		d.Push(item)
 		d.Steal()
+	}
+}
+
+func BenchmarkPushBatchSteal(b *testing.B) {
+	d := New[int](1024)
+	items := ints(16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.PushBatch(items)
+		for j := 0; j < 16; j++ {
+			d.Steal()
+		}
 	}
 }

@@ -1,0 +1,94 @@
+// Scheduler hot-path benchmarks: steady-state re-execution of fixed
+// graph shapes via Taskflow.Run, isolating the per-task scheduling cost
+// (intrusive task refs, batch successor submission, ring injection) from
+// graph construction. Run with -benchmem: the linear chain is the
+// zero-allocation regression gate.
+package gotaskflow_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"gotaskflow/internal/core"
+)
+
+// BenchmarkSchedLinearChain re-runs a 256-node chain: pure dependency
+// hand-off, one successor per task, all through the speculative cache
+// slot. Steady state must report 0 allocs/op.
+func BenchmarkSchedLinearChain(b *testing.B) {
+	tf := core.New(workers())
+	defer tf.Close()
+	var n int64
+	prev := tf.Emplace1(func() { n++ })
+	for i := 1; i < 256; i++ {
+		next := tf.Emplace1(func() { n++ })
+		prev.Precede(next)
+		prev = next
+	}
+	if err := tf.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tf.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedDiamondRerun re-runs a 1→64→1 diamond: exercises batch
+// successor submission (one Wake per fan-out) and fan-in join counters.
+func BenchmarkSchedDiamondRerun(b *testing.B) {
+	tf := core.New(workers())
+	defer tf.Close()
+	var n atomic.Int64
+	src := tf.Emplace1(func() { n.Add(1) })
+	sink := tf.Emplace1(func() { n.Add(1) })
+	for i := 0; i < 64; i++ {
+		mid := tf.Emplace1(func() { n.Add(1) })
+		src.Precede(mid)
+		mid.Precede(sink)
+	}
+	if err := tf.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tf.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedBinaryTree re-runs a complete binary tree of depth 10
+// (2047 nodes): steadily widening fan-out, the shape work stealing feeds
+// on.
+func BenchmarkSchedBinaryTree(b *testing.B) {
+	tf := core.New(workers())
+	defer tf.Close()
+	var n atomic.Int64
+	const depth = 10
+	level := []core.Task{tf.Emplace1(func() { n.Add(1) })}
+	for d := 1; d <= depth; d++ {
+		next := make([]core.Task, 0, 1<<d)
+		for _, p := range level {
+			l := tf.Emplace1(func() { n.Add(1) })
+			r := tf.Emplace1(func() { n.Add(1) })
+			p.Precede(l, r)
+			next = append(next, l, r)
+		}
+		level = next
+	}
+	if err := tf.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tf.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
