@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench
+.PHONY: all build test vet race chaos bench
 
 all: vet build test
 
@@ -17,7 +17,14 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race -short ./internal/...
+	$(GO) test -race ./internal/...
+
+# chaos runs the fault-injection stress suite under the race detector:
+# deterministic seeded panics/failures/delays over wavefront- and
+# traversal-shaped graphs, asserting the executor always quiesces with a
+# coherent aggregated error and no goroutine leaks.
+chaos:
+	$(GO) test -race -count=5 ./internal/chaos/
 
 # bench runs the scheduler hot-path benchmarks (steady-state re-runs plus
 # the paper's wavefront/traversal end-to-end figures) with allocation

@@ -64,8 +64,11 @@ func TestAblationOptionsStillCorrect(t *testing.T) {
 	}
 	for name, opts := range configs {
 		e := executor.New(2, opts...)
-		got := wavefront.TaskflowShared(24, wavefront.Spin, e)
+		got, err := wavefront.TaskflowShared(24, wavefront.Spin, e)
 		e.Shutdown()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
 		if got != want {
 			t.Fatalf("%s: checksum %#x, want %#x", name, got, want)
 		}

@@ -48,7 +48,10 @@ func main() {
 	case *accuracy:
 		cfg, data := experiments.MLConfig(sizes, *epochCount, *images)
 		cfg.LR = 0.1 // a practical rate for the synthetic set
-		net, losses := dnn.TrainTaskflow(cfg, data, *workers)
+		net, losses, err := dnn.TrainTaskflow(cfg, data, *workers)
+		if err != nil {
+			log.Fatalf("training failed: %v", err)
+		}
 		test := mnist.Synthetic(*images/5, cfg.Seed+1)
 		fmt.Printf("%s: %d epochs, %d images, %d tasks/epoch\n",
 			label, cfg.Epochs, *images, cfg.NumTasksPerEpoch(*images))

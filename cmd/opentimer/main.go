@@ -165,7 +165,9 @@ func reportCircuit(ckt *circuit.Circuit, workers int) {
 	tm := sta.New(ckt, experiments.ClockPeriod)
 	a := stav2.New(tm, workers)
 	defer a.Close()
-	a.Run(tm.FullUpdate())
+	if err := a.Run(tm.FullUpdate()); err != nil {
+		log.Fatalf("timing update failed: %v", err)
+	}
 	ws, at := tm.WorstSlack()
 	fmt.Printf("design %s: %d gates, %d timing arcs\n", ckt.Name, ckt.NumGates(), ckt.NumEdges())
 	fmt.Printf("worst slack %.3f ps at %s\n", ws, ckt.Gates[at].Name)

@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"os"
 
 	"gotaskflow/internal/circuit"
@@ -58,6 +59,8 @@ func main() {
 	inc := tm.PrepareUpdate(seeds)
 	fmt.Printf("resized u4 to %s: incremental update touches %d of %d propagation tasks\n",
 		ckt.Gates[u4].Cell.Name, inc.NumTasks(), update.NumTasks())
-	a.Run(inc)
+	if err := a.Run(inc); err != nil {
+		log.Fatalf("incremental update failed: %v", err)
+	}
 	report("after resize")
 }

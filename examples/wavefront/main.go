@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"time"
 
 	"gotaskflow/internal/wavefront"
@@ -23,7 +24,10 @@ func main() {
 	seqD := time.Since(start)
 
 	start = time.Now()
-	got := wavefront.Taskflow(*m, wavefront.Spin, *workers)
+	got, err := wavefront.Taskflow(*m, wavefront.Spin, *workers)
+	if err != nil {
+		log.Fatalf("wavefront: %v", err)
+	}
 	parD := time.Since(start)
 
 	fmt.Printf("wavefront %dx%d (%d tasks)\n", *m, *m, wavefront.NumTasks(*m))

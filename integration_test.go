@@ -29,8 +29,8 @@ func TestMicroBenchmarkBackendsAgreeAtScale(t *testing.T) {
 	}
 	const m = 48
 	want := wavefront.Sequential(m, wavefront.Spin)
-	if got := wavefront.Taskflow(m, wavefront.Spin, 2); got != want {
-		t.Fatal("wavefront taskflow mismatch")
+	if got, err := wavefront.Taskflow(m, wavefront.Spin, 2); err != nil || got != want {
+		t.Fatalf("wavefront taskflow mismatch (err %v)", err)
 	}
 	if got := wavefront.FlowGraph(m, wavefront.Spin, 2); got != want {
 		t.Fatal("wavefront flowgraph mismatch")
@@ -41,8 +41,8 @@ func TestMicroBenchmarkBackendsAgreeAtScale(t *testing.T) {
 
 	d := graphgen.Random(30000, graphgen.Config{MaxIn: 4, MaxOut: 4, Seed: 99})
 	wantT := traversal.Sequential(d, traversal.Spin)
-	if got := traversal.Taskflow(d, traversal.Spin, 2); got != wantT {
-		t.Fatal("traversal taskflow mismatch")
+	if got, err := traversal.Taskflow(d, traversal.Spin, 2); err != nil || got != wantT {
+		t.Fatalf("traversal taskflow mismatch (err %v)", err)
 	}
 	if got := traversal.FlowGraph(d, traversal.Spin, 2); got != wantT {
 		t.Fatal("traversal flowgraph mismatch")
@@ -121,7 +121,10 @@ func TestDNNBackendsProduceIdenticalModels(t *testing.T) {
 		Seed:      5,
 	}
 	seq, losses := dnn.TrainSequential(cfg, data)
-	tf, _ := dnn.TrainTaskflow(cfg, data, 2)
+	tf, _, errTF := dnn.TrainTaskflow(cfg, data, 2)
+	if errTF != nil {
+		t.Fatal(errTF)
+	}
 	fg, _ := dnn.TrainFlowGraph(cfg, data, 2)
 	om, _ := dnn.TrainOMP(cfg, data, 2)
 	if !seq.Equal(tf, 0) || !seq.Equal(fg, 0) || !seq.Equal(om, 0) {
@@ -144,10 +147,15 @@ func TestSharedExecutorAcrossSubsystems(t *testing.T) {
 	ckt := circuit.Generate("shared", circuit.Config{Gates: 1000, Seed: 4})
 	tm := sta.New(ckt, experiments.ClockPeriod)
 	a := stav2.NewShared(tm, e)
-	a.Run(tm.FullUpdate())
+	if err := a.Run(tm.FullUpdate()); err != nil {
+		t.Fatal(err)
+	}
 
 	want := wavefront.Sequential(24, wavefront.Spin)
-	got := wavefront.Taskflow(24, wavefront.Spin, 2)
+	got, err := wavefront.Taskflow(24, wavefront.Spin, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got != want {
 		t.Fatal("wavefront alongside shared-executor timing failed")
 	}

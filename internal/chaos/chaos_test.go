@@ -1,0 +1,248 @@
+package chaos_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"gotaskflow/internal/chaos"
+	"gotaskflow/internal/core"
+)
+
+// waitQuiesce runs WaitForAll with a liveness deadline: the whole point of
+// the fault layer is that no injected mixture of panics, failures, and
+// delays can hang the waiters.
+func waitQuiesce(t *testing.T, tf *core.Taskflow) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- tf.WaitForAll() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(60 * time.Second):
+		t.Fatal("executor failed to quiesce under injected faults")
+		return nil
+	}
+}
+
+// assertCoherent checks the error contract after a chaotic run: an error
+// is reported iff a panic or failure actually fired, and pure error-mode
+// faults are identifiable via errors.Is(err, ErrInjected).
+func assertCoherent(t *testing.T, in *chaos.Injector, err error) {
+	t.Helper()
+	fails, panics := 0, 0
+	for _, f := range in.Triggered() {
+		switch f.Mode {
+		case chaos.Fail:
+			fails++
+		case chaos.Panic:
+			panics++
+		}
+	}
+	if fails+panics > 0 && err == nil {
+		t.Fatalf("%d faults fired but the run reported no error", fails+panics)
+	}
+	if fails+panics == 0 && err != nil {
+		t.Fatalf("no fault fired but the run reported %v", err)
+	}
+	if err == nil {
+		return
+	}
+	if panics == 0 && !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("error %v does not identify the injected failure", err)
+	}
+	if fails == 0 && panics > 0 && !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("error %v does not surface the injected panic", err)
+	}
+}
+
+// buildWavefront wires an n x n wavefront grid — cell (i,j) precedes
+// (i+1,j) and (i,j+1) — with every body wrapped by the injector.
+func buildWavefront(tf *core.Taskflow, in *chaos.Injector, n int) {
+	grid := make([][]core.Task, n)
+	for i := range grid {
+		grid[i] = make([]core.Task, n)
+		for j := range grid[i] {
+			name := fmt.Sprintf("w%d_%d", i, j)
+			grid[i][j] = tf.EmplaceErr(in.Wrap(name, func() {
+				// A touch of real work so delays overlap execution.
+				runtime.Gosched()
+			})).Name(name)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i+1 < n {
+				grid[i][j].Precede(grid[i+1][j])
+			}
+			if j+1 < n {
+				grid[i][j].Precede(grid[i][j+1])
+			}
+		}
+	}
+}
+
+// buildTraversal wires a layered random DAG — layers x width nodes, each
+// non-first-layer node depending on one-to-three random nodes of the
+// previous layer — with every body wrapped by the injector. The shape is
+// drawn from its own seeded PRNG so a failing seed replays exactly.
+func buildTraversal(tf *core.Taskflow, in *chaos.Injector, seed int64, layers, width int) {
+	rng := rand.New(rand.NewSource(seed))
+	prev := make([]core.Task, 0, width)
+	for l := 0; l < layers; l++ {
+		cur := make([]core.Task, 0, width)
+		for w := 0; w < width; w++ {
+			name := fmt.Sprintf("t%d_%d", l, w)
+			task := tf.EmplaceErr(in.Wrap(name, nil)).Name(name)
+			if l > 0 {
+				deps := 1 + rng.Intn(3)
+				for d := 0; d < deps; d++ {
+					prev[rng.Intn(len(prev))].Precede(task)
+				}
+			}
+			cur = append(cur, task)
+		}
+		prev = cur
+	}
+}
+
+func TestChaosWavefrontQuiesces(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			in := chaos.New(chaos.Config{
+				Seed:     seed,
+				PPanic:   0.02,
+				PFail:    0.05,
+				PDelay:   0.20,
+				MaxDelay: 2 * time.Millisecond,
+			})
+			tf := core.New(4)
+			defer tf.Close()
+			buildWavefront(tf, in, 8)
+			assertCoherent(t, in, waitQuiesce(t, tf))
+		})
+	}
+}
+
+func TestChaosTraversalQuiesces(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			in := chaos.New(chaos.Config{
+				Seed:     seed,
+				PPanic:   0.03,
+				PFail:    0.08,
+				PDelay:   0.15,
+				MaxDelay: time.Millisecond,
+			})
+			tf := core.New(4)
+			defer tf.Close()
+			buildTraversal(tf, in, seed, 12, 8)
+			assertCoherent(t, in, waitQuiesce(t, tf))
+		})
+	}
+}
+
+// Faults layered on retrying tasks: retries must neither hang the
+// topology nor mask a permanently failing body.
+func TestChaosWithRetriesQuiesces(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			in := chaos.New(chaos.Config{Seed: seed, PFail: 0.15, PDelay: 0.1})
+			tf := core.New(4)
+			defer tf.Close()
+			var prev core.Task
+			for i := 0; i < 40; i++ {
+				task := tf.EmplaceErr(in.Wrap(fmt.Sprintf("r%d", i), nil)).
+					Retry(2, 100*time.Microsecond)
+				if i > 0 {
+					prev.Precede(task)
+				}
+				prev = task
+			}
+			err := waitQuiesce(t, tf)
+			// A Wrap-planned Fail fires on every attempt, so retries must
+			// exhaust and surface it; a clean plan must stay clean.
+			if in.CountPlanned(chaos.Fail) > 0 {
+				if !errors.Is(err, chaos.ErrInjected) {
+					t.Fatalf("err = %v, want injected failure after retry exhaustion", err)
+				}
+			} else if err != nil {
+				t.Fatalf("err = %v with a fault-free plan", err)
+			}
+		})
+	}
+}
+
+// Faults inside semaphore-throttled graphs: units must be returned on
+// every exit path or the drain deadlocks.
+func TestChaosWithSemaphoresQuiesces(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			in := chaos.New(chaos.Config{Seed: seed, PPanic: 0.05, PFail: 0.1, PDelay: 0.2})
+			tf := core.New(4)
+			defer tf.Close()
+			sem := core.NewSemaphore(2)
+			for i := 0; i < 60; i++ {
+				tf.EmplaceErr(in.Wrap(fmt.Sprintf("s%d", i), nil)).
+					Acquire(sem).Release(sem)
+			}
+			assertCoherent(t, in, waitQuiesce(t, tf))
+		})
+	}
+}
+
+func TestChaosDeterministicPlan(t *testing.T) {
+	build := func() []chaos.Fault {
+		in := chaos.New(chaos.Config{Seed: 42, PPanic: 0.1, PFail: 0.2, PDelay: 0.3})
+		for i := 0; i < 200; i++ {
+			in.Wrap(fmt.Sprintf("n%d", i), nil)
+		}
+		return in.Planned()
+	}
+	a, b := build(), build()
+	if len(a) == 0 {
+		t.Fatal("plan is empty; probabilities too low for the test to mean anything")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("plans differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plan diverges at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// The whole suite must not leak goroutines: after every topology drains
+// and executors shut down, the count returns to the baseline.
+func TestChaosNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for seed := int64(0); seed < 3; seed++ {
+		in := chaos.New(chaos.Config{Seed: seed, PPanic: 0.05, PFail: 0.1, PDelay: 0.2})
+		tf := core.New(4)
+		buildWavefront(tf, in, 6)
+		waitQuiesce(t, tf)
+		tf.Close()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		now := runtime.NumGoroutine()
+		if now <= before+2 { // tolerate runtime helpers
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines: %d before, %d after\n%s",
+				before, now, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -144,6 +145,123 @@ func TestCancelDoesNotAffectOtherTopologies(t *testing.T) {
 	}
 	if ran.Load() != 20 {
 		t.Fatalf("sibling topology ran %d of 20 tasks", ran.Load())
+	}
+	tf.WaitForAll()
+}
+
+// Cancel racing a semaphore-parked node: the parked node is owned by the
+// semaphore when cancellation lands. It must still be handed back and
+// drained — body skipped, units returned — or the topology never
+// completes.
+func TestCancelRacesSemaphoreParkedNode(t *testing.T) {
+	tf := New(4)
+	defer tf.Close()
+	sem := NewSemaphore(1)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var parkedRan atomic.Int64
+
+	holder := tf.Emplace1(func() { close(started); <-gate })
+	holder.Acquire(sem).Release(sem)
+	// This source cannot get a unit while holder runs: it parks.
+	parked := tf.Emplace1(func() { parkedRan.Add(1) })
+	parked.Acquire(sem).Release(sem)
+
+	f := tf.Dispatch()
+	<-started
+	f.Cancel()
+	close(gate)
+	if err := f.Get(); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("Get() = %v, want ErrCancelled", err)
+	}
+	if parkedRan.Load() != 0 {
+		t.Fatal("parked node body ran after cancellation")
+	}
+	if got := sem.Value(); got != 1 {
+		t.Fatalf("semaphore has %d units after drain, want 1", got)
+	}
+	tf.WaitForAll()
+}
+
+// Cancel landing while a joined subflow's children are in flight: the
+// join must still retire so the parent graph drains.
+func TestCancelDuringJoinedSubflow(t *testing.T) {
+	tf := New(4)
+	defer tf.Close()
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	var after atomic.Int64
+
+	sub := tf.EmplaceSubflow(func(sf *Subflow) {
+		for i := 0; i < 8; i++ {
+			sf.Emplace1(func() {
+				once.Do(func() { close(started) })
+				<-gate
+			})
+		}
+	})
+	tail := tf.Emplace1(func() { after.Add(1) })
+	sub.Precede(tail)
+
+	f := tf.Dispatch()
+	<-started // at least one child is executing
+	f.Cancel()
+	close(gate)
+	if err := f.Get(); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("Get() = %v, want ErrCancelled", err)
+	}
+	if after.Load() != 0 {
+		t.Fatal("successor of the cancelled subflow ran")
+	}
+	tf.WaitForAll()
+}
+
+// Double-Cancel is idempotent: one ErrCancelled, no panic, no duplicate
+// aggregation.
+func TestDoubleCancel(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	tf.Emplace1(func() { close(started); <-gate })
+	f := tf.Dispatch()
+	<-started
+	f.Cancel()
+	f.Cancel()
+	close(gate)
+	err := f.Get()
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("Get() = %v, want ErrCancelled", err)
+	}
+	// The guard must keep the second Cancel from appending a second
+	// ErrCancelled: a single failure comes back unwrapped.
+	if err != ErrCancelled {
+		t.Fatalf("Get() = %v, want the bare ErrCancelled sentinel", err)
+	}
+	tf.WaitForAll()
+}
+
+// Cancel after the topology finished stays a no-op even when racing Get.
+func TestCancelAfterDoneConcurrentWithGet(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	for i := 0; i < 20; i++ {
+		tf.Emplace1(func() {})
+	}
+	f := tf.Dispatch()
+	f.Wait()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); f.Cancel() }()
+	}
+	wg.Wait()
+	if err := f.Get(); err != nil {
+		t.Fatalf("Get() = %v after post-completion Cancels", err)
+	}
+	if f.Cancelled() {
+		t.Fatal("finished topology reports cancelled")
 	}
 	tf.WaitForAll()
 }

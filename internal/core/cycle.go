@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// findCycleError checks g for strong dependency cycles with Kahn's
+// algorithm (weak edges leaving condition tasks are legal cycles — that is
+// how task-graph loops are expressed — so they are ignored). It returns
+// nil for an acyclic graph, or a descriptive error naming the tasks on one
+// cycle, wrapping ErrCyclic. The happy path costs two O(V) scratch slices
+// and one O(V+E) sweep; the error path allocates freely.
+func findCycleError(g *graph) error {
+	n := g.len()
+	indeg := make([]int32, n)
+	for _, nd := range g.nodes {
+		indeg[nd.idx] = int32(nd.numDependents)
+	}
+	queue := make([]*node, 0, n)
+	for _, nd := range g.nodes {
+		if indeg[nd.idx] == 0 {
+			queue = append(queue, nd)
+		}
+	}
+	visited := 0
+	for len(queue) > 0 {
+		nd := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		visited++
+		if nd.isCondition() {
+			continue // out-edges of condition tasks are weak
+		}
+		nd.eachSuccessor(func(s *node) {
+			indeg[s.idx]--
+			if indeg[s.idx] == 0 {
+				queue = append(queue, s)
+			}
+		})
+	}
+	if visited == n {
+		return nil
+	}
+	return cycleError(g, indeg)
+}
+
+// cycleError names the tasks on one strong cycle of the residual graph
+// left by Kahn's algorithm (every node with a positive residual in-degree
+// has at least one residual strong predecessor, so walking predecessors
+// inside the residual set must revisit a node — that revisit closes a
+// cycle).
+func cycleError(g *graph, indeg []int32) error {
+	residual := func(nd *node) bool { return indeg[nd.idx] > 0 }
+	// Invert the strong edges of the residual subgraph.
+	pred := make(map[*node]*node, len(g.nodes))
+	var start *node
+	for _, nd := range g.nodes {
+		if !residual(nd) {
+			continue
+		}
+		if start == nil {
+			start = nd
+		}
+		if nd.isCondition() {
+			continue
+		}
+		nd.eachSuccessor(func(s *node) {
+			if residual(s) && pred[s] == nil {
+				pred[s] = nd
+			}
+		})
+	}
+	// Walk predecessors until a node repeats; the repeated node anchors
+	// the cycle.
+	seen := make(map[*node]int, len(pred))
+	walk := []*node{}
+	cur := start
+	for cur != nil {
+		if at, ok := seen[cur]; ok {
+			walk = walk[at:] // drop the tail leading into the cycle
+			break
+		}
+		seen[cur] = len(walk)
+		walk = append(walk, cur)
+		cur = pred[cur]
+	}
+	// The walk followed predecessors, so reverse it into execution order.
+	for i, j := 0, len(walk)-1; i < j; i, j = i+1, j-1 {
+		walk[i], walk[j] = walk[j], walk[i]
+	}
+	const maxNamed = 8
+	names := make([]string, 0, maxNamed+1)
+	for i, nd := range walk {
+		if i == maxNamed {
+			names = append(names, fmt.Sprintf("… %d more", len(walk)-maxNamed))
+			break
+		}
+		names = append(names, nd.label(int(nd.idx)))
+	}
+	return fmt.Errorf("core: cycle through tasks %s: %w",
+		strings.Join(names, " -> "), ErrCyclic)
+}

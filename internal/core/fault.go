@@ -1,0 +1,145 @@
+package core
+
+// Fault-tolerance layer: error-returning and context-aware task variants,
+// per-task retry policies, and the plumbing that turns failures into
+// cooperative topology cancellation. The paper's model assumes every task
+// body succeeds; the successor Taskflow system (arXiv:2004.10908) added
+// cancellation/exception support on top of the IPDPS 2019 executor, and
+// this file is the Go counterpart. Graphs that use none of these features
+// pay nothing on the scheduling hot path beyond two nil checks per task.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gotaskflow/internal/executor"
+)
+
+// retryBackoffCap bounds the exponential backoff between retry attempts.
+const retryBackoffCap = 30 * time.Second
+
+// retryPolicy is a task's failure-retry configuration: up to max retries
+// after the first failure, spaced by capped exponential backoff with
+// jitter starting from backoff.
+type retryPolicy struct {
+	max     int
+	backoff time.Duration
+}
+
+// delay returns the wait before the attempt-th retry (1-based): the base
+// backoff doubled per earlier attempt, capped at retryBackoffCap, with
+// uniform jitter in [d/2, d] so synchronized failures do not retry in
+// lockstep.
+func (rp *retryPolicy) delay(attempt int) time.Duration {
+	d := rp.backoff
+	if d <= 0 {
+		return 0
+	}
+	for i := 1; i < attempt && d < retryBackoffCap; i++ {
+		d *= 2
+	}
+	if d > retryBackoffCap {
+		d = retryBackoffCap
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// Retry gives the task a failure-retry policy: when its body returns an
+// error or panics, it re-executes up to n more times, waiting between
+// attempts with capped exponential backoff plus jitter starting from
+// backoff. The wait happens on a timer, not a worker — the task is
+// resubmitted through the executor when the timer fires, so a retrying
+// task never parks a worker. Semaphore units are released during the wait
+// and re-acquired on resubmission. Retry applies to Emplace, EmplaceErr
+// and EmplaceCtx bodies; condition and subflow tasks do not retry.
+func (t Task) Retry(n int, backoff time.Duration) Task {
+	t.must("Retry")
+	if n < 0 {
+		panic("core: negative retry count")
+	}
+	t.node.extra().retry = &retryPolicy{max: n, backoff: backoff}
+	return t
+}
+
+// WorkErr assigns (or replaces) an error-returning callable: a non-nil
+// result fail-fast-cancels the topology (see EmplaceErr).
+func (t Task) WorkErr(fn func() error) Task {
+	t.must("WorkErr")
+	t.mustKeepKind("WorkErr", false)
+	t.node.errWork = fn
+	t.node.work, t.node.ctxWork, t.node.subflowWork, t.node.condWork = nil, nil, nil, nil
+	return t
+}
+
+// WorkCtx assigns (or replaces) a context-aware callable (see EmplaceCtx).
+func (t Task) WorkCtx(fn func(context.Context) error) Task {
+	t.must("WorkCtx")
+	t.mustKeepKind("WorkCtx", false)
+	t.node.ctxWork = fn
+	t.node.work, t.node.errWork, t.node.subflowWork, t.node.condWork = nil, nil, nil, nil
+	return t
+}
+
+// EmplaceErr creates an error-returning task. A non-nil result (or a
+// panic) is recorded and fail-fast-cancels the topology: tasks that have
+// not started are skipped, the dependency structure drains so Wait and Get
+// never hang, and Future.Get reports every captured error via errors.Join.
+func (tf *Taskflow) EmplaceErr(fn func() error) Task {
+	return Task{tf.present.emplaceErr(fn)}
+}
+
+// EmplaceCtx creates a context-aware, error-returning task. The body
+// receives a context that is cancelled when the topology fails, is
+// cancelled, or exceeds the deadline of RunContext/DispatchContext, so
+// long-running bodies can stop cooperatively mid-flight.
+func (tf *Taskflow) EmplaceCtx(fn func(context.Context) error) Task {
+	return Task{tf.present.emplaceCtx(fn)}
+}
+
+// EmplaceErr creates an error-returning task in the subflow; see
+// Taskflow.EmplaceErr.
+func (sf *Subflow) EmplaceErr(fn func() error) Task {
+	return Task{sf.g.emplaceErr(fn)}
+}
+
+// EmplaceCtx creates a context-aware task in the subflow; see
+// Taskflow.EmplaceCtx.
+func (sf *Subflow) EmplaceCtx(fn func(context.Context) error) Task {
+	return Task{sf.g.emplaceCtx(fn)}
+}
+
+// execSubmitter adapts *executor.Executor to the submitter interface used
+// by semaphore admission and retry resubmission. Executor.Submit returns
+// an error only after Shutdown; admission hand-offs are best-effort there
+// (the topology is already unable to progress).
+type execSubmitter struct{ e *executor.Executor }
+
+func (s execSubmitter) Submit(r *executor.Runnable) { _ = s.e.Submit(r) }
+
+// resubmitAfter re-executes n after d through a timer and the executor's
+// injection queue — the waiting task holds no worker. The execution stays
+// counted in pending, keeping the topology open until the retry resolves.
+func (t *topology) resubmitAfter(d time.Duration, n *node) {
+	submit := func() {
+		if n.hasAcquires() && !t.admit(execSubmitter{t.exec}, n) {
+			return // parked; a semaphore release will submit it
+		}
+		if err := t.exec.Submit(n.ref()); err != nil {
+			// The executor shut down while the retry waited: the topology
+			// cannot progress. Record the failure and retire the execution
+			// so waiters unblock.
+			t.fail(fmt.Errorf("core: retry of task %q: %w", n.nodeName(), err))
+			if t.pending.Add(-1) == 0 {
+				t.finish()
+			}
+		}
+	}
+	if d <= 0 {
+		submit()
+		return
+	}
+	time.AfterFunc(d, submit)
+}

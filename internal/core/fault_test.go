@@ -1,0 +1,461 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gotaskflow/internal/executor"
+)
+
+func TestEmplaceErrSuccess(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	var n atomic.Int64
+	a := tf.EmplaceErr(func() error { n.Add(1); return nil })
+	b := tf.EmplaceErr(func() error { n.Add(1); return nil })
+	a.Precede(b)
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 2 {
+		t.Fatalf("ran %d tasks, want 2", n.Load())
+	}
+}
+
+func TestEmplaceErrFailFastCancelsTopology(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	boom := errors.New("boom")
+	var after atomic.Int64
+	bad := tf.EmplaceErr(func() error { return boom }).Name("bad")
+	// A long chain behind the failure: none of it may run.
+	prev := bad
+	for i := 0; i < 50; i++ {
+		cur := tf.Emplace1(func() { after.Add(1) })
+		prev.Precede(cur)
+		prev = cur
+	}
+	f := tf.Dispatch()
+	err := f.Get()
+	if !errors.Is(err, boom) {
+		t.Fatalf("Get() = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), `task "bad"`) {
+		t.Fatalf("error does not name the failing task: %v", err)
+	}
+	if !f.Cancelled() {
+		t.Fatal("failing task did not cancel the topology")
+	}
+	if after.Load() != 0 {
+		t.Fatalf("%d successors ran after a fail-fast cancel", after.Load())
+	}
+	tf.WaitForAll()
+}
+
+func TestGetJoinsAllErrors(t *testing.T) {
+	tf := New(4)
+	defer tf.Close()
+	e1, e2 := errors.New("first"), errors.New("second")
+	ready := make(chan struct{}, 2)
+	gate := make(chan struct{})
+	// Two independent tasks fail; both errors must surface from Get. Both
+	// bodies are in flight before either returns, so neither failure can
+	// cancel-skip the other.
+	tf.EmplaceErr(func() error { ready <- struct{}{}; <-gate; return e1 })
+	tf.EmplaceErr(func() error { ready <- struct{}{}; <-gate; return e2 })
+	f := tf.Dispatch()
+	<-ready
+	<-ready
+	close(gate)
+	err := f.Get()
+	if !errors.Is(err, e1) || !errors.Is(err, e2) {
+		t.Fatalf("Get() = %v, want both errors joined", err)
+	}
+	tf.WaitForAll()
+}
+
+func TestEmplaceErrPanicConvertsToError(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	tf.EmplaceErr(func() error { panic("kapow") })
+	err := tf.WaitForAll()
+	if err == nil || !strings.Contains(err.Error(), "kapow") {
+		t.Fatalf("WaitForAll() = %v, want converted panic", err)
+	}
+}
+
+func TestEmplaceCtxObservesFailFast(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	boom := errors.New("boom")
+	started := make(chan struct{})
+	var ctxErr error
+	slow := tf.EmplaceCtx(func(ctx context.Context) error {
+		close(started)
+		<-ctx.Done() // unblocked by the sibling's failure
+		ctxErr = ctx.Err()
+		return nil
+	})
+	_ = slow
+	tf.EmplaceErr(func() error { <-started; return boom })
+	if err := tf.WaitForAll(); !errors.Is(err, boom) {
+		t.Fatalf("WaitForAll() = %v, want boom", err)
+	}
+	if !errors.Is(ctxErr, context.Canceled) {
+		t.Fatalf("in-flight ctx task observed %v, want context.Canceled", ctxErr)
+	}
+}
+
+func TestRetryEventuallySucceeds(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	var attempts atomic.Int64
+	tf.EmplaceErr(func() error {
+		if attempts.Add(1) < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	}).Retry(5, time.Millisecond)
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatalf("WaitForAll() = %v after retries, want nil", err)
+	}
+	if attempts.Load() != 3 {
+		t.Fatalf("body ran %d times, want 3", attempts.Load())
+	}
+}
+
+func TestRetryExhaustedFails(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	boom := errors.New("persistent")
+	var attempts atomic.Int64
+	tf.EmplaceErr(func() error { attempts.Add(1); return boom }).
+		Name("flaky").Retry(3, time.Millisecond)
+	err := tf.WaitForAll()
+	if !errors.Is(err, boom) {
+		t.Fatalf("WaitForAll() = %v, want persistent failure", err)
+	}
+	if attempts.Load() != 4 { // 1 initial + 3 retries
+		t.Fatalf("body ran %d times, want 4", attempts.Load())
+	}
+}
+
+func TestRetryOnPanickingPlainTask(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	var attempts atomic.Int64
+	tf.Emplace1(func() {
+		if attempts.Add(1) < 2 {
+			panic("flaky panic")
+		}
+	}).Retry(3, 0)
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatalf("WaitForAll() = %v, want nil after panic retry", err)
+	}
+	if attempts.Load() != 2 {
+		t.Fatalf("body ran %d times, want 2", attempts.Load())
+	}
+}
+
+// A retrying task must wait on a timer, not on a worker: with a single
+// worker, other ready tasks run during the backoff window.
+func TestRetryDoesNotParkWorker(t *testing.T) {
+	tf := New(1)
+	defer tf.Close()
+	var order []string
+	var attempts int
+	tf.EmplaceErr(func() error {
+		attempts++
+		if attempts == 1 {
+			return errors.New("first attempt fails")
+		}
+		order = append(order, "retry")
+		return nil
+	}).Retry(1, 30*time.Millisecond)
+	tf.Emplace1(func() { order = append(order, "other") })
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Appends are single-worker-serialized; no extra synchronization.
+	if len(order) != 2 || order[0] != "other" {
+		t.Fatalf("execution order %v: the other task did not run during the backoff", order)
+	}
+}
+
+func TestRetryReacquiresSemaphore(t *testing.T) {
+	tf := New(4)
+	defer tf.Close()
+	sem := NewSemaphore(1)
+	var inside, peak atomic.Int64
+	var attempts atomic.Int64
+	enter := func() {
+		v := inside.Add(1)
+		for {
+			p := peak.Load()
+			if v <= p || peak.CompareAndSwap(p, v) {
+				break
+			}
+		}
+		inside.Add(-1)
+	}
+	flaky := tf.EmplaceErr(func() error {
+		enter()
+		if attempts.Add(1) == 1 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	flaky.Acquire(sem).Release(sem).Retry(2, time.Millisecond)
+	for i := 0; i < 3; i++ {
+		tf.Emplace1(enter).Acquire(sem).Release(sem)
+	}
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() != 1 {
+		t.Fatalf("semaphore admitted %d concurrent tasks across retries, want 1", peak.Load())
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	var done atomic.Int64
+	gate := make(chan struct{})
+	head := tf.Emplace1(func() { <-gate })
+	tail := tf.Emplace1(func() { done.Add(1) })
+	head.Precede(tail)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	go func() { time.Sleep(60 * time.Millisecond); close(gate) }()
+	err := tf.RunContext(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunContext = %v, want DeadlineExceeded", err)
+	}
+	if done.Load() != 0 {
+		t.Fatal("successor ran after the deadline cancelled the run")
+	}
+	// The deadline does not stick: a later Run succeeds.
+	if err := tf.Run(); err != nil {
+		t.Fatalf("Run after expired RunContext = %v", err)
+	}
+	if done.Load() != 1 {
+		t.Fatalf("tail ran %d times in the follow-up run, want 1", done.Load())
+	}
+}
+
+func TestRunContextAlreadyCancelled(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	var ran atomic.Int64
+	tf.Emplace1(func() { ran.Add(1) })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := tf.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext on done ctx = %v, want Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatal("task ran despite an already-cancelled context")
+	}
+}
+
+func TestDispatchContextCancel(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	var after atomic.Int64
+	head := tf.Emplace1(func() { close(started); <-gate })
+	tail := tf.Emplace1(func() { after.Add(1) })
+	head.Precede(tail)
+	ctx, cancel := context.WithCancel(context.Background())
+	f := tf.DispatchContext(ctx)
+	<-started
+	cancel()
+	// The cancel watcher runs asynchronously; wait for it to take effect
+	// before letting the head task finish.
+	for !f.Cancelled() {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	if err := f.Get(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Get() = %v, want context.Canceled", err)
+	}
+	if after.Load() != 0 {
+		t.Fatal("successor ran after context cancellation")
+	}
+	tf.WaitForAll()
+}
+
+func TestDispatchContextCtxTaskObservesDeadline(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	observed := make(chan error, 1)
+	tf.EmplaceCtx(func(ctx context.Context) error {
+		<-ctx.Done()
+		observed <- ctx.Err()
+		return ctx.Err()
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	f := tf.DispatchContext(ctx)
+	if err := f.Get(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Get() = %v, want DeadlineExceeded", err)
+	}
+	if err := <-observed; !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("body ctx reported %v, want DeadlineExceeded", err)
+	}
+	tf.WaitForAll()
+}
+
+func TestRunWithErrTasksResetsBetweenRuns(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	fail := true
+	tf.EmplaceErr(func() error {
+		if fail {
+			return errors.New("once")
+		}
+		return nil
+	})
+	if err := tf.Run(); err == nil {
+		t.Fatal("first run should fail")
+	}
+	fail = false
+	if err := tf.Run(); err != nil {
+		t.Fatalf("second run = %v, want nil (error must not stick)", err)
+	}
+}
+
+func TestDispatchCyclicGraphErrors(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	src := tf.Emplace1(func() {}).Name("src")
+	a := tf.Emplace1(func() {}).Name("a")
+	b := tf.Emplace1(func() {}).Name("b")
+	c := tf.Emplace1(func() {}).Name("c")
+	src.Precede(a)
+	a.Precede(b)
+	b.Precede(c)
+	c.Precede(a) // cycle a -> b -> c -> a behind a live source
+	f := tf.Dispatch()
+	err := f.Get()
+	if !errors.Is(err, ErrCyclic) {
+		t.Fatalf("Get() = %v, want ErrCyclic", err)
+	}
+	for _, name := range []string{"a", "b", "c"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("cycle error %q does not name task %q", err, name)
+		}
+	}
+	tf.WaitForAll()
+}
+
+func TestRunCyclicGraphErrors(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	src := tf.Emplace1(func() {})
+	a := tf.Emplace1(func() {}).Name("x")
+	b := tf.Emplace1(func() {}).Name("y")
+	src.Precede(a)
+	a.Precede(b)
+	b.Precede(a)
+	if err := tf.Run(); !errors.Is(err, ErrCyclic) {
+		t.Fatalf("Run = %v, want ErrCyclic", err)
+	}
+}
+
+// Condition-task loops are legal cycles and must not be rejected.
+func TestDispatchConditionLoopNotFlaggedCyclic(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	i := 0
+	init := tf.Emplace1(func() {})
+	body := tf.Emplace1(func() { i++ })
+	cond := tf.EmplaceCondition(func() int {
+		if i < 3 {
+			return 0
+		}
+		return 1
+	})
+	exit := tf.Emplace1(func() {})
+	init.Precede(body)
+	body.Precede(cond)
+	cond.Precede(body, exit)
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatalf("condition loop rejected: %v", err)
+	}
+	if i != 3 {
+		t.Fatalf("loop body ran %d times, want 3", i)
+	}
+}
+
+func TestDispatchAfterShutdownReportsErrShutdown(t *testing.T) {
+	tf := New(2)
+	tf.Emplace1(func() {})
+	tf.Close() // shuts down the owned executor
+	f := tf.Dispatch()
+	if err := f.Get(); !errors.Is(err, executor.ErrShutdown) {
+		t.Fatalf("Get() after Close = %v, want ErrShutdown", err)
+	}
+}
+
+func TestRunAfterShutdownReportsErrShutdown(t *testing.T) {
+	tf := New(2)
+	tf.Emplace1(func() {})
+	tf.Close()
+	if err := tf.Run(); !errors.Is(err, executor.ErrShutdown) {
+		t.Fatalf("Run() after Close = %v, want ErrShutdown", err)
+	}
+}
+
+func TestSubflowEmplaceErrFailFast(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	boom := errors.New("inner")
+	var after atomic.Int64
+	sub := tf.EmplaceSubflow(func(sf *Subflow) {
+		bad := sf.EmplaceErr(func() error { return boom })
+		next := sf.Emplace1(func() { after.Add(1) })
+		bad.Precede(next)
+	})
+	tail := tf.Emplace1(func() { after.Add(1) })
+	sub.Precede(tail)
+	err := tf.WaitForAll()
+	if !errors.Is(err, boom) {
+		t.Fatalf("WaitForAll() = %v, want inner failure", err)
+	}
+	if after.Load() != 0 {
+		t.Fatalf("%d tasks ran after a subflow fail-fast", after.Load())
+	}
+}
+
+// Steady-state alloc gate for the fault layer itself: a graph with
+// error-returning tasks that succeed re-runs without allocating (the
+// fallible path mints no per-execution objects).
+func TestRunErrTasksZeroAllocWhenHealthy(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	var n int64
+	prev := tf.EmplaceErr(func() error { n++; return nil })
+	for i := 0; i < 15; i++ {
+		next := tf.EmplaceErr(func() error { n++; return nil })
+		prev.Precede(next)
+		prev = next
+	}
+	if err := tf.Run(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := tf.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("healthy EmplaceErr chain allocates %v objects/run, want 0", allocs)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -14,13 +15,17 @@ import (
 type node struct {
 	name string
 
-	// At most one of work/subflowWork/condWork is non-nil for a runnable
-	// node; all nil means a placeholder that acts as a synchronization
-	// point. condWork marks a condition task: its integer result selects
-	// which successor to signal, and its out-edges are weak (they do not
-	// count toward successors' join counters), enabling branches and
-	// loops in the task graph.
+	// At most one of work/errWork/ctxWork/subflowWork/condWork is non-nil
+	// for a runnable node; all nil means a placeholder that acts as a
+	// synchronization point. condWork marks a condition task: its integer
+	// result selects which successor to signal, and its out-edges are weak
+	// (they do not count toward successors' join counters), enabling
+	// branches and loops in the task graph. errWork and ctxWork are the
+	// fallible variants: a non-nil returned error fail-fast-cancels the
+	// topology (see topology.runFallible).
 	work        func()
+	errWork     func() error
+	ctxWork     func(context.Context) error
 	subflowWork func(*Subflow)
 	condWork    func() int
 
@@ -37,6 +42,11 @@ type node struct {
 	// node is a topology source only when both are zero.
 	numDependents int
 	numWeakPreds  int
+
+	// idx is the node's position in its graph's node list, assigned at
+	// emplace time. Dispatch-time cycle detection indexes its scratch
+	// arrays with it instead of allocating a map per dispatch.
+	idx int32
 
 	// join is the number of unfinished dependents; a node becomes ready
 	// when it drops to zero. Reset from numDependents at dispatch.
@@ -82,6 +92,13 @@ type nodeExt struct {
 	// re-dispatch invalidation and DOT dumps).
 	subgraph *graph
 	detached bool
+
+	// retry is the node's failure-retry policy (nil: fail immediately);
+	// attempts counts the failures of the current execution. attempts is
+	// only touched by the node's own execution and the timer resubmitting
+	// it, which are strictly ordered.
+	retry    *retryPolicy
+	attempts int
 }
 
 // extra returns the node's cold-field block, allocating it on first use.
@@ -106,6 +123,22 @@ func (n *node) nodeName() string {
 // execution — the scheduling hot path's one-branch test for the rare case.
 func (n *node) hasAcquires() bool {
 	return n.ext != nil && len(n.ext.acquires) > 0
+}
+
+// retryPolicy returns the node's retry policy (nil when absent) — like
+// hasAcquires, a one-branch test for the common no-retry case.
+func (n *node) retryPolicy() *retryPolicy {
+	if n.ext != nil {
+		return n.ext.retry
+	}
+	return nil
+}
+
+// isFallible reports whether the node's body can report failure: an
+// error-returning or context-aware work kind, or any work kind with a
+// retry policy attached.
+func (n *node) isFallible() bool {
+	return n.errWork != nil || n.ctxWork != nil || n.retryPolicy() != nil
 }
 
 // semAcquires returns the node's acquisition list (nil when absent).
@@ -222,6 +255,7 @@ func (g *graph) alloc() *node {
 }
 
 func (g *graph) emplace(n *node) *node {
+	n.idx = int32(len(g.nodes))
 	g.nodes = append(g.nodes, n)
 	return n
 }
@@ -230,6 +264,20 @@ func (g *graph) emplace(n *node) *node {
 func (g *graph) emplaceWork(fn func()) *node {
 	n := g.alloc()
 	n.work = fn
+	return g.emplace(n)
+}
+
+// emplaceErr adds a node running the error-returning fn.
+func (g *graph) emplaceErr(fn func() error) *node {
+	n := g.alloc()
+	n.errWork = fn
+	return g.emplace(n)
+}
+
+// emplaceCtx adds a node running the context-aware fn.
+func (g *graph) emplaceCtx(fn func(context.Context) error) *node {
+	n := g.alloc()
+	n.ctxWork = fn
 	return g.emplace(n)
 }
 

@@ -6,57 +6,34 @@ package core
 // which is the shape of iterative workloads (timing propagation sweeps,
 // training epochs, simulation steps). Because every node carries its own
 // intrusive task slot and the reusable topology and source batch are built
-// once, steady-state re-runs allocate nothing.
+// once, steady-state re-runs allocate nothing — as long as the graph uses
+// no context/deadline features, which by nature materialize a fresh
+// context per run.
+
+import "context"
 
 // Run executes the present graph once and blocks until it finishes,
-// returning the first task error (panics are converted). The graph is NOT
-// consumed: calling Run again re-executes it, and steady-state re-runs of
-// an unchanged graph are allocation-free. Adding tasks between runs is
-// allowed (the run state is rebuilt); mixing Run with Dispatch is allowed
-// (Dispatch consumes the graph as usual). Run must not be called
-// concurrently with itself or with graph construction.
+// returning every captured task error joined (panics are converted). The
+// graph is NOT consumed: calling Run again re-executes it, and
+// steady-state re-runs of an unchanged graph are allocation-free. Adding
+// tasks between runs is allowed (the run state is rebuilt); mixing Run
+// with Dispatch is allowed (Dispatch consumes the graph as usual). Run
+// must not be called concurrently with itself or with graph construction.
 func (tf *Taskflow) Run() error {
-	g := tf.present
-	if g.len() == 0 {
-		return nil
-	}
-	t := tf.runTopo
-	if t == nil || t.graph != g || len(tf.runSources)+len(tf.runSemSources) == 0 ||
-		tf.runStale() {
-		var err error
-		if t, err = tf.prepareRun(); err != nil {
-			return err
-		}
-	}
+	return tf.run(nil)
+}
 
-	// Per-run reset. Join counters must be re-armed for every node: a
-	// node that executed last run was already re-armed at schedule time,
-	// but an untaken condition branch retains a partial count.
-	t.errMu.Lock()
-	t.err = nil
-	t.errMu.Unlock()
-	t.cancelled.Store(false)
-	for _, n := range g.nodes {
-		n.topo = t
-		n.parent = nil
-		n.join.Store(int32(n.numDependents))
+// RunContext is Run bound to ctx: when ctx is cancelled or its deadline
+// expires mid-run, the topology is cooperatively cancelled — tasks that
+// have not started are skipped, the graph drains, and the returned error
+// includes ctx.Err(). Context-aware tasks observe the cancellation through
+// their body context. A ctx that is already done fails the run without
+// executing anything.
+func (tf *Taskflow) RunContext(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
 	}
-	t.pending.Store(int64(len(tf.runSources) + len(tf.runSemSources)))
-
-	// Semaphore-guarded sources are admitted or parked individually (rare
-	// path); the rest start as one batch.
-	for _, n := range tf.runSemSources {
-		if t.admit(tf.exec, n) {
-			tf.exec.Submit(n.ref())
-		}
-	}
-	tf.exec.SubmitBatch(tf.runSources)
-	<-t.done
-
-	t.errMu.Lock()
-	err := t.err
-	t.errMu.Unlock()
-	return err
+	return tf.run(ctx)
 }
 
 // RunN executes the present graph n times sequentially, stopping at the
@@ -70,6 +47,82 @@ func (tf *Taskflow) RunN(n int) error {
 	return nil
 }
 
+func (tf *Taskflow) run(ctx context.Context) error {
+	g := tf.present
+	if g.len() == 0 {
+		return nil
+	}
+	t := tf.runTopo
+	if t == nil || t.graph != g || len(tf.runSources)+len(tf.runSemSources) == 0 ||
+		tf.runStale() {
+		var err error
+		if t, err = tf.prepareRun(); err != nil {
+			return err
+		}
+	}
+
+	// Per-run reset. The run generation advances so a deadline callback
+	// left over from a previous run cannot cancel this one, and a fresh
+	// derived context is materialized when ctx tasks or a caller context
+	// need one.
+	t.errMu.Lock()
+	t.errs = t.errs[:0]
+	t.gen++
+	gen := t.gen
+	t.ctx, t.cancelCtx = nil, nil
+	if t.hasCtx || ctx != nil {
+		parent := ctx
+		if parent == nil {
+			parent = context.Background()
+		}
+		t.ctx, t.cancelCtx = context.WithCancel(parent)
+	}
+	t.errMu.Unlock()
+	t.cancelled.Store(false)
+
+	var stopWatch func() bool
+	if ctx != nil && ctx.Done() != nil {
+		stopWatch = context.AfterFunc(ctx, func() { t.cancelWith(gen, ctx.Err()) })
+	}
+
+	// Join counters must be re-armed for every node: a node that executed
+	// last run was already re-armed at schedule time, but an untaken
+	// condition branch retains a partial count.
+	for _, n := range g.nodes {
+		n.topo = t
+		n.parent = nil
+		n.join.Store(int32(n.numDependents))
+	}
+	t.pending.Store(int64(len(tf.runSources) + len(tf.runSemSources)))
+
+	// Semaphore-guarded sources are admitted or parked individually (rare
+	// path); the rest start as one batch.
+	for _, n := range tf.runSemSources {
+		if t.admit(execSubmitter{tf.exec}, n) {
+			if err := tf.exec.Submit(n.ref()); err != nil {
+				t.setErr(err)
+				if t.pending.Add(-1) == 0 {
+					t.finish()
+				}
+			}
+		}
+	}
+	if err := tf.exec.SubmitBatch(tf.runSources); err != nil {
+		// The executor was already shut down: the batch was rejected
+		// whole. Undo its pending charge so the run completes with the
+		// error instead of hanging.
+		t.setErr(err)
+		if t.pending.Add(-int64(len(tf.runSources))) == 0 {
+			t.finish()
+		}
+	}
+	<-t.done
+	if stopWatch != nil {
+		stopWatch()
+	}
+	return t.joinedErr()
+}
+
 // runStale reports whether tasks were added to the present graph since the
 // run state was built.
 func (tf *Taskflow) runStale() bool {
@@ -77,7 +130,7 @@ func (tf *Taskflow) runStale() bool {
 }
 
 // prepareRun (re)builds the reusable topology and the pre-partitioned
-// source lists for the present graph.
+// source lists for the present graph, refusing strongly cyclic graphs.
 func (tf *Taskflow) prepareRun() (*topology, error) {
 	g := tf.present
 	t := &topology{
@@ -90,6 +143,9 @@ func (tf *Taskflow) prepareRun() (*topology, error) {
 	tf.runSources = tf.runSources[:0]
 	tf.runSemSources = tf.runSemSources[:0]
 	for _, n := range g.nodes {
+		if n.ctxWork != nil {
+			t.hasCtx = true
+		}
 		if !n.isSource() {
 			continue
 		}
@@ -102,6 +158,10 @@ func (tf *Taskflow) prepareRun() (*topology, error) {
 	if len(tf.runSources)+len(tf.runSemSources) == 0 {
 		tf.invalidateRun()
 		return nil, ErrNoSource
+	}
+	if err := findCycleError(g); err != nil {
+		tf.invalidateRun()
+		return nil, err
 	}
 	tf.runTopo = t
 	return t, nil

@@ -103,8 +103,9 @@ func insertSem(list []*Semaphore, s *Semaphore) []*Semaphore {
 }
 
 // submitter abstracts "where a semaphore-admitted task goes": a worker's
-// scheduling Context during execution, or the Executor itself at dispatch
-// time. Both already implement Submit(*executor.Runnable), so admission
+// scheduling Context during execution, or the executor's injection queue
+// at dispatch and retry time (through the pointer-shaped execSubmitter
+// adapter, which boxes into this interface without allocating). Admission
 // paths pass them directly instead of minting a method-value closure per
 // call.
 type submitter interface {

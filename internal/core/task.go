@@ -56,8 +56,7 @@ func (t Task) Work(fn func()) Task {
 	t.must("Work")
 	t.mustKeepKind("Work", false)
 	t.node.work = fn
-	t.node.subflowWork = nil
-	t.node.condWork = nil
+	t.node.errWork, t.node.ctxWork, t.node.subflowWork, t.node.condWork = nil, nil, nil, nil
 	return t
 }
 
@@ -68,8 +67,7 @@ func (t Task) WorkSubflow(fn func(*Subflow)) Task {
 	t.must("WorkSubflow")
 	t.mustKeepKind("WorkSubflow", false)
 	t.node.subflowWork = fn
-	t.node.work = nil
-	t.node.condWork = nil
+	t.node.work, t.node.errWork, t.node.ctxWork, t.node.condWork = nil, nil, nil, nil
 	return t
 }
 
@@ -81,8 +79,7 @@ func (t Task) WorkCondition(fn func() int) Task {
 	t.must("WorkCondition")
 	t.mustKeepKind("WorkCondition", true)
 	t.node.condWork = fn
-	t.node.work = nil
-	t.node.subflowWork = nil
+	t.node.work, t.node.errWork, t.node.ctxWork, t.node.subflowWork = nil, nil, nil, nil
 	return t
 }
 
@@ -98,7 +95,8 @@ func (t Task) mustKeepKind(op string, wantCondition bool) {
 // IsPlaceholder reports whether the task currently has no work assigned.
 func (t Task) IsPlaceholder() bool {
 	t.must("IsPlaceholder")
-	return t.node.work == nil && t.node.subflowWork == nil && t.node.condWork == nil
+	return t.node.work == nil && t.node.errWork == nil && t.node.ctxWork == nil &&
+		t.node.subflowWork == nil && t.node.condWork == nil
 }
 
 // IsCondition reports whether the task is a condition task.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 
 	"gotaskflow/internal/executor"
@@ -27,6 +28,13 @@ type FlowBuilder interface {
 	// EmplaceSubflow creates a dynamic task; at runtime fn receives a
 	// *Subflow through which it spawns a child task graph.
 	EmplaceSubflow(fn func(*Subflow)) Task
+	// EmplaceErr creates an error-returning task; a non-nil result
+	// fail-fast-cancels the topology (see Taskflow.EmplaceErr).
+	EmplaceErr(fn func() error) Task
+	// EmplaceCtx creates a context-aware, error-returning task; the body
+	// receives a context cancelled on topology failure, cancellation, or
+	// deadline (see Taskflow.EmplaceCtx).
+	EmplaceCtx(fn func(context.Context) error) Task
 	// EmplaceCondition creates a condition task. At runtime fn returns
 	// the index of the successor to signal (in Precede order); any other
 	// index signals nothing. Edges leaving a condition task are weak:
@@ -146,57 +154,40 @@ func (tf *Taskflow) NumTopologies() int { return len(tf.topologies) }
 // Validate checks the present graph for strong dependency cycles (Kahn's
 // algorithm over strong edges). Cycles through condition tasks are legal —
 // that is how task-graph loops are expressed — so weak edges are ignored.
-// Dispatching a strongly cyclic graph would deadlock the waiters, so
-// callers constructing graphs from untrusted structure should Validate
-// first. Returns nil or ErrCyclic.
+// Dispatch and Run perform the same check and refuse cyclic graphs with a
+// descriptive error instead of deadlocking the waiters. Returns nil or an
+// error naming the tasks on one cycle, wrapping ErrCyclic.
 func (tf *Taskflow) Validate() error {
-	g := tf.present
-	indeg := make(map[*node]int, g.len())
-	for _, n := range g.nodes {
-		indeg[n] = n.numDependents
-	}
-	queue := make([]*node, 0, g.len())
-	for _, n := range g.nodes {
-		if indeg[n] == 0 {
-			queue = append(queue, n)
-		}
-	}
-	visited := 0
-	for len(queue) > 0 {
-		n := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
-		visited++
-		if n.isCondition() {
-			continue // out-edges of condition tasks are weak
-		}
-		n.eachSuccessor(func(s *node) {
-			indeg[s]--
-			if indeg[s] == 0 {
-				queue = append(queue, s)
-			}
-		})
-	}
-	if visited != g.len() {
-		return ErrCyclic
-	}
-	return nil
+	return findCycleError(tf.present)
 }
 
 // Dispatch moves the present graph into a topology, schedules it for
 // execution without blocking, and returns a Future to its completion
 // status. The Taskflow is left with a fresh empty graph (paper Listing 6).
+// A strongly cyclic graph is not scheduled at all: the Future completes
+// immediately and Get reports a descriptive error naming the cycle.
 func (tf *Taskflow) Dispatch() *Future {
-	t := tf.dispatch()
+	t := tf.dispatch(nil)
+	return &Future{t}
+}
+
+// DispatchContext is Dispatch bound to ctx: when ctx is cancelled or its
+// deadline expires, the topology is cooperatively cancelled — tasks that
+// have not started are skipped, the graph drains, and Future.Get reports
+// ctx.Err() among the captured errors. Context-aware tasks observe the
+// cancellation mid-flight through their body context.
+func (tf *Taskflow) DispatchContext(ctx context.Context) *Future {
+	t := tf.dispatch(ctx)
 	return &Future{t}
 }
 
 // SilentDispatch dispatches the present graph, ignoring the execution
 // status.
 func (tf *Taskflow) SilentDispatch() {
-	tf.dispatch()
+	tf.dispatch(nil)
 }
 
-func (tf *Taskflow) dispatch() *topology {
+func (tf *Taskflow) dispatch(ctx context.Context) *topology {
 	g := tf.present
 	tf.present = &graph{}
 	tf.invalidateRun()
@@ -209,10 +200,14 @@ func (tf *Taskflow) dispatch() *topology {
 	}
 
 	numSources := 0
+	hasCtx := false
 	for _, n := range g.nodes {
 		n.topo = t
 		n.parent = nil
 		n.join.Store(int32(n.numDependents))
+		if n.ctxWork != nil {
+			hasCtx = true
+		}
 		if n.isSource() {
 			numSources++
 		}
@@ -221,6 +216,20 @@ func (tf *Taskflow) dispatch() *topology {
 		t.setErr(ErrNoSource)
 		close(t.done)
 		return t
+	}
+	// A strong cycle behind the sources would never drain; refuse it with
+	// a descriptive error instead of deadlocking the waiters.
+	if err := findCycleError(g); err != nil {
+		t.setErr(err)
+		close(t.done)
+		return t
+	}
+	if ctx != nil || hasCtx {
+		t.ensureCtx(ctx)
+	}
+	if ctx != nil && ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() { t.cancelWith(0, ctx.Err()) })
+		go func() { <-t.done; stop() }()
 	}
 	// pending counts outstanding executions; sources are pre-counted
 	// before submission so no execution can retire against a zero count.
@@ -232,32 +241,38 @@ func (tf *Taskflow) dispatch() *topology {
 		if !n.isSource() {
 			continue
 		}
-		if n.hasAcquires() && !t.admit(tf.exec, n) {
+		if n.hasAcquires() && !t.admit(execSubmitter{tf.exec}, n) {
 			continue
 		}
 		runnable = append(runnable, n.ref())
 	}
-	tf.exec.SubmitBatch(runnable)
+	if err := tf.exec.SubmitBatch(runnable); err != nil {
+		// The executor was already shut down: nothing was accepted. Undo
+		// the batch's pending charge so the topology can complete and
+		// waiters observe the error instead of hanging.
+		t.setErr(err)
+		if t.pending.Add(-int64(len(runnable))) == 0 {
+			t.finish()
+		}
+	}
 	return t
 }
 
 // WaitForAll dispatches the present graph (if non-empty) and blocks until
 // every dispatched topology finishes. Completed topologies are reclaimed;
-// it returns the first task error observed across them (panics are
-// converted to errors).
+// it returns every captured task error across them aggregated with
+// errors.Join (panics are converted to errors).
 func (tf *Taskflow) WaitForAll() error {
 	if tf.present.len() > 0 {
-		tf.dispatch()
+		tf.dispatch(nil)
 	}
-	var first error
+	var errs []error
 	for _, t := range tf.topologies {
 		<-t.done
-		t.errMu.Lock()
-		if first == nil && t.err != nil {
-			first = t.err
+		if err := t.joinedErr(); err != nil {
+			errs = append(errs, err)
 		}
-		t.errMu.Unlock()
 	}
 	tf.topologies = tf.topologies[:0]
-	return first
+	return joinErrs(errs)
 }

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -353,8 +355,13 @@ func TestValidate(t *testing.T) {
 		t.Fatalf("Validate() on DAG = %v", err)
 	}
 	ts[2].Precede(ts[1]) // introduce cycle reachable from a source
-	if err := tf.Validate(); err != ErrCyclic {
+	err := tf.Validate()
+	if !errors.Is(err, ErrCyclic) {
 		t.Fatalf("Validate() = %v, want ErrCyclic", err)
+	}
+	// The error names the offending tasks (placeholder labels here).
+	if !strings.Contains(err.Error(), "->") {
+		t.Fatalf("Validate() error does not name the cycle: %v", err)
 	}
 	// Do not dispatch the cyclic graph; rebuild.
 	tf.present = &graph{}

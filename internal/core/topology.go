@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -32,17 +34,34 @@ type topology struct {
 	// signalled with a token on the (buffered) done channel instead of a
 	// close, so the same topology object serves many runs without
 	// reallocating. builtLen records the graph size the cached run state
-	// was prepared for, invalidating it when tasks are added.
+	// was prepared for, invalidating it when tasks are added. hasCtx
+	// records whether the graph contains context-aware tasks, so each run
+	// materializes a cancellable context for them.
 	reusable bool
 	builtLen int
+	hasCtx   bool
 
+	// errMu guards the captured-error list, the derived context, and the
+	// run generation counter. errs accumulates every task failure (plus
+	// cancellation/deadline causes); Future.Get joins them.
 	errMu sync.Mutex
-	err   error
+	errs  []error
+
+	// ctx/cancelCtx is the topology's derived context, materialized only
+	// when a context feature is in use (ctx tasks, RunContext or
+	// DispatchContext). Failure and cancellation cancel it, signalling
+	// in-flight context-aware bodies. gen guards reusable topologies
+	// against stale deadline callbacks from a previous run.
+	ctx       context.Context
+	cancelCtx context.CancelFunc
+	gen       uint64
 }
 
 // finish signals quiescence: close for one-shot (dispatched) topologies,
-// a token for reusable (Run) topologies.
+// a token for reusable (Run) topologies. The derived context (if any) is
+// cancelled so deadline timers and ctx-task observers are released.
 func (t *topology) finish() {
+	t.cancelDerivedCtx()
 	if t.reusable {
 		t.done <- struct{}{}
 	} else {
@@ -64,13 +83,13 @@ func (f *Future) Done() <-chan struct{} { return f.t.done }
 // Wait blocks until the topology has finished executing.
 func (f *Future) Wait() { <-f.t.done }
 
-// Get blocks until the topology finishes and returns the first error
-// captured from a panicking task, or ErrCancelled after Cancel.
+// Get blocks until the topology finishes and returns nil on full success,
+// or every captured failure — task errors, converted panics, ErrCancelled
+// after Cancel, the context error after a deadline — aggregated with
+// errors.Join (a single failure is returned unwrapped).
 func (f *Future) Get() error {
 	<-f.t.done
-	f.t.errMu.Lock()
-	defer f.t.errMu.Unlock()
-	return f.t.err
+	return f.t.joinedErr()
 }
 
 // Cancel requests cooperative cancellation of the topology: tasks that
@@ -85,19 +104,108 @@ func (f *Future) Cancel() {
 	default:
 	}
 	if !f.t.cancelled.Swap(true) {
-		f.t.setErr(ErrCancelled)
+		f.t.addErr(ErrCancelled)
+		f.t.cancelDerivedCtx()
 	}
 }
 
-// Cancelled reports whether Cancel was called.
+// Cancelled reports whether the topology was cancelled — by Cancel, by a
+// failing task (fail-fast), or by a context deadline.
 func (f *Future) Cancelled() bool { return f.t.cancelled.Load() }
 
-func (t *topology) setErr(err error) {
+// addErr records one captured failure.
+func (t *topology) addErr(err error) {
 	t.errMu.Lock()
-	if t.err == nil {
-		t.err = err
+	t.errs = append(t.errs, err)
+	t.errMu.Unlock()
+}
+
+// setErr is addErr under its historical name for the dispatch-time
+// structural errors (no source, cycle).
+func (t *topology) setErr(err error) { t.addErr(err) }
+
+// joinedErr aggregates the captured failures: nil, the sole error, or
+// errors.Join of all of them.
+func (t *topology) joinedErr() error {
+	t.errMu.Lock()
+	defer t.errMu.Unlock()
+	return joinErrs(t.errs)
+}
+
+// joinErrs joins errs without wrapping a sole error.
+func joinErrs(errs []error) error {
+	switch len(errs) {
+	case 0:
+		return nil
+	case 1:
+		return errs[0]
+	}
+	return errors.Join(errs...)
+}
+
+// fail records a task failure and fail-fast-cancels the topology: tasks
+// that have not started are skipped while the dependency structure drains,
+// so waiters observe the failure promptly and never hang.
+func (t *topology) fail(err error) {
+	t.addErr(err)
+	t.cancelled.Store(true)
+	t.cancelDerivedCtx()
+}
+
+// cancelWith cancels the topology attributing err as the cause — the
+// cooperative-cancel path used by context deadlines. gen must be the run
+// generation the caller observed; a stale callback from a previous run of
+// a reusable topology is ignored.
+func (t *topology) cancelWith(gen uint64, err error) {
+	t.errMu.Lock()
+	if gen != t.gen {
+		t.errMu.Unlock()
+		return
+	}
+	t.errs = append(t.errs, err)
+	cancel := t.cancelCtx
+	t.errMu.Unlock()
+	t.cancelled.Store(true)
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// ensureCtx materializes the topology's derived context (parent nil means
+// Background). Safe for concurrent use; no-op once materialized.
+func (t *topology) ensureCtx(parent context.Context) {
+	t.errMu.Lock()
+	if t.ctx == nil {
+		if parent == nil {
+			parent = context.Background()
+		}
+		t.ctx, t.cancelCtx = context.WithCancel(parent)
+		if t.cancelled.Load() {
+			t.cancelCtx()
+		}
 	}
 	t.errMu.Unlock()
+}
+
+// taskContext returns the context handed to context-aware task bodies.
+func (t *topology) taskContext() context.Context {
+	t.errMu.Lock()
+	c := t.ctx
+	t.errMu.Unlock()
+	if c == nil {
+		return context.Background()
+	}
+	return c
+}
+
+// cancelDerivedCtx cancels the derived context, if one was materialized.
+func (t *topology) cancelDerivedCtx() {
+	t.errMu.Lock()
+	cancel := t.cancelCtx
+	t.errMu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
 }
 
 // schedule accounts for and submits one new execution of node s from
@@ -170,6 +278,10 @@ func (t *topology) runNode(ctx executor.Context, n *node) {
 				t.spawn(ctx, sf.g, nil)
 			}
 		}
+	case n.isFallible():
+		if !t.runFallible(ctx, n) {
+			return // retry scheduled; the execution is still outstanding
+		}
 	case n.work != nil:
 		t.invoke(n, n.work)
 		t.releaseSems(ctx, n)
@@ -177,6 +289,53 @@ func (t *topology) runNode(ctx executor.Context, n *node) {
 		t.releaseSems(ctx, n)
 	}
 	t.finishNode(ctx, n)
+}
+
+// runFallible executes the body of an error-returning, context-aware or
+// retryable task. It reports whether the execution resolved (success or
+// final failure) — false means a retry was scheduled and the execution
+// remains outstanding. A final failure fail-fast-cancels the topology.
+func (t *topology) runFallible(ctx executor.Context, n *node) bool {
+	err := t.captureErr(n)
+	if err == nil {
+		if n.ext != nil {
+			n.ext.attempts = 0
+		}
+		t.releaseSems(ctx, n)
+		return true
+	}
+	if rp := n.retryPolicy(); rp != nil && n.ext.attempts < rp.max && !t.cancelled.Load() {
+		n.ext.attempts++
+		// Release units now: the retry waits on a timer, not on a worker,
+		// and re-admits through the semaphores when it resubmits.
+		t.releaseSems(ctx, n)
+		t.resubmitAfter(rp.delay(n.ext.attempts), n)
+		return false
+	}
+	if n.ext != nil {
+		n.ext.attempts = 0
+	}
+	t.fail(fmt.Errorf("core: task %q failed: %w", n.nodeName(), err))
+	t.releaseSems(ctx, n)
+	return true
+}
+
+// captureErr invokes n's body, converting a panic into an error.
+func (t *topology) captureErr(n *node) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("task panicked: %v", r)
+		}
+	}()
+	switch {
+	case n.errWork != nil:
+		return n.errWork()
+	case n.ctxWork != nil:
+		return n.ctxWork(t.taskContext())
+	case n.work != nil:
+		n.work()
+	}
+	return nil
 }
 
 // invoke runs fn, converting a panic into a recorded topology error so the
@@ -197,10 +356,14 @@ func (t *topology) invoke(n *node, fn func()) {
 // and the caller must complete the parent itself.
 func (t *topology) spawn(ctx executor.Context, g *graph, parent *node) bool {
 	nsrc := 0
+	needCtx := false
 	for _, c := range g.nodes {
 		c.topo = t
 		c.parent = parent
 		c.join.Store(int32(c.numDependents))
+		if c.ctxWork != nil {
+			needCtx = true
+		}
 		if c.isSource() {
 			nsrc++
 		}
@@ -208,6 +371,9 @@ func (t *topology) spawn(ctx executor.Context, g *graph, parent *node) bool {
 	if nsrc == 0 {
 		t.setErr(ErrNoSource)
 		return false
+	}
+	if needCtx {
+		t.ensureCtx(nil)
 	}
 	// Pre-count all sources before submitting any, so an early-finishing
 	// child cannot observe a transiently zero counter.

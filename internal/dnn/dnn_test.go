@@ -157,7 +157,10 @@ func TestAllBackendsMatchSequential(t *testing.T) {
 	want, wantLoss := TrainSequential(cfg, d)
 
 	for _, workers := range []int{1, 2, 4} {
-		gotTF, lossTF := TrainTaskflow(cfg, d, workers)
+		gotTF, lossTF, err := TrainTaskflow(cfg, d, workers)
+		if err != nil {
+			t.Fatalf("Taskflow(%d workers): %v", workers, err)
+		}
 		if !want.Equal(gotTF, 0) {
 			t.Fatalf("Taskflow(%d workers) weights differ from sequential", workers)
 		}
@@ -187,7 +190,10 @@ func TestFiveLayerBackendsMatch(t *testing.T) {
 		Seed:      9,
 	}
 	want, _ := TrainSequential(cfg, d)
-	got, _ := TrainTaskflow(cfg, d, 2)
+	got, _, err := TrainTaskflow(cfg, d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !want.Equal(got, 0) {
 		t.Fatal("5-layer Taskflow differs from sequential")
 	}

@@ -41,8 +41,9 @@ func numSlots(workers, epochs int) int {
 // expressed as one static Cpp-Taskflow graph covering the full training
 // run: per-epoch shuffle tasks Ei_Sj feeding per-batch pipelines
 // F -> G(L-1) -> ... -> G(0) with each U(l) after G(l), and the next
-// batch's F after every U of the previous batch.
-func TrainTaskflow(cfg Config, d *mnist.Dataset, workers int) (*MLP, []float64) {
+// batch's F after every U of the previous batch. Task failures are
+// returned, not re-panicked.
+func TrainTaskflow(cfg Config, d *mnist.Dataset, workers int) (*MLP, []float64, error) {
 	net := NewMLP(cfg.Sizes, cfg.Seed)
 	tr := NewTrainer(net, cfg.LR, cfg.BatchSize)
 	batches := d.Len() / cfg.BatchSize
@@ -92,10 +93,10 @@ func TrainTaskflow(cfg Config, d *mnist.Dataset, workers int) (*MLP, []float64) 
 		}
 	}
 	if err := tf.WaitForAll(); err != nil {
-		panic(err)
+		return nil, nil, err
 	}
 	for e := range losses {
 		losses[e] /= float64(batches)
 	}
-	return net, losses
+	return net, losses, nil
 }

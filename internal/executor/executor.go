@@ -41,6 +41,8 @@
 package executor
 
 import (
+	"errors"
+	"fmt"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -48,6 +50,11 @@ import (
 
 	"gotaskflow/internal/wsq"
 )
+
+// ErrShutdown is returned by Submit, SubmitBatch and SubmitFunc after
+// Shutdown: the workers have exited, so an accepted task could never run
+// and its producer would hang waiting for completion.
+var ErrShutdown = errors.New("executor: submit after Shutdown")
 
 // Runnable is a unit of work: a pre-built task object executed by pointer.
 // It receives the scheduling Context of the worker executing it, through
@@ -205,7 +212,20 @@ type Executor struct {
 	spin    int
 
 	seed int64
+
+	// Panic containment: a task that panics past its own recovery (e.g. a
+	// bare one-shot NewTask) is caught at the worker loop and recorded here
+	// instead of killing the process. panicHandler, when set, observes the
+	// recovered value instead of the default recording.
+	panicHandler func(worker int, recovered any)
+	panicMu      sync.Mutex
+	panics       []error
 }
+
+// maxRecordedPanics bounds the contained-panic log so a pathological
+// producer cannot grow it without bound; later panics are counted but
+// their messages dropped.
+const maxRecordedPanics = 64
 
 // Option configures an Executor.
 type Option func(*Executor)
@@ -252,6 +272,13 @@ func WithSpin(rounds int) Option {
 	return func(e *Executor) { e.spin = rounds }
 }
 
+// WithPanicHandler routes panics contained at the worker level to fn
+// instead of the executor's internal panic log. fn runs on the worker
+// goroutine and must not panic itself.
+func WithPanicHandler(fn func(worker int, recovered any)) Option {
+	return func(e *Executor) { e.panicHandler = fn }
+}
+
 // New creates an executor with n workers and starts them. If n <= 0 it
 // defaults to runtime.GOMAXPROCS(0).
 func New(n int, opts ...Option) *Executor {
@@ -291,32 +318,45 @@ func (e *Executor) BusyWorkers() int { return int(e.busy.Load()) }
 
 // Submit schedules a task from outside the worker pool via the injection
 // queue (work sharing). Tasks running inside the pool should use their
-// Context instead.
-func (e *Executor) Submit(r *Runnable) {
+// Context instead. After Shutdown it rejects the task with ErrShutdown
+// instead of accepting work that could never run.
+func (e *Executor) Submit(r *Runnable) error {
+	if e.stop.Load() {
+		return ErrShutdown
+	}
 	e.injMu.Lock()
 	e.inj.push(r)
 	e.injMu.Unlock()
 	e.injLen.Add(1)
 	e.wakeOne()
+	return nil
 }
 
 // SubmitFunc boxes fn and submits it — a convenience for one-shot jobs.
-func (e *Executor) SubmitFunc(fn func(Context)) {
-	e.Submit(NewTask(fn))
+func (e *Executor) SubmitFunc(fn func(Context)) error {
+	return e.Submit(NewTask(fn))
 }
 
 // SubmitBatch schedules several tasks at once and wakes at most
 // min(len(rs), parked workers) idlers, stopping at the first failed wake.
-func (e *Executor) SubmitBatch(rs []*Runnable) {
+// The batch is accepted whole or rejected whole with ErrShutdown.
+func (e *Executor) SubmitBatch(rs []*Runnable) error {
 	if len(rs) == 0 {
-		return
+		return nil
+	}
+	if e.stop.Load() {
+		return ErrShutdown
 	}
 	e.injMu.Lock()
 	e.inj.pushBatch(rs)
 	e.injMu.Unlock()
 	e.injLen.Add(int64(len(rs)))
 	e.wakeUpTo(len(rs))
+	return nil
 }
+
+// Stopped reports whether Shutdown has begun.
+func (e *Executor) Stopped() bool { return e.stop.Load() }
 
 // Shutdown stops all workers and waits for them to exit. Pending tasks that
 // have not begun executing are discarded; callers are expected to have
@@ -502,16 +542,51 @@ func (e *Executor) run(w *worker) {
 
 func (e *Executor) invoke(w *worker, r *Runnable) {
 	if !e.trackBusy {
-		(*r).Run(w)
+		e.safeRun(w, r)
 		return
 	}
 	e.busy.Add(1)
 	for _, o := range e.observers {
 		o.OnTaskStart(w.id)
 	}
-	(*r).Run(w)
+	e.safeRun(w, r)
 	for _, o := range e.observers {
 		o.OnTaskEnd(w.id)
 	}
 	e.busy.Add(-1)
+}
+
+// safeRun executes r under worker-level panic containment: a panic that
+// escapes the task's own recovery (e.g. a bare one-shot NewTask) is
+// converted to a recorded error instead of unwinding the worker goroutine
+// and killing the process. Library task objects (graph nodes, pipeline
+// cells) recover their own panics before this net is reached, so it only
+// fires for foreign Runnables — and for those the worker keeps running.
+func (e *Executor) safeRun(w *worker, r *Runnable) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			e.containPanic(w.id, rec)
+		}
+	}()
+	(*r).Run(w)
+}
+
+func (e *Executor) containPanic(worker int, rec any) {
+	if e.panicHandler != nil {
+		e.panicHandler(worker, rec)
+		return
+	}
+	e.panicMu.Lock()
+	if len(e.panics) < maxRecordedPanics {
+		e.panics = append(e.panics, fmt.Errorf("executor: task panicked on worker %d: %v", worker, rec))
+	}
+	e.panicMu.Unlock()
+}
+
+// PanicError returns the contained panics recorded so far joined into one
+// error, or nil if every task has returned normally.
+func (e *Executor) PanicError() error {
+	e.panicMu.Lock()
+	defer e.panicMu.Unlock()
+	return errors.Join(e.panics...)
 }

@@ -16,7 +16,10 @@
 package pipeline
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"gotaskflow/internal/executor"
@@ -36,6 +39,7 @@ const (
 // mirroring tf::Pipeflow. The object is owned by the scheduling cell and
 // reused across invocations; it is only valid during the callable.
 type Pipeflow struct {
+	p     *Pipeline
 	line  int
 	pipe  int
 	token int64
@@ -54,6 +58,18 @@ func (pf *Pipeflow) Token() int64 { return pf.token }
 // Stop ends token generation. Only meaningful in the first pipe; the
 // stopping token itself is not propagated to later pipes.
 func (pf *Pipeflow) Stop() { pf.stop = true }
+
+// Fail records err against the pipeline and stops token generation from
+// any pipe: tokens already in flight drain, no new tokens are generated,
+// and Err (and RunContext) report the error. Unlike Stop, Fail is
+// meaningful in every pipe. A nil err is ignored.
+func (pf *Pipeflow) Fail(err error) {
+	if err == nil {
+		return
+	}
+	pf.p.fail(fmt.Errorf("pipeline: pipe %d failed on token %d: %w",
+		pf.pipe, pf.token, err))
+}
 
 // Pipe couples a type with a callable.
 type Pipe struct {
@@ -93,8 +109,14 @@ type Pipeline struct {
 	outstanding atomic.Int64 // scheduled-but-unfinished cells
 	done        chan struct{}
 	ran         atomic.Bool
-	panicErr    atomic.Pointer[pipePanic]
+
+	errMu sync.Mutex
+	errs  []error
 }
+
+// maxPipelineErrs bounds the recorded failure list so a pipe failing on
+// every token cannot grow memory without bound.
+const maxPipelineErrs = 64
 
 // New builds a pipeline over e with the given number of lines. The first
 // pipe must be Serial and at least one pipe is required.
@@ -123,6 +145,7 @@ func New(e *executor.Executor, lines int, pipes ...Pipe) *Pipeline {
 			p.joins[l][q].Store(p.initialJoin(l, q))
 			c := &p.cells[l][q]
 			c.p, c.line, c.pipe = p, l, q
+			c.pf.p = p
 			c.self = c
 		}
 	}
@@ -156,9 +179,10 @@ func (p *Pipeline) rearmJoin(q int) int32 {
 	return 1
 }
 
-// Run processes tokens until the first pipe calls Stop, then drains the
-// in-flight tokens and returns the number that completed every pipe. Run
-// may be called once.
+// Run processes tokens until the first pipe calls Stop (or a pipe calls
+// Fail or panics), then drains the in-flight tokens and returns the
+// number that completed every pipe; inspect Err for failures. Run may be
+// called once.
 func (p *Pipeline) Run() int64 {
 	if p.ran.Swap(true) {
 		panic("pipeline: Run called twice")
@@ -167,9 +191,39 @@ func (p *Pipeline) Run() int64 {
 	// The head cell is submitted directly rather than through signal, so
 	// its counter is re-armed here for the wrap-around rounds.
 	p.joins[0][0].Store(p.rearmJoin(0))
-	p.exec.Submit(p.cellRef(0, 0))
+	if err := p.exec.Submit(p.cellRef(0, 0)); err != nil {
+		// The executor was already shut down: nothing is in flight. Record
+		// the rejection and retire the head's charge so Run returns
+		// instead of hanging.
+		p.fail(err)
+		p.retire()
+	}
 	<-p.done
 	return p.processed.Load()
+}
+
+// RunContext is Run bound to ctx: when ctx is cancelled or its deadline
+// expires mid-run, token generation stops, in-flight tokens drain, and
+// the returned error includes ctx.Err(). It returns the number of tokens
+// that completed every pipe together with Err()'s aggregation. A ctx that
+// is already done fails the run without processing any token.
+func (p *Pipeline) RunContext(ctx context.Context) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		if p.ran.Swap(true) {
+			panic("pipeline: Run called twice")
+		}
+		p.fail(err)
+		return 0, p.Err()
+	}
+	var stop func() bool
+	if ctx.Done() != nil {
+		stop = context.AfterFunc(ctx, func() { p.fail(ctx.Err()) })
+	}
+	n := p.Run()
+	if stop != nil {
+		stop()
+	}
+	return n, p.Err()
 }
 
 // cellRef returns the pre-built task reference of cell (l, q).
@@ -259,11 +313,20 @@ func (p *Pipeline) invoke(pipe *Pipe, pf *Pipeflow) {
 	defer func() {
 		if r := recover(); r != nil {
 			// A panicking pipe stops the pipeline; in-flight work drains.
-			p.stopped.Store(true)
-			p.panicErr.CompareAndSwap(nil, &pipePanic{fmt.Sprint(r)})
+			p.fail(fmt.Errorf("pipeline: pipe panicked: %v", r))
 		}
 	}()
 	pipe.Fn(pf)
+}
+
+// fail records err and stops token generation; in-flight tokens drain.
+func (p *Pipeline) fail(err error) {
+	p.stopped.Store(true)
+	p.errMu.Lock()
+	if len(p.errs) < maxPipelineErrs {
+		p.errs = append(p.errs, err)
+	}
+	p.errMu.Unlock()
 }
 
 // retire decrements the outstanding-cell count and completes the run at
@@ -274,16 +337,20 @@ func (p *Pipeline) retire() {
 	}
 }
 
-type pipePanic struct{ msg string }
-
-func (e *pipePanic) Error() string { return "pipeline: pipe panicked: " + e.msg }
-
-// Err returns the first pipe panic converted to an error, or nil.
+// Err returns every failure captured during the run — Fail calls, pipe
+// panics (converted to errors), context cancellation, executor rejection —
+// aggregated with errors.Join, or nil for a clean run. A single failure is
+// returned unwrapped.
 func (p *Pipeline) Err() error {
-	if v := p.panicErr.Load(); v != nil {
-		return v
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	switch len(p.errs) {
+	case 0:
+		return nil
+	case 1:
+		return p.errs[0]
 	}
-	return nil
+	return errors.Join(p.errs...)
 }
 
 // NumLines returns the line count.

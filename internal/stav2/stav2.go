@@ -52,12 +52,10 @@ func (a *Analyzer) NumWorkers() int { return a.exec.NumWorkers() }
 // Run applies one timing update by building and dispatching a task
 // dependency graph: a forward subgraph over the affected cone, a barrier,
 // and a backward subgraph over the required-time cone (paper Figure 8
-// shows one such graph).
-func (a *Analyzer) Run(u sta.Update) {
+// shows one such graph). Task failures are returned, not re-panicked.
+func (a *Analyzer) Run(u sta.Update) error {
 	tf := a.buildTaskflow(u)
-	if err := tf.WaitForAll(); err != nil {
-		panic(err)
-	}
+	return tf.WaitForAll()
 }
 
 // Taskflow builds the update's task dependency graph without dispatching

@@ -86,7 +86,8 @@ func Sequential(d *graphgen.DAG, spin int) uint64 {
 }
 
 // Taskflow casts d into a taskflow graph and traverses it in parallel.
-func Taskflow(d *graphgen.DAG, spin, workers int) uint64 {
+// Task failures are returned, not re-panicked.
+func Taskflow(d *graphgen.DAG, spin, workers int) (uint64, error) {
 	tf := core.New(workers)
 	defer tf.Close()
 	p := preds(d)
@@ -102,9 +103,9 @@ func Taskflow(d *graphgen.DAG, spin, workers int) uint64 {
 		}
 	}
 	if err := tf.WaitForAll(); err != nil {
-		panic(err)
+		return 0, err
 	}
-	return checksum(val)
+	return checksum(val), nil
 }
 
 // FlowGraph traverses d on the TBB FlowGraph model. All sources must be

@@ -14,8 +14,8 @@ func TestBackendsAgree(t *testing.T) {
 	for _, n := range []int{1, 2, 10, 100, 1000} {
 		d := gen(n, int64(n))
 		want := Sequential(d, 16)
-		if got := Taskflow(d, 16, 4); got != want {
-			t.Fatalf("n=%d: Taskflow = %#x, want %#x", n, got, want)
+		if got, err := Taskflow(d, 16, 4); err != nil || got != want {
+			t.Fatalf("n=%d: Taskflow = %#x, %v, want %#x", n, got, err, want)
 		}
 		if got := FlowGraph(d, 16, 4); got != want {
 			t.Fatalf("n=%d: FlowGraph = %#x, want %#x", n, got, want)
@@ -29,8 +29,8 @@ func TestBackendsAgree(t *testing.T) {
 func TestSingleWorker(t *testing.T) {
 	d := gen(500, 42)
 	want := Sequential(d, 8)
-	if got := Taskflow(d, 8, 1); got != want {
-		t.Fatalf("Taskflow(1) = %#x, want %#x", got, want)
+	if got, err := Taskflow(d, 8, 1); err != nil || got != want {
+		t.Fatalf("Taskflow(1) = %#x, %v, want %#x", got, err, want)
 	}
 	if got := FlowGraph(d, 8, 1); got != want {
 		t.Fatalf("FlowGraph(1) = %#x, want %#x", got, want)
@@ -54,8 +54,8 @@ func TestChecksumSensitivity(t *testing.T) {
 func TestEmptyGraph(t *testing.T) {
 	d := gen(0, 0)
 	want := Sequential(d, 4)
-	if got := Taskflow(d, 4, 2); got != want {
-		t.Fatalf("empty Taskflow = %#x, want %#x", got, want)
+	if got, err := Taskflow(d, 4, 2); err != nil || got != want {
+		t.Fatalf("empty Taskflow = %#x, %v, want %#x", got, err, want)
 	}
 	if got := FlowGraph(d, 4, 2); got != want {
 		t.Fatalf("empty FlowGraph = %#x, want %#x", got, want)
@@ -71,7 +71,7 @@ func TestLargeGraph(t *testing.T) {
 	}
 	d := gen(20000, 7)
 	want := Sequential(d, 2)
-	if got := Taskflow(d, 2, 2); got != want {
+	if got, err := Taskflow(d, 2, 2); err != nil || got != want {
 		t.Fatalf("Taskflow large = %#x, want %#x", got, want)
 	}
 }

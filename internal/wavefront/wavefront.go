@@ -69,7 +69,9 @@ func Sequential(m, spin int) uint64 {
 
 // Taskflow runs the m×m wavefront on the core taskflow library with the
 // given worker count, including graph construction and executor teardown.
-func Taskflow(m, spin, workers int) uint64 {
+// Task failures (panics converted by the runtime) are returned, not
+// re-panicked.
+func Taskflow(m, spin, workers int) (uint64, error) {
 	tf := core.New(workers)
 	defer tf.Close()
 	return taskflowOn(tf, m, spin)
@@ -78,12 +80,12 @@ func Taskflow(m, spin, workers int) uint64 {
 // TaskflowShared runs the wavefront on an existing executor — used by the
 // scheduler ablation benchmarks, which compare executors built with
 // different Algorithm-1 heuristics.
-func TaskflowShared(m, spin int, e *executor.Executor) uint64 {
+func TaskflowShared(m, spin int, e *executor.Executor) (uint64, error) {
 	tf := core.NewShared(e)
 	return taskflowOn(tf, m, spin)
 }
 
-func taskflowOn(tf *core.Taskflow, m, spin int) uint64 {
+func taskflowOn(tf *core.Taskflow, m, spin int) (uint64, error) {
 	g := grid(m)
 	tasks := make([][]core.Task, m)
 	for i := 0; i < m; i++ {
@@ -106,9 +108,9 @@ func taskflowOn(tf *core.Taskflow, m, spin int) uint64 {
 		}
 	}
 	if err := tf.WaitForAll(); err != nil {
-		panic(err)
+		return 0, err
 	}
-	return g[m][m]
+	return g[m][m], nil
 }
 
 // FlowGraph runs the wavefront on the TBB FlowGraph model.

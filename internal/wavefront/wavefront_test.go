@@ -5,8 +5,8 @@ import "testing"
 func TestBackendsAgree(t *testing.T) {
 	for _, m := range []int{1, 2, 3, 8, 16, 31} {
 		want := Sequential(m, 16)
-		if got := Taskflow(m, 16, 4); got != want {
-			t.Fatalf("m=%d: Taskflow = %#x, want %#x", m, got, want)
+		if got, err := Taskflow(m, 16, 4); err != nil || got != want {
+			t.Fatalf("m=%d: Taskflow = %#x, %v, want %#x", m, got, err, want)
 		}
 		if got := FlowGraph(m, 16, 4); got != want {
 			t.Fatalf("m=%d: FlowGraph = %#x, want %#x", m, got, want)
@@ -19,8 +19,8 @@ func TestBackendsAgree(t *testing.T) {
 
 func TestSingleWorker(t *testing.T) {
 	want := Sequential(12, 8)
-	if got := Taskflow(12, 8, 1); got != want {
-		t.Fatalf("Taskflow(1 worker) = %#x, want %#x", got, want)
+	if got, err := Taskflow(12, 8, 1); err != nil || got != want {
+		t.Fatalf("Taskflow(1 worker) = %#x, %v, want %#x", got, err, want)
 	}
 	if got := FlowGraph(12, 8, 1); got != want {
 		t.Fatalf("FlowGraph(1 worker) = %#x, want %#x", got, want)
@@ -56,7 +56,7 @@ func TestLargerGrid(t *testing.T) {
 	}
 	m := 64 // 4096 tasks
 	want := Sequential(m, 4)
-	if got := Taskflow(m, 4, 2); got != want {
-		t.Fatalf("Taskflow large = %#x, want %#x", got, want)
+	if got, err := Taskflow(m, 4, 2); err != nil || got != want {
+		t.Fatalf("Taskflow large = %#x, %v, want %#x", got, err, want)
 	}
 }
