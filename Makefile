@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race chaos bench
+.PHONY: all build test vet race chaos bench cover fuzz
 
 all: vet build test
 
@@ -35,3 +35,16 @@ bench:
 		-bench 'BenchmarkSched|Fig7WavefrontSizeTaskflow|Fig7TraversalSizeTaskflow' \
 		-benchmem -benchtime 2s -count 3 . | tee /tmp/bench_scheduler.txt
 	@echo "raw output in /tmp/bench_scheduler.txt; curate BENCH_scheduler.json from it"
+
+# cover runs the full suite with atomic-mode coverage and prints the
+# per-function summary; coverage.out feeds `go tool cover -html`.
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	$(GO) tool cover -func=coverage.out | tail -20
+
+# fuzz runs the work-stealing deque fuzzer (sequential model check +
+# concurrent exactly-once) on top of the committed corpus. Override
+# FUZZTIME for longer campaigns.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzDeque$$' -fuzztime $(FUZZTIME) ./internal/wsq/

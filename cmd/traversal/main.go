@@ -7,15 +7,23 @@
 //
 //	traversal -sweep size -workers 8 -sizes 50000,100000,200000
 //	traversal -sweep cpu -size 200000 -maxworkers 8
+//	traversal -metrics -size 200000 -workers 8   # instrumented run: scheduler counters + run profile
+//	traversal -metrics -prom -size 200000        # same, plus Prometheus text on stdout
+//	traversal -metrics -dot g.dot -size 50       # same, plus annotated DOT dump
 package main
 
 import (
 	"flag"
+	"fmt"
+	"io"
 	"log"
 	"os"
 
 	"gotaskflow/internal/cli"
 	"gotaskflow/internal/experiments"
+	"gotaskflow/internal/graphgen"
+	"gotaskflow/internal/metrics"
+	"gotaskflow/internal/traversal"
 )
 
 func main() {
@@ -28,8 +36,17 @@ func main() {
 		size       = flag.Int("size", 200000, "node count for the cpu sweep")
 		maxWorkers = flag.Int("maxworkers", experiments.DefaultWorkers(8), "largest worker count for the cpu sweep")
 		reps       = flag.Int("reps", 3, "repetitions per point (min taken)")
+		seed       = flag.Int64("seed", 1, "random-DAG seed for the -metrics run")
+		withStats  = flag.Bool("metrics", false, "run one instrumented pass at -size/-workers and report scheduler metrics instead of sweeping")
+		prom       = flag.Bool("prom", false, "with -metrics: also write the Prometheus text exposition to stdout")
+		dotPath    = flag.String("dot", "", "with -metrics: write the annotated task graph (DOT) to this file")
 	)
 	flag.Parse()
+
+	if *withStats {
+		runInstrumented(*size, *workers, *seed, *prom, *dotPath)
+		return
+	}
 
 	switch *sweep {
 	case "size":
@@ -47,5 +64,35 @@ func main() {
 		}
 	default:
 		log.Fatalf("unknown -sweep %q (want size or cpu)", *sweep)
+	}
+}
+
+// runInstrumented executes one metrics-enabled traversal of a seeded
+// random DAG and reports the run profile and scheduler counters on stderr
+// (Prometheus text and the annotated DOT dump on request).
+func runInstrumented(size, workers int, seed int64, prom bool, dotPath string) {
+	var dotw io.Writer
+	if dotPath != "" {
+		f, err := os.Create(dotPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		dotw = f
+	}
+	d := graphgen.Random(size, graphgen.Config{Seed: seed})
+	sum, rs, snap, err := traversal.TaskflowStats(d, traversal.Spin, workers, dotw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "traversal of %d nodes (%d edges, seed %d) on %d workers: checksum %#x\n",
+		size, d.NumEdges(), seed, workers, sum)
+	if err := metrics.WriteRunSummary(os.Stderr, rs, snap); err != nil {
+		log.Fatal(err)
+	}
+	if prom {
+		if err := metrics.WritePrometheus(os.Stdout, metrics.Static(snap)); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

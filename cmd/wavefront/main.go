@@ -8,15 +8,22 @@
 //
 //	wavefront -sweep size -workers 8 -sizes 64,128,256,512
 //	wavefront -sweep cpu -size 512 -maxworkers 8
+//	wavefront -metrics -size 256 -workers 8        # instrumented run: scheduler counters + run profile
+//	wavefront -metrics -prom -size 256             # same, plus Prometheus text on stdout
+//	wavefront -metrics -dot wf.dot -size 8         # same, plus annotated DOT dump
 package main
 
 import (
 	"flag"
+	"fmt"
+	"io"
 	"log"
 	"os"
 
 	"gotaskflow/internal/cli"
 	"gotaskflow/internal/experiments"
+	"gotaskflow/internal/metrics"
+	"gotaskflow/internal/wavefront"
 )
 
 func main() {
@@ -29,8 +36,16 @@ func main() {
 		size       = flag.Int("size", 256, "blocks per side for the cpu sweep")
 		maxWorkers = flag.Int("maxworkers", experiments.DefaultWorkers(8), "largest worker count for the cpu sweep")
 		reps       = flag.Int("reps", 3, "repetitions per point (min taken)")
+		withStats  = flag.Bool("metrics", false, "run one instrumented pass at -size/-workers and report scheduler metrics instead of sweeping")
+		prom       = flag.Bool("prom", false, "with -metrics: also write the Prometheus text exposition to stdout")
+		dotPath    = flag.String("dot", "", "with -metrics: write the annotated task graph (DOT) to this file")
 	)
 	flag.Parse()
+
+	if *withStats {
+		runInstrumented(*size, *workers, *prom, *dotPath)
+		return
+	}
 
 	switch *sweep {
 	case "size":
@@ -49,4 +64,41 @@ func main() {
 	default:
 		log.Fatalf("unknown -sweep %q (want size or cpu)", *sweep)
 	}
+}
+
+// runInstrumented executes one metrics-enabled wavefront and reports the
+// run profile and scheduler counters on stderr (Prometheus text and the
+// annotated DOT dump on request).
+func runInstrumented(size, workers int, prom bool, dotPath string) {
+	var dotw *os.File
+	if dotPath != "" {
+		f, err := os.Create(dotPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		dotw = f
+	}
+	sum, rs, snap, err := wavefront.TaskflowStats(size, wavefront.Spin, workers, nilIfClosed(dotw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wavefront %dx%d on %d workers: checksum %#x\n", size, size, workers, sum)
+	if err := metrics.WriteRunSummary(os.Stderr, rs, snap); err != nil {
+		log.Fatal(err)
+	}
+	if prom {
+		if err := metrics.WritePrometheus(os.Stdout, metrics.Static(snap)); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// nilIfClosed converts a nil *os.File into a nil io.Writer interface (a
+// typed nil would make the callee dereference it).
+func nilIfClosed(f *os.File) io.Writer {
+	if f == nil {
+		return nil
+	}
+	return f
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"time"
 )
 
 // Dump writes the present (not yet dispatched) task dependency graph in
@@ -13,6 +14,34 @@ func (tf *Taskflow) Dump(w io.Writer) error {
 	d.printf("digraph %s {\n", dotName(tf.name, "Taskflow"))
 	d.dumpGraph(tf.present, "")
 	d.printf("}\n")
+	return d.err
+}
+
+// DumpAnnotated writes the present graph in DOT format with each node's
+// label annotated with its execution count — and, when CollectRunStats
+// was enabled with timing, its summed body duration — from the most
+// recent Run. A node reads "name\n×count" or "name\n×count (duration)";
+// a condition-loop body that iterated five times shows ×5, a branch
+// never taken shows ×0. Without a prior stats-collecting Run all counts
+// are zero.
+func (tf *Taskflow) DumpAnnotated(w io.Writer) error {
+	d := dotDumper{w: w, ids: map[*node]string{}, annotate: true}
+	d.printf("digraph %s {\n", dotName(tf.name, "Taskflow"))
+	d.dumpGraph(tf.present, "")
+	d.printf("}\n")
+	return d.err
+}
+
+// DumpTopologiesAnnotated is DumpTopologies with the per-task execution
+// annotations of DumpAnnotated, covering dispatched topologies and the
+// subflows they spawned at runtime.
+func (tf *Taskflow) DumpTopologiesAnnotated(w io.Writer) error {
+	d := dotDumper{w: w, ids: map[*node]string{}, annotate: true}
+	for i, t := range tf.topologies {
+		d.printf("digraph %s {\n", dotName(tf.name, fmt.Sprintf("Topology%d", i)))
+		d.dumpGraph(t.graph, "")
+		d.printf("}\n")
+	}
 	return d.err
 }
 
@@ -35,6 +64,10 @@ type dotDumper struct {
 	err  error
 	ids  map[*node]string
 	next int
+
+	// annotate labels each node with its execution count (and duration,
+	// when timed) from the node's per-run stat counters.
+	annotate bool
 }
 
 func (d *dotDumper) printf(format string, args ...any) {
@@ -65,7 +98,11 @@ func (d *dotDumper) id(n *node) string {
 // recursing into spawned subflows as clusters.
 func (d *dotDumper) dumpGraph(g *graph, indent string) {
 	for _, n := range g.nodes {
-		d.printf("%s  %q;\n", indent, d.id(n))
+		if d.annotate {
+			d.printf("%s  %q [label=%q];\n", indent, d.id(n), d.annotation(n))
+		} else {
+			d.printf("%s  %q;\n", indent, d.id(n))
+		}
 	}
 	for _, n := range g.nodes {
 		if n.isCondition() {
@@ -98,6 +135,18 @@ func (d *dotDumper) dumpGraph(g *graph, indent string) {
 			}
 		}
 	}
+}
+
+// annotation renders a node's annotated label: its id, the execution count
+// of the last stats-collecting run, and the summed body duration when
+// timing was on (execDurNs stays zero otherwise, keeping count-only dumps
+// deterministic for golden tests).
+func (d *dotDumper) annotation(n *node) string {
+	s := fmt.Sprintf("%s\n×%d", d.id(n), n.execCount.Load())
+	if dur := n.execDurNs.Load(); dur > 0 {
+		s += fmt.Sprintf(" (%s)", time.Duration(dur).Round(time.Microsecond))
+	}
+	return s
 }
 
 func dotName(name, fallback string) string {

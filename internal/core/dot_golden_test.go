@@ -1,0 +1,121 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite DOT golden files under testdata/")
+
+// checkGolden compares got against testdata/<name>.dot, rewriting the file
+// when -update is set.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".dot")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run Golden -update ./internal/core` to create it)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("DOT output diverged from %s.\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// nestedSubflowTaskflow builds the paper-Figure-5 shape used by the golden
+// dumps: a subflow spawning a nested subflow, joined into a successor.
+func nestedSubflowTaskflow(t *testing.T) *Taskflow {
+	t.Helper()
+	tf := New(2).SetName("nested")
+	A := tf.EmplaceSubflow(func(sf *Subflow) {
+		A1 := sf.Emplace1(func() {}).Name("A1")
+		A2 := sf.EmplaceSubflow(func(sf2 *Subflow) {
+			inner := sf2.Emplace(func() {}, func() {})
+			inner[0].Name("A2_1").Precede(inner[1].Name("A2_2"))
+		}).Name("A2")
+		A1.Precede(A2)
+	}).Name("A")
+	B := tf.Emplace1(func() {}).Name("B")
+	A.Precede(B)
+	return tf
+}
+
+// TestGoldenNestedSubflowDump pins the exact DOT text of a nested-subflow
+// topology dump: cluster nesting, join edges, node order. Any formatting
+// or structural change must be reviewed through the golden file.
+func TestGoldenNestedSubflowDump(t *testing.T) {
+	tf := nestedSubflowTaskflow(t)
+	defer tf.Close()
+	f := tf.Dispatch()
+	if err := f.Get(); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tf.DumpTopologies(&sb); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "nested_subflow", sb.String())
+	tf.WaitForAll()
+}
+
+// TestGoldenNestedSubflowAnnotated pins the annotated dump of the same
+// topology: each node carries an execution-count label (×1 everywhere for
+// a plain dispatch). Timing is off, so durations never appear and the
+// output is deterministic.
+func TestGoldenNestedSubflowAnnotated(t *testing.T) {
+	tf := nestedSubflowTaskflow(t)
+	defer tf.Close()
+	tf.CollectRunStats(false)
+	f := tf.Dispatch()
+	if err := f.Get(); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tf.DumpTopologiesAnnotated(&sb); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "nested_subflow_annotated", sb.String())
+	tf.WaitForAll()
+}
+
+// TestGoldenAnnotatedConditionLoop pins the annotated present-graph dump
+// after a stats-collecting Run of a do-while loop: the loop body and the
+// condition show ×10, the untaken path shows its real count, and the weak
+// branch edges keep their dashed style and indices.
+func TestGoldenAnnotatedConditionLoop(t *testing.T) {
+	tf := New(1).SetName("loop")
+	defer tf.Close()
+	tf.CollectRunStats(false)
+	iterations := 0
+	init := tf.Emplace1(func() {}).Name("init")
+	body := tf.Emplace1(func() { iterations++ }).Name("body")
+	cond := tf.EmplaceCondition(func() int {
+		if iterations < 10 {
+			return 0
+		}
+		return 1
+	}).Name("check")
+	done := tf.Emplace1(func() {}).Name("done")
+	init.Precede(body)
+	body.Precede(cond)
+	cond.Precede(body, done)
+	if err := tf.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tf.DumpAnnotated(&sb); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "annotated_loop", sb.String())
+}

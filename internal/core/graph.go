@@ -56,6 +56,13 @@ type node struct {
 	// node's completion is deferred until it drains.
 	children atomic.Int32
 
+	// execCount/execDurNs record the node's body executions and their
+	// summed duration within the current run. Written only when the
+	// topology collects run stats (see stats.go); the annotated DOT dump
+	// reads them. execDurNs stays zero unless timing was requested.
+	execCount atomic.Uint64
+	execDurNs atomic.Int64
+
 	// parent is the spawning node for joined-subflow members, nil for
 	// top-level and detached nodes.
 	parent *node

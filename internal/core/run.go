@@ -87,11 +87,20 @@ func (tf *Taskflow) run(ctx context.Context) error {
 
 	// Join counters must be re-armed for every node: a node that executed
 	// last run was already re-armed at schedule time, but an untaken
-	// condition branch retains a partial count.
+	// condition branch retains a partial count. The per-node stat counters
+	// reset in the same O(n) sweep when stats are on.
+	statsOn := t.stats != nil
 	for _, n := range g.nodes {
 		n.topo = t
 		n.parent = nil
 		n.join.Store(int32(n.numDependents))
+		if statsOn {
+			n.execCount.Store(0)
+			n.execDurNs.Store(0)
+		}
+	}
+	if statsOn {
+		t.stats.reset()
 	}
 	t.pending.Store(int64(len(tf.runSources) + len(tf.runSemSources)))
 
@@ -139,6 +148,9 @@ func (tf *Taskflow) prepareRun() (*topology, error) {
 		reusable: true,
 		done:     make(chan struct{}, 1),
 		builtLen: g.len(),
+	}
+	if tf.statsEnabled {
+		t.stats = &topoStats{timing: tf.statsTiming}
 	}
 	tf.runSources = tf.runSources[:0]
 	tf.runSemSources = tf.runSemSources[:0]

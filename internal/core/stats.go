@@ -1,0 +1,191 @@
+package core
+
+// Run-level profiles: a per-run RunStats computed at topology finish — the
+// counters that pair with the executor's scheduler metrics
+// (internal/executor WithMetrics) to answer "what did this run actually
+// do": how many task executions, how long the critical path was, how much
+// parallelism the graph offered and how much the workers achieved.
+//
+// Collection is opt-in (Taskflow.CollectRunStats) and allocation-free in
+// steady state: the counters live on the reusable topology and on the
+// nodes themselves, pre-allocated with the graph, and are reset — not
+// reallocated — on every run. TestRunZeroAllocMetricsEnabled gates this.
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// RunStats summarizes one completed run (Taskflow.Run) or one dispatched
+// topology (Future.Stats) when stats collection is enabled.
+type RunStats struct {
+	// Tasks counts task-body executions, including retry attempts and
+	// condition-loop iterations. For a plain DAG it equals the graph size
+	// (plus any spawned subflow nodes) — the exactly-once property the
+	// randomized-DAG tests assert.
+	Tasks int64
+	// Retries counts failed executions that were rescheduled by a
+	// Task.Retry policy.
+	Retries int64
+	// Skipped counts executions whose body was skipped by cooperative
+	// cancellation while the dependency structure drained.
+	Skipped int64
+	// Errors is the number of captured failures; Cancelled reports whether
+	// the run was cancelled (by Cancel, fail-fast, or deadline).
+	Errors    int
+	Cancelled bool
+
+	// Span is the length (in tasks) of the longest strong-edge dependency
+	// chain of the static graph — the critical path assuming unit task
+	// cost. Condition edges are weak and excluded; spawned subflow nodes
+	// are counted in Tasks but not in Span.
+	Span int
+	// Parallelism is Tasks/Span: the average work available per critical-
+	// path step (the work/span ratio with unit task cost).
+	Parallelism float64
+
+	// Wall is the run's wall-clock time, measured from submission to
+	// quiescence.
+	Wall time.Duration
+	// Busy is the summed task-body execution time across workers; zero
+	// unless CollectRunStats was given timing=true.
+	Busy time.Duration
+	// AchievedParallelism is Busy/Wall — the mean number of workers
+	// actually inside task bodies; zero without timing.
+	AchievedParallelism float64
+}
+
+// topoStats is the mutable per-run counter block attached to a topology
+// when stats collection is on. Reset (never reallocated) at the start of
+// each reusable run.
+type topoStats struct {
+	tasks   atomic.Int64
+	retries atomic.Int64
+	skipped atomic.Int64
+	busyNs  atomic.Int64
+
+	timing bool
+	start  time.Time
+	// wall is written by the finishing worker in topology.finish and read
+	// by waiters after the done signal (the channel provides the
+	// happens-before edge).
+	wall time.Duration
+}
+
+func (st *topoStats) reset() {
+	st.tasks.Store(0)
+	st.retries.Store(0)
+	st.skipped.Store(0)
+	st.busyNs.Store(0)
+	st.start = time.Now()
+	st.wall = 0
+}
+
+// CollectRunStats enables per-run statistics for subsequent Run and
+// Dispatch calls: execution/retry/skip counts, wall time, and per-node
+// execution counts (read by DumpAnnotated). With timing=true, per-task
+// durations are also captured — two monotonic clock reads per task body —
+// populating RunStats.Busy/AchievedParallelism and the durations in
+// annotated dumps. Collection stays allocation-free in steady state.
+// Returns tf for chaining.
+func (tf *Taskflow) CollectRunStats(timing bool) *Taskflow {
+	tf.statsEnabled = true
+	tf.statsTiming = timing
+	tf.invalidateRun() // the cached run state predates the stats block
+	return tf
+}
+
+// LastRunStats returns the statistics of the most recent completed Run.
+// ok is false when CollectRunStats was not enabled or no Run has finished
+// since. Must not be called concurrently with Run.
+func (tf *Taskflow) LastRunStats() (RunStats, bool) {
+	t := tf.runTopo
+	if t == nil || t.stats == nil || t.stats.start.IsZero() {
+		return RunStats{}, false
+	}
+	return t.runStats(structuralSpan(t.graph)), true
+}
+
+// Stats returns the statistics of a finished dispatched topology. ok is
+// false when stats collection was not enabled at dispatch time or the
+// topology has not finished yet.
+func (f *Future) Stats() (RunStats, bool) {
+	t := f.t
+	if t.stats == nil {
+		return RunStats{}, false
+	}
+	select {
+	case <-t.done:
+	default:
+		return RunStats{}, false
+	}
+	return t.runStats(structuralSpan(t.graph)), true
+}
+
+// runStats assembles the RunStats view of the topology's counter block.
+func (t *topology) runStats(span int) RunStats {
+	st := t.stats
+	rs := RunStats{
+		Tasks:     st.tasks.Load(),
+		Retries:   st.retries.Load(),
+		Skipped:   st.skipped.Load(),
+		Cancelled: t.cancelled.Load(),
+		Span:      span,
+		Wall:      st.wall,
+		Busy:      time.Duration(st.busyNs.Load()),
+	}
+	t.errMu.Lock()
+	rs.Errors = len(t.errs)
+	t.errMu.Unlock()
+	if span > 0 {
+		rs.Parallelism = float64(rs.Tasks) / float64(span)
+	}
+	if rs.Wall > 0 && rs.Busy > 0 {
+		rs.AchievedParallelism = float64(rs.Busy) / float64(rs.Wall)
+	}
+	return rs
+}
+
+// structuralSpan computes the longest strong-edge dependency chain of g in
+// tasks (the unit-cost critical path), by dynamic programming over a Kahn
+// topological order. Weak (condition) edges are excluded, matching the
+// dispatch-time cycle check, so the strong subgraph is acyclic whenever
+// the graph was runnable.
+func structuralSpan(g *graph) int {
+	n := g.len()
+	if n == 0 {
+		return 0
+	}
+	indeg := make([]int32, n)
+	depth := make([]int32, n)
+	queue := make([]int32, 0, n)
+	for i, nd := range g.nodes {
+		indeg[i] = int32(nd.numDependents)
+		depth[i] = 1
+		if indeg[i] == 0 {
+			queue = append(queue, int32(i))
+		}
+	}
+	span := int32(1)
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		nd := g.nodes[u]
+		if depth[u] > span {
+			span = depth[u]
+		}
+		if nd.isCondition() {
+			continue // out-edges are weak
+		}
+		nd.eachSuccessor(func(s *node) {
+			if d := depth[u] + 1; d > depth[s.idx] {
+				depth[s.idx] = d
+			}
+			indeg[s.idx]--
+			if indeg[s.idx] == 0 {
+				queue = append(queue, s.idx)
+			}
+		})
+	}
+	return int(span)
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"time"
 
 	"gotaskflow/internal/executor"
 )
@@ -69,6 +70,11 @@ type Taskflow struct {
 	runTopo       *topology
 	runSources    []*executor.Runnable
 	runSemSources []*node
+
+	// statsEnabled/statsTiming configure per-run statistics collection for
+	// topologies created after CollectRunStats; see stats.go.
+	statsEnabled bool
+	statsTiming  bool
 }
 
 var _ FlowBuilder = (*Taskflow)(nil)
@@ -192,6 +198,9 @@ func (tf *Taskflow) dispatch(ctx context.Context) *topology {
 	tf.present = &graph{}
 	tf.invalidateRun()
 	t := &topology{graph: g, exec: tf.exec, done: make(chan struct{})}
+	if tf.statsEnabled {
+		t.stats = &topoStats{timing: tf.statsTiming}
+	}
 	tf.topologies = append(tf.topologies, t)
 
 	if g.len() == 0 {
@@ -230,6 +239,9 @@ func (tf *Taskflow) dispatch(ctx context.Context) *topology {
 	if ctx != nil && ctx.Done() != nil {
 		stop := context.AfterFunc(ctx, func() { t.cancelWith(0, ctx.Err()) })
 		go func() { <-t.done; stop() }()
+	}
+	if st := t.stats; st != nil {
+		st.start = time.Now() // dispatched nodes are fresh; no counter reset needed
 	}
 	// pending counts outstanding executions; sources are pre-counted
 	// before submission so no execution can retire against a zero count.

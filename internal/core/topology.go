@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gotaskflow/internal/executor"
 )
@@ -55,12 +56,21 @@ type topology struct {
 	ctx       context.Context
 	cancelCtx context.CancelFunc
 	gen       uint64
+
+	// stats is the per-run counter block, non-nil only when the owning
+	// Taskflow enabled CollectRunStats. Reset per run, never reallocated.
+	stats *topoStats
 }
 
 // finish signals quiescence: close for one-shot (dispatched) topologies,
 // a token for reusable (Run) topologies. The derived context (if any) is
 // cancelled so deadline timers and ctx-task observers are released.
 func (t *topology) finish() {
+	if st := t.stats; st != nil {
+		// Written by the single finishing worker; waiters read it after the
+		// done signal below, which provides the happens-before edge.
+		st.wall = time.Since(st.start)
+	}
 	t.cancelDerivedCtx()
 	if t.reusable {
 		t.done <- struct{}{}
@@ -236,6 +246,9 @@ func (t *topology) runNode(ctx executor.Context, n *node) {
 		// dependency structure so waiters unblock (including semaphore
 		// units this execution was admitted with). Condition tasks signal
 		// nothing, which terminates loops.
+		if st := t.stats; st != nil {
+			st.skipped.Add(1)
+		}
 		t.releaseSems(ctx, n)
 		if n.condWork != nil {
 			t.retire(ctx, n)
@@ -243,6 +256,13 @@ func (t *topology) runNode(ctx executor.Context, n *node) {
 		}
 		t.finishNode(ctx, n)
 		return
+	}
+	if st := t.stats; st != nil {
+		// Count every non-skipped execution — retry attempts and condition-
+		// loop iterations included — and mirror it on the node for the
+		// annotated DOT dump.
+		st.tasks.Add(1)
+		n.execCount.Add(1)
 	}
 	switch {
 	case n.condWork != nil:
@@ -306,6 +326,9 @@ func (t *topology) runFallible(ctx executor.Context, n *node) bool {
 	}
 	if rp := n.retryPolicy(); rp != nil && n.ext.attempts < rp.max && !t.cancelled.Load() {
 		n.ext.attempts++
+		if st := t.stats; st != nil {
+			st.retries.Add(1)
+		}
 		// Release units now: the retry waits on a timer, not on a worker,
 		// and re-admits through the semaphores when it resubmits.
 		t.releaseSems(ctx, n)
@@ -327,6 +350,14 @@ func (t *topology) captureErr(n *node) (err error) {
 			err = fmt.Errorf("task panicked: %v", r)
 		}
 	}()
+	if st := t.stats; st != nil && st.timing {
+		start := time.Now()
+		defer func() {
+			d := time.Since(start).Nanoseconds()
+			st.busyNs.Add(d)
+			n.execDurNs.Add(d)
+		}()
+	}
 	switch {
 	case n.errWork != nil:
 		return n.errWork()
@@ -346,6 +377,14 @@ func (t *topology) invoke(n *node, fn func()) {
 			t.setErr(fmt.Errorf("core: task %q panicked: %v", n.nodeName(), r))
 		}
 	}()
+	if st := t.stats; st != nil && st.timing {
+		start := time.Now()
+		defer func() {
+			d := time.Since(start).Nanoseconds()
+			st.busyNs.Add(d)
+			n.execDurNs.Add(d)
+		}()
+	}
 	fn()
 }
 

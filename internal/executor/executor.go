@@ -142,6 +142,11 @@ type worker struct {
 	rng    *rand.Rand
 	victim int           // last successful steal victim
 	wake   chan struct{} // buffered(1); signalled when this idler is woken
+
+	// metrics points at this worker's padded counter block when the
+	// executor was built WithMetrics, nil otherwise. Every instrumentation
+	// point is one nil check on this pointer.
+	metrics *workerMetrics
 }
 
 var _ Context = (*worker)(nil)
@@ -169,6 +174,9 @@ func (w *worker) SubmitBatch(rs []*Runnable) {
 func (w *worker) SubmitCached(r *Runnable) {
 	if w.cache == nil && !w.exec.noCache {
 		w.cache = r
+		if m := w.metrics; m != nil {
+			m.cacheHits.Add(1)
+		}
 		return
 	}
 	w.Submit(r)
@@ -200,10 +208,22 @@ type Executor struct {
 
 	// busy counts workers currently inside a task. Maintaining it costs
 	// two shared-cacheline atomics per task, so it is only updated when
-	// profiling is requested (WithBusyTracking or WithObserver).
-	trackBusy bool
+	// profiling is requested (WithBusyTracking, WithObserver, or a later
+	// AddObserver).
+	trackBusy atomic.Bool
 	busy      atomic.Int64
-	observers []Observer
+
+	// observers is a copy-on-write list so AddObserver is safe while the
+	// workers run: registration publishes a fresh slice, and each task
+	// invocation loads the list once, delivering balanced
+	// OnTaskStart/OnTaskEnd pairs even when registration races with it.
+	obsMu     sync.Mutex
+	observers atomic.Pointer[[]Observer]
+
+	// metrics is the scheduler counter storage (see metrics.go), non-nil
+	// only when built WithMetrics.
+	metricsOn bool
+	metrics   *metricsState
 
 	// Ablation knobs for the Algorithm-1 heuristics (defaults match the
 	// paper's scheduler; see the ablation benchmarks in bench_test.go).
@@ -237,18 +257,32 @@ func WithSeed(seed int64) Option {
 	return func(e *Executor) { e.seed = seed }
 }
 
-// WithObserver registers an observer. Must be applied at construction.
-// Observers imply busy tracking.
+// WithObserver registers an observer at construction. Observers imply busy
+// tracking. Observers may also be registered later with AddObserver.
 func WithObserver(o Observer) Option {
-	return func(e *Executor) {
-		e.observers = append(e.observers, o)
-		e.trackBusy = true
-	}
+	return func(e *Executor) { e.AddObserver(o) }
 }
 
 // WithBusyTracking enables the BusyWorkers counter used by profilers.
 func WithBusyTracking() Option {
-	return func(e *Executor) { e.trackBusy = true }
+	return func(e *Executor) { e.trackBusy.Store(true) }
+}
+
+// AddObserver registers an observer, implying busy tracking. Safe to call
+// concurrently with running tasks: the observer list is copy-on-write, so
+// in-flight tasks keep the list they loaded (an observer registered
+// mid-task sees its first OnTaskStart on the next task, never an unpaired
+// OnTaskEnd). Observers must be safe for concurrent use.
+func (e *Executor) AddObserver(o Observer) {
+	e.obsMu.Lock()
+	var next []Observer
+	if p := e.observers.Load(); p != nil {
+		next = append(next, *p...)
+	}
+	next = append(next, o)
+	e.observers.Store(&next)
+	e.obsMu.Unlock()
+	e.trackBusy.Store(true)
 }
 
 // WithoutTaskCache disables the per-worker speculative task cache
@@ -290,9 +324,12 @@ func New(n int, opts ...Option) *Executor {
 		opt(e)
 	}
 	e.inj.init(injInitialCap)
+	if e.metricsOn {
+		e.metrics = newMetricsState(n)
+	}
 	e.workers = make([]*worker, n)
 	for i := 0; i < n; i++ {
-		e.workers[i] = &worker{
+		w := &worker{
 			id:     i,
 			exec:   e,
 			queue:  wsq.New[Runnable](256),
@@ -300,6 +337,11 @@ func New(n int, opts ...Option) *Executor {
 			victim: (i + 1) % n,
 			wake:   make(chan struct{}, 1),
 		}
+		if e.metrics != nil {
+			w.queue.SetCounters(&e.metrics.deques[i].Counters)
+			w.metrics = &e.metrics.workers[i].workerMetrics
+		}
+		e.workers[i] = w
 	}
 	e.wg.Add(n)
 	for _, w := range e.workers {
@@ -328,6 +370,9 @@ func (e *Executor) Submit(r *Runnable) error {
 	e.inj.push(r)
 	e.injMu.Unlock()
 	e.injLen.Add(1)
+	if m := e.metrics; m != nil {
+		m.injectionPushes.Add(1)
+	}
 	e.wakeOne()
 	return nil
 }
@@ -351,6 +396,9 @@ func (e *Executor) SubmitBatch(rs []*Runnable) error {
 	e.inj.pushBatch(rs)
 	e.injMu.Unlock()
 	e.injLen.Add(int64(len(rs)))
+	if m := e.metrics; m != nil {
+		m.injectionPushes.Add(uint64(len(rs)))
+	}
 	e.wakeUpTo(len(rs))
 	return nil
 }
@@ -428,6 +476,9 @@ func (e *Executor) wakeOne() bool {
 	case w.wake <- struct{}{}:
 	default:
 	}
+	if m := e.metrics; m != nil {
+		m.wakes.Add(1)
+	}
 	return true
 }
 
@@ -463,13 +514,22 @@ func (e *Executor) wakeAll() {
 }
 
 // steal tries the last victim first, then sweeps the other workers and the
-// injection queue (Algorithm 1 line 3).
+// injection queue (Algorithm 1 line 3). One call is one steal attempt in
+// the metrics; a hit is counted against the source it came from (a victim
+// deque or the injection queue).
 func (w *worker) steal() (*Runnable, bool) {
 	e := w.exec
+	m := w.metrics
+	if m != nil {
+		m.stealAttempts.Add(1)
+	}
 	n := len(e.workers)
 	if n > 1 {
 		if w.victim != w.id {
 			if r, ok := e.workers[w.victim].queue.Steal(); ok {
+				if m != nil {
+					m.steals.Add(1)
+				}
 				return r, true
 			}
 		}
@@ -481,11 +541,18 @@ func (w *worker) steal() (*Runnable, bool) {
 			}
 			if r, ok := e.workers[v].queue.Steal(); ok {
 				w.victim = v
+				if m != nil {
+					m.steals.Add(1)
+				}
 				return r, true
 			}
 		}
 	}
-	return e.popInjection()
+	r, ok := e.popInjection()
+	if ok && m != nil {
+		m.injectionDrains.Add(1)
+	}
+	return r, ok
 }
 
 // run is the main worker loop, a direct transcription of Algorithm 1.
@@ -521,6 +588,9 @@ func (e *Executor) run(w *worker) {
 			e.idlers = append(e.idlers, w)
 			e.idlerCount.Add(1)
 			e.idleMu.Unlock()
+			if m := w.metrics; m != nil {
+				m.parks.Add(1)
+			}
 			<-w.wake
 			continue
 		}
@@ -535,22 +605,35 @@ func (e *Executor) run(w *worker) {
 
 		// Lines 26-28: probabilistic wakeup for load balancing.
 		if e.wakeDen > 0 && w.rng.Intn(e.wakeDen) == 0 {
-			e.wakeOne()
+			if e.wakeOne() {
+				if m := w.metrics; m != nil {
+					m.probWakes.Add(1)
+				}
+			}
 		}
 	}
 }
 
 func (e *Executor) invoke(w *worker, r *Runnable) {
-	if !e.trackBusy {
+	if m := w.metrics; m != nil {
+		m.executed.Add(1)
+	}
+	if !e.trackBusy.Load() {
 		e.safeRun(w, r)
 		return
 	}
 	e.busy.Add(1)
-	for _, o := range e.observers {
+	// Load the observer list once so this task delivers balanced
+	// OnTaskStart/OnTaskEnd pairs even if AddObserver races with it.
+	var obs []Observer
+	if p := e.observers.Load(); p != nil {
+		obs = *p
+	}
+	for _, o := range obs {
 		o.OnTaskStart(w.id)
 	}
 	e.safeRun(w, r)
-	for _, o := range e.observers {
+	for _, o := range obs {
 		o.OnTaskEnd(w.id)
 	}
 	e.busy.Add(-1)

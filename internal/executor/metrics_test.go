@@ -1,0 +1,165 @@
+package executor
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// drain submits n one-shot tasks from outside the pool and waits for all of
+// them to execute.
+func drain(t *testing.T, e *Executor, n int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		if err := e.SubmitFunc(func(Context) { wg.Done() }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+}
+
+func TestMetricsDisabledByDefault(t *testing.T) {
+	e := New(2)
+	defer e.Shutdown()
+	if e.MetricsEnabled() {
+		t.Fatal("metrics enabled without WithMetrics")
+	}
+	if _, ok := e.MetricsSnapshot(); ok {
+		t.Fatal("MetricsSnapshot ok on a metrics-disabled executor")
+	}
+}
+
+func TestMetricsCountAndReconcile(t *testing.T) {
+	e := New(4, WithMetrics(), WithSeed(7))
+	drain(t, e, 500)
+
+	// Fan-out from inside the pool so worker deques see pushes too.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	err := e.SubmitFunc(func(ctx Context) {
+		var inner atomic.Int64
+		const kids = 200
+		inner.Store(kids)
+		for i := 0; i < kids; i++ {
+			ctx.Submit(NewTask(func(Context) {
+				if inner.Add(-1) == 0 {
+					wg.Done()
+				}
+			}))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	e.Shutdown()
+
+	snap, ok := e.MetricsSnapshot()
+	if !ok {
+		t.Fatal("MetricsSnapshot not ok with WithMetrics")
+	}
+	total := snap.Total()
+	if got := total.Executed; got != 701 {
+		t.Fatalf("executed = %d, want 701", got)
+	}
+	if snap.InjectionPushes != 501 {
+		t.Fatalf("injection pushes = %d, want 501", snap.InjectionPushes)
+	}
+	if total.Pushes != 200 {
+		t.Fatalf("deque pushes = %d, want 200", total.Pushes)
+	}
+	if err := snap.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	if total.QueueDepth != 0 || snap.InjectionDepth != 0 {
+		t.Fatalf("queues not drained in snapshot: depth=%d inj=%d",
+			total.QueueDepth, snap.InjectionDepth)
+	}
+	if len(snap.Workers) != 4 {
+		t.Fatalf("snapshot has %d workers, want 4", len(snap.Workers))
+	}
+}
+
+func TestMetricsCountParksAndWakes(t *testing.T) {
+	e := New(2, WithMetrics(), WithSpin(0)) // park immediately when idle
+	defer e.Shutdown()
+	for round := 0; round < 20; round++ {
+		drain(t, e, 4)
+	}
+	snap, _ := e.MetricsSnapshot()
+	total := snap.Total()
+	if total.Parks == 0 {
+		t.Fatal("no parks recorded despite WithSpin(0) idle periods")
+	}
+	if snap.PreciseWakes == 0 {
+		t.Fatal("no precise wakes recorded despite external submissions")
+	}
+}
+
+func TestMetricsStealAccounting(t *testing.T) {
+	// A single long fan-out from one worker forces the others to steal.
+	e := New(4, WithMetrics(), WithSeed(3))
+	var wg sync.WaitGroup
+	const kids = 2000
+	wg.Add(kids)
+	err := e.SubmitFunc(func(ctx Context) {
+		for i := 0; i < kids; i++ {
+			ctx.SubmitNoWake(NewTask(func(Context) {
+				for j := 0; j < 100; j++ {
+					_ = j * j
+				}
+				wg.Done()
+			}))
+		}
+		ctx.Wake(kids)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	e.Shutdown()
+	snap, _ := e.MetricsSnapshot()
+	total := snap.Total()
+	if total.Steals != total.StolenFrom {
+		t.Fatalf("thief-side steals %d != victim-side %d", total.Steals, total.StolenFrom)
+	}
+	if total.StealAttempts < total.Steals {
+		t.Fatalf("steal attempts %d < steals %d", total.StealAttempts, total.Steals)
+	}
+	if total.MaxQueueDepth == 0 {
+		t.Fatal("max queue depth watermark never raised by a 2000-task fan-out")
+	}
+	if err := snap.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMetricsSnapshotWhileRunning exercises concurrent snapshotting under
+// the race detector: readers must never race with the counting hot path.
+func TestMetricsSnapshotWhileRunning(t *testing.T) {
+	e := New(4, WithMetrics())
+	defer e.Shutdown()
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if snap, ok := e.MetricsSnapshot(); ok {
+				_ = snap.Total()
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		drain(t, e, 20)
+	}
+	close(stop)
+	rg.Wait()
+}

@@ -1,0 +1,149 @@
+// Package metrics exports an executor's scheduler counters (see
+// internal/executor WithMetrics) to standard monitoring surfaces using
+// only the standard library:
+//
+//   - WritePrometheus renders the Prometheus text exposition format;
+//   - Handler serves it over HTTP (mount under /metrics);
+//   - Publish registers the snapshot as an expvar variable, appearing as
+//     JSON under the process's /debug/vars.
+//
+// All exports read a fresh MetricsSnapshot per scrape: they are safe while
+// the executor runs and cost nothing between scrapes.
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"gotaskflow/internal/core"
+	"gotaskflow/internal/executor"
+)
+
+// Source is the snapshot provider — *executor.Executor implements it.
+type Source interface {
+	MetricsSnapshot() (executor.Snapshot, bool)
+}
+
+// promCounter and promGauge describe one exported series.
+type series struct {
+	name  string
+	help  string
+	typ   string // "counter" or "gauge"
+	per   func(*executor.WorkerStats) float64
+	total func(*executor.Snapshot) float64
+}
+
+// exported is the schema of the Prometheus export: per-worker series carry
+// a worker="<i>" label; executor-wide series carry none.
+var exported = []series{
+	{"gotaskflow_deque_pushes_total", "Tasks pushed to the worker's deque", "counter",
+		func(w *executor.WorkerStats) float64 { return float64(w.Pushes) }, nil},
+	{"gotaskflow_deque_pops_total", "Tasks the owner popped back out", "counter",
+		func(w *executor.WorkerStats) float64 { return float64(w.Pops) }, nil},
+	{"gotaskflow_deque_stolen_from_total", "Tasks thieves stole out of the deque", "counter",
+		func(w *executor.WorkerStats) float64 { return float64(w.StolenFrom) }, nil},
+	{"gotaskflow_deque_grows_total", "Deque ring reallocations", "counter",
+		func(w *executor.WorkerStats) float64 { return float64(w.QueueGrows) }, nil},
+	{"gotaskflow_deque_max_depth", "Push-time high watermark of resident tasks", "gauge",
+		func(w *executor.WorkerStats) float64 { return float64(w.MaxQueueDepth) }, nil},
+	{"gotaskflow_deque_depth", "Resident tasks at scrape time", "gauge",
+		func(w *executor.WorkerStats) float64 { return float64(w.QueueDepth) }, nil},
+	{"gotaskflow_steal_attempts_total", "Steal sweeps over victims and the injection queue", "counter",
+		func(w *executor.WorkerStats) float64 { return float64(w.StealAttempts) }, nil},
+	{"gotaskflow_steals_total", "Tasks stolen by the worker from other deques", "counter",
+		func(w *executor.WorkerStats) float64 { return float64(w.Steals) }, nil},
+	{"gotaskflow_injection_drains_total", "Tasks taken from the external injection queue", "counter",
+		func(w *executor.WorkerStats) float64 { return float64(w.InjectionDrains) }, nil},
+	{"gotaskflow_cache_hits_total", "Tasks run through the speculative cache slot", "counter",
+		func(w *executor.WorkerStats) float64 { return float64(w.CacheHits) }, nil},
+	{"gotaskflow_parks_total", "Times the worker parked on the idlers list", "counter",
+		func(w *executor.WorkerStats) float64 { return float64(w.Parks) }, nil},
+	{"gotaskflow_executed_total", "Tasks invoked by the worker", "counter",
+		func(w *executor.WorkerStats) float64 { return float64(w.Executed) }, nil},
+
+	{"gotaskflow_injection_pushes_total", "Tasks submitted from outside the pool", "counter",
+		nil, func(s *executor.Snapshot) float64 { return float64(s.InjectionPushes) }},
+	{"gotaskflow_injection_depth", "Injection queue residents at scrape time", "gauge",
+		nil, func(s *executor.Snapshot) float64 { return float64(s.InjectionDepth) }},
+	{"gotaskflow_wakes_precise_total", "Wakeups issued because new work arrived", "counter",
+		nil, func(s *executor.Snapshot) float64 { return float64(s.PreciseWakes) }},
+	{"gotaskflow_wakes_probabilistic_total", "1/wakeDen load-balancing wakeups", "counter",
+		nil, func(s *executor.Snapshot) float64 { return float64(s.ProbabilisticWakes) }},
+}
+
+// WritePrometheus writes the source's current counters in the Prometheus
+// text exposition format (version 0.0.4). It writes nothing and returns
+// nil when the source was built without metrics.
+func WritePrometheus(w io.Writer, src Source) error {
+	snap, ok := src.MetricsSnapshot()
+	if !ok {
+		return nil
+	}
+	var b strings.Builder
+	for _, s := range exported {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", s.name, s.help, s.name, s.typ)
+		if s.per != nil {
+			for i := range snap.Workers {
+				fmt.Fprintf(&b, "%s{worker=\"%d\"} %g\n", s.name, i, s.per(&snap.Workers[i]))
+			}
+		} else {
+			fmt.Fprintf(&b, "%s %g\n", s.name, s.total(&snap))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler returns an http.Handler serving the Prometheus text format —
+// mount it wherever the scraper looks, conventionally /metrics. A
+// metrics-disabled source serves an empty 200.
+func Handler(src Source) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WritePrometheus(w, src); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// Static wraps an already-taken Snapshot as a Source, so a run that has
+// finished (and whose executor may be gone) can still be exported through
+// WritePrometheus or Handler.
+func Static(snap executor.Snapshot) Source { return staticSource{snap} }
+
+type staticSource struct{ snap executor.Snapshot }
+
+func (s staticSource) MetricsSnapshot() (executor.Snapshot, bool) { return s.snap, true }
+
+// WriteRunSummary writes a compact human-readable digest of one
+// instrumented run — the graph-level RunStats and the executor's scheduler
+// counter totals — the form the benchmark drivers print behind their
+// -metrics flags.
+func WriteRunSummary(w io.Writer, rs core.RunStats, snap executor.Snapshot) error {
+	t := snap.Total()
+	_, err := fmt.Fprintf(w,
+		"run:   tasks=%d span=%d parallelism=%.2f wall=%v busy=%v achieved=%.2f retries=%d skipped=%d\n"+
+			"sched: executed=%d pops=%d steals=%d/%d-attempts drains=%d cache-hits=%d parks=%d wakes=%d-precise/%d-prob max-depth=%d\n",
+		rs.Tasks, rs.Span, rs.Parallelism, rs.Wall, rs.Busy, rs.AchievedParallelism,
+		rs.Retries, rs.Skipped,
+		t.Executed, t.Pops, t.Steals, t.StealAttempts, t.InjectionDrains,
+		t.CacheHits, t.Parks, snap.PreciseWakes, snap.ProbabilisticWakes,
+		t.MaxQueueDepth)
+	return err
+}
+
+// Publish registers the source under name as an expvar variable whose
+// value is the full Snapshot marshalled as JSON, visible at /debug/vars.
+// expvar panics on duplicate names, so publish each name once per process.
+func Publish(name string, src Source) {
+	expvar.Publish(name, expvar.Func(func() any {
+		snap, ok := src.MetricsSnapshot()
+		if !ok {
+			return nil
+		}
+		return snap
+	}))
+}

@@ -27,6 +27,20 @@ type Event struct {
 //
 //	p := tracing.NewProfiler()
 //	e := executor.New(4, executor.WithObserver(p))
+//
+// or on a running executor with e.AddObserver(p).
+//
+// # Concurrency contract
+//
+// All methods are safe for concurrent use. Registration mid-run is safe:
+// the executor snapshots its observer list once per task, so a Profiler
+// always sees balanced OnTaskStart/OnTaskEnd pairs — it either observes a
+// task entirely or not at all, never a dangling end. Snapshot-while-
+// running is safe too: NumEvents, Events, TotalBusy and WriteChromeTrace
+// may be called while workers are executing and observe a consistent
+// prefix of completed spans (in-flight tasks appear once they end).
+// Reset may race with a running task; that task's span is dropped rather
+// than corrupted.
 type Profiler struct {
 	epoch time.Time
 

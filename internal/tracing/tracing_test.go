@@ -2,7 +2,9 @@ package tracing
 
 import (
 	"encoding/json"
+	"io"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -98,5 +100,87 @@ func TestEventsReturnsCopy(t *testing.T) {
 	evs[0].Worker = 99
 	if p.Events()[0].Worker == 99 {
 		t.Fatal("Events exposes internal storage")
+	}
+}
+
+// TestProfilerRegisterAndReadWhileRunning pins the concurrency contract:
+// a Profiler added to a RUNNING executor via AddObserver records balanced
+// spans, and snapshot reads (NumEvents, Events, TotalBusy, Chrome export)
+// may race with execution without tearing. Run under -race in CI.
+func TestProfilerRegisterAndReadWhileRunning(t *testing.T) {
+	e := executor.New(4)
+	defer e.Shutdown()
+
+	// Keep a steady stream of tasks flowing while we register and read.
+	stop := make(chan struct{})
+	var feeders sync.WaitGroup
+	feeders.Add(1)
+	var submitted atomic.Int64
+	go func() {
+		defer feeders.Done()
+		var inflight sync.WaitGroup
+		for {
+			select {
+			case <-stop:
+				inflight.Wait()
+				return
+			default:
+			}
+			inflight.Add(1)
+			submitted.Add(1)
+			if err := e.SubmitFunc(func(executor.Context) {
+				inflight.Done()
+			}); err != nil {
+				inflight.Done()
+				return
+			}
+		}
+	}()
+
+	p := NewProfiler()
+	e.AddObserver(p) // mid-run registration
+
+	// Concurrent snapshot readers.
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 200; i++ {
+				n := p.NumEvents()
+				evs := p.Events()
+				if len(evs) < n-1 && len(evs) > n+1 {
+					t.Error("Events/NumEvents wildly inconsistent")
+				}
+				for _, ev := range evs {
+					if ev.End < ev.Start {
+						t.Errorf("torn span: end %v before start %v", ev.End, ev.Start)
+					}
+				}
+				_ = p.TotalBusy()
+				if err := p.WriteChromeTrace(io.Discard); err != nil {
+					t.Errorf("WriteChromeTrace: %v", err)
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	feeders.Wait()
+	e.Shutdown()
+
+	// Every span the profiler saw is balanced and sane; it saw a subset of
+	// the stream (registration happened mid-run).
+	evs := p.Events()
+	if len(evs) == 0 {
+		t.Fatal("mid-run registration recorded no spans")
+	}
+	if int64(len(evs)) > submitted.Load() {
+		t.Fatalf("recorded %d spans for %d submissions", len(evs), submitted.Load())
+	}
+	for _, ev := range evs {
+		if ev.End < ev.Start || ev.Worker < 0 || ev.Worker >= 4 {
+			t.Fatalf("bad span: %+v", ev)
+		}
 	}
 }

@@ -13,8 +13,10 @@ package traversal
 
 import (
 	"fmt"
+	"io"
 
 	"gotaskflow/internal/core"
+	"gotaskflow/internal/executor"
 	"gotaskflow/internal/flowgraph"
 	"gotaskflow/internal/graphgen"
 	"gotaskflow/internal/omp"
@@ -90,6 +92,16 @@ func Sequential(d *graphgen.DAG, spin int) uint64 {
 func Taskflow(d *graphgen.DAG, spin, workers int) (uint64, error) {
 	tf := core.New(workers)
 	defer tf.Close()
+	val := buildTraversal(tf, d, spin)
+	if err := tf.WaitForAll(); err != nil {
+		return 0, err
+	}
+	return checksum(val), nil
+}
+
+// buildTraversal emplaces d's traversal task graph on tf and returns the
+// value array the tasks write into.
+func buildTraversal(tf *core.Taskflow, d *graphgen.DAG, spin int) []uint64 {
 	p := preds(d)
 	val := make([]uint64, d.N)
 	tasks := make([]core.Task, d.N)
@@ -102,10 +114,30 @@ func Taskflow(d *graphgen.DAG, spin, workers int) (uint64, error) {
 			tasks[u].Precede(tasks[v])
 		}
 	}
-	if err := tf.WaitForAll(); err != nil {
-		return 0, err
+	return val
+}
+
+// TaskflowStats runs one instrumented traversal of d: the executor counts
+// scheduler events (WithMetrics) and the taskflow collects timed run
+// statistics. It returns the checksum, the run's RunStats, and the
+// executor's counter snapshot at quiescence. When dotw is non-nil the
+// annotated task graph is written to it after the run.
+func TaskflowStats(d *graphgen.DAG, spin, workers int, dotw io.Writer) (uint64, core.RunStats, executor.Snapshot, error) {
+	e := executor.New(workers, executor.WithMetrics())
+	defer e.Shutdown()
+	tf := core.NewShared(e).SetName(fmt.Sprintf("traversal_%d", d.N)).CollectRunStats(true)
+	val := buildTraversal(tf, d, spin)
+	if err := tf.Run(); err != nil {
+		return 0, core.RunStats{}, executor.Snapshot{}, err
 	}
-	return checksum(val), nil
+	rs, _ := tf.LastRunStats()
+	snap, _ := e.MetricsSnapshot()
+	if dotw != nil {
+		if err := tf.DumpAnnotated(dotw); err != nil {
+			return 0, core.RunStats{}, executor.Snapshot{}, err
+		}
+	}
+	return checksum(val), rs, snap, nil
 }
 
 // FlowGraph traverses d on the TBB FlowGraph model. All sources must be

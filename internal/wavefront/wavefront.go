@@ -15,6 +15,7 @@ package wavefront
 
 import (
 	"fmt"
+	"io"
 
 	"gotaskflow/internal/core"
 	"gotaskflow/internal/executor"
@@ -86,6 +87,16 @@ func TaskflowShared(m, spin int, e *executor.Executor) (uint64, error) {
 }
 
 func taskflowOn(tf *core.Taskflow, m, spin int) (uint64, error) {
+	g := buildWavefront(tf, m, spin)
+	if err := tf.WaitForAll(); err != nil {
+		return 0, err
+	}
+	return g[m][m], nil
+}
+
+// buildWavefront emplaces the m×m wavefront task graph on tf and returns
+// the value grid the tasks write into.
+func buildWavefront(tf *core.Taskflow, m, spin int) [][]uint64 {
 	g := grid(m)
 	tasks := make([][]core.Task, m)
 	for i := 0; i < m; i++ {
@@ -107,10 +118,31 @@ func taskflowOn(tf *core.Taskflow, m, spin int) (uint64, error) {
 			}
 		}
 	}
-	if err := tf.WaitForAll(); err != nil {
-		return 0, err
+	return g
+}
+
+// TaskflowStats runs one instrumented m×m wavefront: the executor counts
+// scheduler events (WithMetrics) and the taskflow collects timed run
+// statistics. It returns the checksum, the run's RunStats, and the
+// executor's counter snapshot at quiescence. When dotw is non-nil the
+// annotated task graph (per-task execution counts and durations) is
+// written to it after the run.
+func TaskflowStats(m, spin, workers int, dotw io.Writer) (uint64, core.RunStats, executor.Snapshot, error) {
+	e := executor.New(workers, executor.WithMetrics())
+	defer e.Shutdown()
+	tf := core.NewShared(e).SetName(fmt.Sprintf("wavefront_%dx%d", m, m)).CollectRunStats(true)
+	g := buildWavefront(tf, m, spin)
+	if err := tf.Run(); err != nil {
+		return 0, core.RunStats{}, executor.Snapshot{}, err
 	}
-	return g[m][m], nil
+	rs, _ := tf.LastRunStats()
+	snap, _ := e.MetricsSnapshot()
+	if dotw != nil {
+		if err := tf.DumpAnnotated(dotw); err != nil {
+			return 0, core.RunStats{}, executor.Snapshot{}, err
+		}
+	}
+	return g[m][m], rs, snap, nil
 }
 
 // FlowGraph runs the wavefront on the TBB FlowGraph model.

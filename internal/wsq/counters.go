@@ -1,0 +1,51 @@
+package wsq
+
+import "sync/atomic"
+
+// Counters aggregates the lifetime queue activity of one Deque. A scheduler
+// that wants per-worker queue metrics allocates one Counters per deque
+// (padded against false sharing if they live in an array) and attaches it
+// with SetCounters before the deque is used.
+//
+// All fields are atomic so any goroutine may read a consistent-enough
+// snapshot while the deque is in use. Pushes, Pops, Grows and MaxDepth are
+// written only by the owner goroutine; Steals is written by thieves.
+//
+// Conservation law: once the deque is quiescent (owner stopped, deque
+// drained), Pushes == Pops + Steals — every item that entered the deque
+// left it exactly once, through the bottom or through the top. The
+// property tests in internal/core assert this end to end.
+type Counters struct {
+	// Pushes counts items added by the owner (Push and PushBatch items).
+	Pushes atomic.Uint64
+	// Pops counts items removed by the owner. A bottom pop that loses the
+	// last-item CAS race to a thief is not a pop — the thief got the item
+	// and counts it as a steal.
+	Pops atomic.Uint64
+	// Steals counts items removed by thieves (successful Steal calls).
+	Steals atomic.Uint64
+	// Grows counts ring reallocations.
+	Grows atomic.Uint64
+	// MaxDepth is the high watermark of items resident in the deque,
+	// maintained at push time (a sampled queue-depth gauge pairs with it:
+	// see Deque.Len).
+	MaxDepth atomic.Uint64
+}
+
+// SetCounters attaches c to the deque; subsequent operations update it.
+// Pass nil to detach. Must be called before the deque is shared with
+// thieves (typically right after New); attaching to a live deque is a data
+// race. When no counters are attached the accounting cost is one nil check
+// per operation.
+func (d *Deque[T]) SetCounters(c *Counters) { d.ctr = c }
+
+// Counters returns the attached counters (nil when detached).
+func (d *Deque[T]) Counters() *Counters { return d.ctr }
+
+// noteDepth raises the MaxDepth watermark to depth. Owner only, so a plain
+// load-compare-store is enough: no other writer exists.
+func (c *Counters) noteDepth(depth int64) {
+	if depth > 0 && uint64(depth) > c.MaxDepth.Load() {
+		c.MaxDepth.Store(uint64(depth))
+	}
+}

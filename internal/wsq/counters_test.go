@@ -1,0 +1,113 @@
+package wsq
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCountersSequentialAccounting(t *testing.T) {
+	d := New[int](4)
+	var c Counters
+	d.SetCounters(&c)
+	if d.Counters() != &c {
+		t.Fatal("Counters() did not return the attached block")
+	}
+	items := ints(100)
+	for _, p := range items[:50] {
+		d.Push(p)
+	}
+	d.PushBatch(items[50:])
+	if got := c.Pushes.Load(); got != 100 {
+		t.Fatalf("Pushes = %d, want 100", got)
+	}
+	if got := c.MaxDepth.Load(); got != 100 {
+		t.Fatalf("MaxDepth = %d, want 100", got)
+	}
+	if c.Grows.Load() == 0 {
+		t.Fatal("100 items into a 64-slot ring recorded no growth")
+	}
+	for i := 0; i < 30; i++ {
+		if _, ok := d.Pop(); !ok {
+			t.Fatal("unexpected empty pop")
+		}
+	}
+	for i := 0; i < 70; i++ {
+		if _, ok := d.Steal(); !ok {
+			t.Fatal("unexpected failed steal")
+		}
+	}
+	if got := c.Pops.Load(); got != 30 {
+		t.Fatalf("Pops = %d, want 30", got)
+	}
+	if got := c.Steals.Load(); got != 70 {
+		t.Fatalf("Steals = %d, want 70", got)
+	}
+	if c.Pushes.Load() != c.Pops.Load()+c.Steals.Load() {
+		t.Fatal("conservation law violated at quiescence")
+	}
+	// Empty pops and failed steals count nothing.
+	d.Pop()
+	d.Steal()
+	if c.Pops.Load() != 30 || c.Steals.Load() != 70 {
+		t.Fatal("failed operations were counted")
+	}
+}
+
+// TestCountersConcurrentConservation hammers an owner against thieves and
+// checks Pushes == Pops + Steals at quiescence — the law the executor's
+// metrics reconciliation builds on. Run under -race in CI.
+func TestCountersConcurrentConservation(t *testing.T) {
+	d := New[int](64)
+	var c Counters
+	d.SetCounters(&c)
+	const n = 20000
+	items := ints(n)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for th := 0; th < 3; th++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if _, ok := d.Steal(); !ok {
+					select {
+					case <-stop:
+						if d.Empty() {
+							return
+						}
+					default:
+					}
+				}
+			}
+		}()
+	}
+	for i, p := range items {
+		d.Push(p)
+		if i%3 == 0 {
+			d.Pop()
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := c.Pushes.Load(); got != n {
+		t.Fatalf("Pushes = %d, want %d", got, n)
+	}
+	if got := c.Pops.Load() + c.Steals.Load(); got != n {
+		t.Fatalf("Pops %d + Steals %d = %d, want %d",
+			c.Pops.Load(), c.Steals.Load(), got, n)
+	}
+}
+
+func TestCountersZeroAllocWhenAttached(t *testing.T) {
+	d := New[int](1024)
+	var c Counters
+	d.SetCounters(&c)
+	item := new(int)
+	allocs := testing.AllocsPerRun(1000, func() {
+		d.Push(item)
+		d.Pop()
+	})
+	if allocs != 0 {
+		t.Fatalf("counted Push+Pop allocates %v objects per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,168 @@
+package wsq
+
+// FuzzDeque drives the Chase-Lev deque with a fuzzer-chosen operation
+// script, twice per input:
+//
+//  1. sequentially against a model queue — Push appends, Pop must return
+//     the newest item (LIFO bottom), Steal the oldest (FIFO top), with
+//     Len agreeing throughout; and
+//  2. concurrently, the owner replaying the same script against 0-3
+//     stealer goroutines — every pushed item must be consumed exactly
+//     once, by either the owner or a thief.
+//
+// Both phases check the counter conservation law at quiescence:
+// Pushes == Pops + Steals. The committed corpus lives under
+// testdata/fuzz/FuzzDeque; CI runs a -fuzztime smoke on top of the
+// corpus replay that plain `go test` performs.
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func FuzzDeque(f *testing.F) {
+	f.Add([]byte{2, 0, 0, 0, 1, 2, 0, 1})          // push/pop/steal mix, 2 thieves
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}) // push-only growth, 0 thieves
+	f.Add([]byte{3, 1, 2, 1, 2, 0, 1, 2})          // ops on an often-empty deque
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		stealers := int(data[0] % 4)
+		script := data[1:]
+		if len(script) > 512 {
+			script = script[:512]
+		}
+		fuzzSequentialModel(t, script)
+		fuzzConcurrentExactlyOnce(t, stealers, script)
+	})
+}
+
+// fuzzSequentialModel replays the script single-threaded against a slice
+// model of the deque.
+func fuzzSequentialModel(t *testing.T, script []byte) {
+	d := New[int](2) // tiny capacity so growth paths get exercised
+	var c Counters
+	d.SetCounters(&c)
+	var model []int
+	next, pushed, consumed := 0, uint64(0), uint64(0)
+	for _, b := range script {
+		switch b % 3 {
+		case 0:
+			v := new(int)
+			*v = next
+			next++
+			d.Push(v)
+			model = append(model, *v)
+			pushed++
+		case 1:
+			got, ok := d.Pop()
+			if len(model) == 0 {
+				if ok {
+					t.Fatalf("Pop returned %d from an empty deque", *got)
+				}
+				continue
+			}
+			want := model[len(model)-1]
+			if !ok || *got != want {
+				t.Fatalf("Pop = (%v, %v), want (%d, true)", got, ok, want)
+			}
+			model = model[:len(model)-1]
+			consumed++
+		case 2:
+			got, ok := d.Steal()
+			if len(model) == 0 {
+				if ok {
+					t.Fatalf("Steal returned %d from an empty deque", *got)
+				}
+				continue
+			}
+			want := model[0]
+			if !ok || *got != want {
+				t.Fatalf("Steal = (%v, %v), want (%d, true)", got, ok, want)
+			}
+			model = model[1:]
+			consumed++
+		}
+		if d.Len() != len(model) {
+			t.Fatalf("Len = %d, model has %d", d.Len(), len(model))
+		}
+	}
+	if got := c.Pushes.Load(); got != pushed {
+		t.Fatalf("Pushes = %d, want %d", got, pushed)
+	}
+	if got := c.Pops.Load() + c.Steals.Load(); got != consumed {
+		t.Fatalf("Pops+Steals = %d, want %d", got, consumed)
+	}
+}
+
+// fuzzConcurrentExactlyOnce replays the script's pushes from the owner
+// (popping on some bytes) while stealer goroutines drain concurrently,
+// then asserts exactly-once consumption and counter conservation.
+func fuzzConcurrentExactlyOnce(t *testing.T, stealers int, script []byte) {
+	d := New[int](2)
+	var c Counters
+	d.SetCounters(&c)
+	n := len(script)
+	items := make([]int, n)
+	seen := make([]atomic.Int32, n)
+	consume := func(p *int, ok bool) {
+		if ok {
+			seen[*p].Add(1)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for th := 0; th < stealers; th++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				p, ok := d.Steal()
+				consume(p, ok)
+				if !ok {
+					select {
+					case <-stop:
+						if d.Empty() {
+							return
+						}
+					default:
+					}
+				}
+			}
+		}()
+	}
+	for i, b := range script {
+		items[i] = i
+		d.Push(&items[i])
+		if b%4 == 3 {
+			consume(d.Pop())
+		}
+	}
+	// Owner drains what the thieves have not taken, then releases them.
+	for {
+		p, ok := d.Pop()
+		if !ok {
+			if d.Empty() {
+				break
+			}
+			continue // lost the last-item race to a thief mid-flight
+		}
+		consume(p, ok)
+	}
+	close(stop)
+	wg.Wait()
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Fatalf("item %d consumed %d times, want exactly once", i, got)
+		}
+	}
+	if got := c.Pushes.Load(); got != uint64(n) {
+		t.Fatalf("Pushes = %d, want %d", got, n)
+	}
+	if got := c.Pops.Load() + c.Steals.Load(); got != uint64(n) {
+		t.Fatalf("Pops %d + Steals %d = %d, want %d",
+			c.Pops.Load(), c.Steals.Load(), got, n)
+	}
+}

@@ -69,6 +69,11 @@ type Deque[T any] struct {
 	bottom atomic.Int64
 	top    atomic.Int64
 	array  atomic.Pointer[ring[T]]
+
+	// ctr, when non-nil, receives per-operation accounting (see Counters).
+	// Attached once before use; the disabled cost is one nil check per
+	// operation.
+	ctr *Counters
 }
 
 // New creates an empty deque with at least the given initial capacity
@@ -93,9 +98,16 @@ func (d *Deque[T]) Push(item *T) {
 	if b-t > a.cap()-1 {
 		a = a.grow(b, t, 1)
 		d.array.Store(a)
+		if c := d.ctr; c != nil {
+			c.Grows.Add(1)
+		}
 	}
 	a.store(b, item)
 	d.bottom.Store(b + 1)
+	if c := d.ctr; c != nil {
+		c.Pushes.Add(1)
+		c.noteDepth(b + 1 - t)
+	}
 }
 
 // PushBatch adds all items at the bottom of the deque with a single bottom
@@ -113,11 +125,18 @@ func (d *Deque[T]) PushBatch(items []*T) {
 	if b-t+n > a.cap() {
 		a = a.grow(b, t, n)
 		d.array.Store(a)
+		if c := d.ctr; c != nil {
+			c.Grows.Add(1)
+		}
 	}
 	for i, item := range items {
 		a.store(b+int64(i), item)
 	}
 	d.bottom.Store(b + n)
+	if c := d.ctr; c != nil {
+		c.Pushes.Add(uint64(n))
+		c.noteDepth(b + n - t)
+	}
 }
 
 // Pop removes and returns the most recently pushed item. Owner only.
@@ -141,7 +160,13 @@ func (d *Deque[T]) Pop() (*T, bool) {
 			return nil, false
 		}
 		d.bottom.Store(b + 1)
+		if c := d.ctr; c != nil {
+			c.Pops.Add(1)
+		}
 		return item, true
+	}
+	if c := d.ctr; c != nil {
+		c.Pops.Add(1)
 	}
 	return item, true
 }
@@ -160,6 +185,9 @@ func (d *Deque[T]) Steal() (*T, bool) {
 	item := a.load(t)
 	if !d.top.CompareAndSwap(t, t+1) {
 		return nil, false
+	}
+	if c := d.ctr; c != nil {
+		c.Steals.Add(1)
 	}
 	return item, true
 }

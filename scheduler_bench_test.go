@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"gotaskflow/internal/core"
+	"gotaskflow/internal/executor"
 )
 
 // BenchmarkSchedLinearChain re-runs a 256-node chain: pure dependency
@@ -34,6 +35,39 @@ func BenchmarkSchedLinearChain(b *testing.B) {
 		if err := tf.Run(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSchedLinearChainMetricsOn is BenchmarkSchedLinearChain with
+// the full observability stack enabled — executor scheduler counters
+// (WithMetrics) plus timed run statistics (CollectRunStats). It is the
+// enabled-path allocation gate: -benchmem must still report 0 allocs/op,
+// and the ns/op delta against the plain benchmark is the whole cost of
+// counting.
+func BenchmarkSchedLinearChainMetricsOn(b *testing.B) {
+	e := executor.New(workers(), executor.WithMetrics())
+	defer e.Shutdown()
+	tf := core.NewShared(e).CollectRunStats(true)
+	var n int64
+	prev := tf.Emplace1(func() { n++ })
+	for i := 1; i < 256; i++ {
+		next := tf.Emplace1(func() { n++ })
+		prev.Precede(next)
+		prev = next
+	}
+	if err := tf.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tf.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if snap, ok := e.MetricsSnapshot(); !ok || snap.Total().Executed == 0 {
+		b.Fatal("metrics were not collected during the benchmark")
 	}
 }
 
