@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race chaos bench cover fuzz
+.PHONY: all build test vet race chaos bench cover fuzz trace
 
 all: vet build test
 
@@ -35,6 +35,15 @@ bench:
 		-bench 'BenchmarkSched|Fig7WavefrontSizeTaskflow|Fig7TraversalSizeTaskflow' \
 		-benchmem -benchtime 2s -count 3 . | tee /tmp/bench_scheduler.txt
 	@echo "raw output in /tmp/bench_scheduler.txt; curate BENCH_scheduler.json from it"
+
+# trace is the tracing smoke: capture an event trace from an instrumented
+# wavefront and traversal run via the drivers' -trace flags, then validate
+# the Chrome trace-event JSON (required Perfetto fields, named task spans,
+# matched flow arrows, scheduler instants) with cmd/tracecheck.
+trace:
+	$(GO) run ./cmd/wavefront -metrics -size 64 -workers 4 -trace /tmp/wavefront_trace.json
+	$(GO) run ./cmd/traversal -metrics -size 5000 -workers 4 -trace /tmp/traversal_trace.json
+	$(GO) run ./cmd/tracecheck /tmp/wavefront_trace.json /tmp/traversal_trace.json
 
 # cover runs the full suite with atomic-mode coverage and prints the
 # per-function summary; coverage.out feeds `go tool cover -html`.

@@ -8,6 +8,8 @@
 //	dnntrain -sweep epochs -arch 3 -epochs 10,20,40 -images 6000
 //	dnntrain -sweep cpu -arch 5 -epochcount 20 -maxworkers 8
 //	dnntrain -accuracy -arch 3 -epochcount 20
+//	dnntrain -accuracy -trace train.json         # accuracy run with a Chrome/Perfetto event trace
+//	dnntrain -accuracy -debug localhost:6060     # accuracy run serving /debug/taskflow/
 package main
 
 import (
@@ -17,7 +19,10 @@ import (
 	"os"
 
 	"gotaskflow/internal/cli"
+	"gotaskflow/internal/core"
+	"gotaskflow/internal/debughttp"
 	"gotaskflow/internal/dnn"
+	"gotaskflow/internal/executor"
 	"gotaskflow/internal/experiments"
 	"gotaskflow/internal/mnist"
 )
@@ -34,6 +39,8 @@ func main() {
 		workers    = flag.Int("workers", experiments.DefaultWorkers(16), "worker count for the epochs sweep")
 		maxWorkers = flag.Int("maxworkers", experiments.DefaultWorkers(8), "largest worker count for the cpu sweep")
 		accuracy   = flag.Bool("accuracy", false, "train once and report train/test accuracy")
+		tracePath  = flag.String("trace", "", "with -accuracy: capture an event trace of the training run and write Chrome trace-event JSON to this file")
+		debugAddr  = flag.String("debug", "", "with -accuracy: serve /debug/taskflow/ on this address while training")
 	)
 	flag.Parse()
 
@@ -48,7 +55,7 @@ func main() {
 	case *accuracy:
 		cfg, data := experiments.MLConfig(sizes, *epochCount, *images)
 		cfg.LR = 0.1 // a practical rate for the synthetic set
-		net, losses, err := dnn.TrainTaskflow(cfg, data, *workers)
+		net, losses, err := trainObserved(cfg, data, *workers, *tracePath, *debugAddr)
 		if err != nil {
 			log.Fatalf("training failed: %v", err)
 		}
@@ -74,4 +81,38 @@ func main() {
 	default:
 		log.Fatalf("unknown -sweep %q (want epochs or cpu)", *sweep)
 	}
+}
+
+// trainObserved runs one Figure-11 training taskflow with the requested
+// observability attached: an event-trace capture written as Chrome
+// trace-event JSON (-trace) and/or the live /debug/taskflow/ endpoint
+// (-debug) served for the duration of training.
+func trainObserved(cfg dnn.Config, data *mnist.Dataset, workers int, tracePath, debugAddr string) (*dnn.MLP, []float64, error) {
+	e := executor.New(workers, executor.WithMetrics(), executor.WithTracing(0))
+	defer e.Shutdown()
+	tf := core.NewShared(e).SetName("dnntrain")
+
+	if debugAddr != "" {
+		addr, stopSrv, err := debughttp.New(e).Register("dnntrain", tf).ListenAndServe(debugAddr)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer stopSrv() //nolint:errcheck
+		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s%s\n", addr, debughttp.Prefix)
+	}
+	var stopTrace func() error
+	if tracePath != "" {
+		var err error
+		if stopTrace, err = cli.StartTraceCapture(e, tracePath); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	net, losses, err := dnn.TrainTaskflowShared(cfg, data, workers, tf)
+	if stopTrace != nil {
+		if serr := stopTrace(); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	return net, losses, err
 }

@@ -15,6 +15,8 @@
 //	opentimer -fig 10 -scale 20 -maxworkers 8
 //	opentimer -fig 10 -utilization -scale 20
 //	opentimer -report -design tv80
+//	opentimer -report -design tv80 -trace sta.json   # report run with a Chrome/Perfetto event trace
+//	opentimer -report -design tv80 -debug localhost:6060
 //	opentimer -write-verilog tv80.v -write-liberty cells.lib -design tv80
 //	opentimer -report -read-verilog tv80.v -liberty cells.lib
 package main
@@ -27,6 +29,9 @@ import (
 
 	"gotaskflow/internal/celllib"
 	"gotaskflow/internal/circuit"
+	"gotaskflow/internal/cli"
+	"gotaskflow/internal/debughttp"
+	"gotaskflow/internal/executor"
 	"gotaskflow/internal/experiments"
 	"gotaskflow/internal/sta"
 	"gotaskflow/internal/stav2"
@@ -49,6 +54,8 @@ func main() {
 		writeLiberty = flag.String("write-liberty", "", "write the cell library to this Liberty file")
 		readVerilog  = flag.String("read-verilog", "", "time a netlist read from this Verilog file instead of a synthetic design")
 		libertyFile  = flag.String("liberty", "", "Liberty file for -read-verilog (default: built-in synthetic library)")
+		tracePath    = flag.String("trace", "", "with -report: capture an event trace of the timing update and write Chrome trace-event JSON to this file")
+		debugAddr    = flag.String("debug", "", "with -report: serve /debug/taskflow/ on this address during the update")
 	)
 	flag.Parse()
 
@@ -65,13 +72,13 @@ func main() {
 	}
 	if *readVerilog != "" {
 		ckt := importDesign(*readVerilog, *libertyFile)
-		reportCircuit(ckt, *workers)
+		reportCircuit(ckt, *workers, *tracePath, *debugAddr)
 		return
 	}
 
 	switch {
 	case *report:
-		runReport(d, *scale, *workers)
+		runReport(d, *scale, *workers, *tracePath, *debugAddr)
 	case *fig == 9:
 		if err := experiments.Fig9Incremental(os.Stdout, d, *scale, *iters, *workers); err != nil {
 			log.Fatal(err)
@@ -157,16 +164,45 @@ func importDesign(verilogPath, libertyPath string) *circuit.Circuit {
 	return ckt
 }
 
-func runReport(d experiments.Design, scale, workers int) {
-	reportCircuit(d.Build(scale), workers)
+func runReport(d experiments.Design, scale, workers int, tracePath, debugAddr string) {
+	reportCircuit(d.Build(scale), workers, tracePath, debugAddr)
 }
 
-func reportCircuit(ckt *circuit.Circuit, workers int) {
+// reportCircuit performs one full timing update and prints the report.
+// The update's task graph — one task per gate, named after it — runs with
+// scheduler metrics and event tracing armed, so -trace captures a
+// Chrome/Perfetto timeline of the forward/backward propagation and
+// -debug exposes the live /debug/taskflow/ endpoint while it executes.
+func reportCircuit(ckt *circuit.Circuit, workers int, tracePath, debugAddr string) {
 	tm := sta.New(ckt, experiments.ClockPeriod)
-	a := stav2.New(tm, workers)
+	e := executor.New(workers, executor.WithMetrics(), executor.WithTracing(0))
+	a := stav2.NewShared(tm, e)
 	defer a.Close()
-	if err := a.Run(tm.FullUpdate()); err != nil {
+	tf := a.Taskflow(tm.FullUpdate())
+
+	if debugAddr != "" {
+		addr, stopSrv, err := debughttp.New(e).Register("timing_update", tf).ListenAndServe(debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stopSrv() //nolint:errcheck
+		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s%s\n", addr, debughttp.Prefix)
+	}
+	var stopTrace func() error
+	if tracePath != "" {
+		var err error
+		if stopTrace, err = cli.StartTraceCapture(e, tracePath); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if err := tf.WaitForAll(); err != nil {
 		log.Fatalf("timing update failed: %v", err)
+	}
+	if stopTrace != nil {
+		if err := stopTrace(); err != nil {
+			log.Fatal(err)
+		}
 	}
 	ws, at := tm.WorstSlack()
 	fmt.Printf("design %s: %d gates, %d timing arcs\n", ckt.Name, ckt.NumGates(), ckt.NumEdges())

@@ -1,0 +1,103 @@
+// Command tracecheck validates Chrome trace-event JSON files produced by
+// the -trace flags of the benchmark drivers (and by the
+// /debug/taskflow/trace/stop endpoint). It is the CI smoke gate behind
+// `make trace`: it fails unless every file parses, carries the required
+// Perfetto fields on every event, contains named task spans, matched flow
+// arrows, and scheduler instants.
+//
+// Usage:
+//
+//	tracecheck trace1.json [trace2.json ...]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+)
+
+type traceDoc struct {
+	TraceEvents []map[string]any `json:"traceEvents"`
+	OtherData   map[string]any   `json:"otherData"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracecheck: ")
+	if len(os.Args) < 2 {
+		log.Fatal("usage: tracecheck trace.json [more.json ...]")
+	}
+	for _, path := range os.Args[1:] {
+		if err := check(path); err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+	}
+}
+
+func check(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("not valid trace-event JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("empty traceEvents array")
+	}
+
+	var spans, flowStarts, flowEnds int
+	instantKinds := map[string]bool{}
+	flowIDs := map[float64]int{} // id -> starts minus finishes
+	for i, ev := range doc.TraceEvents {
+		for _, field := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[field]; !ok {
+				return fmt.Errorf("event %d missing required field %q: %v", i, field, ev)
+			}
+		}
+		switch ev["ph"] {
+		case "X":
+			if ev["cat"] == "task" {
+				spans++
+			}
+		case "i":
+			if ev["s"] != "t" {
+				return fmt.Errorf("event %d: instant without thread scope: %v", i, ev)
+			}
+			if ev["cat"] == "sched" {
+				instantKinds[ev["name"].(string)] = true
+			}
+		case "s":
+			flowStarts++
+			flowIDs[ev["id"].(float64)]++
+		case "f":
+			if ev["bp"] != "e" {
+				return fmt.Errorf("event %d: flow finish without bp=e: %v", i, ev)
+			}
+			flowEnds++
+			flowIDs[ev["id"].(float64)]--
+		}
+	}
+	if spans == 0 {
+		return fmt.Errorf("no task spans (ph=X, cat=task)")
+	}
+	if flowStarts == 0 || flowStarts != flowEnds {
+		return fmt.Errorf("unmatched flow arrows: %d starts, %d finishes", flowStarts, flowEnds)
+	}
+	for id, balance := range flowIDs {
+		if balance != 0 {
+			return fmt.Errorf("flow id %v has unbalanced start/finish", id)
+		}
+	}
+	if len(instantKinds) < 2 {
+		return fmt.Errorf("only %d scheduler event kinds: %v", len(instantKinds), instantKinds)
+	}
+	if d, ok := doc.OtherData["droppedEvents"]; ok {
+		fmt.Fprintf(os.Stderr, "tracecheck: warning: %s dropped %v events\n", path, d)
+	}
+	fmt.Printf("%s: ok — %d events, %d task spans, %d flow arrows, %d scheduler event kinds\n",
+		path, len(doc.TraceEvents), spans, flowStarts, len(instantKinds))
+	return nil
+}

@@ -10,16 +10,20 @@
 //	traversal -metrics -size 200000 -workers 8   # instrumented run: scheduler counters + run profile
 //	traversal -metrics -prom -size 200000        # same, plus Prometheus text on stdout
 //	traversal -metrics -dot g.dot -size 50       # same, plus annotated DOT dump
+//	traversal -metrics -trace t.json -size 50000 # same, plus a Chrome/Perfetto event trace
+//	traversal -metrics -debug localhost:6060     # same, serving /debug/taskflow/ during the run
 package main
 
 import (
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"os"
 
 	"gotaskflow/internal/cli"
+	"gotaskflow/internal/core"
+	"gotaskflow/internal/debughttp"
+	"gotaskflow/internal/executor"
 	"gotaskflow/internal/experiments"
 	"gotaskflow/internal/graphgen"
 	"gotaskflow/internal/metrics"
@@ -40,11 +44,13 @@ func main() {
 		withStats  = flag.Bool("metrics", false, "run one instrumented pass at -size/-workers and report scheduler metrics instead of sweeping")
 		prom       = flag.Bool("prom", false, "with -metrics: also write the Prometheus text exposition to stdout")
 		dotPath    = flag.String("dot", "", "with -metrics: write the annotated task graph (DOT) to this file")
+		tracePath  = flag.String("trace", "", "with -metrics: capture an event trace of the run and write Chrome trace-event JSON to this file")
+		debugAddr  = flag.String("debug", "", "with -metrics: serve /debug/taskflow/ on this address while the run executes")
 	)
 	flag.Parse()
 
 	if *withStats {
-		runInstrumented(*size, *workers, *seed, *prom, *dotPath)
+		runInstrumented(*size, *workers, *seed, *prom, *dotPath, *tracePath, *debugAddr)
 		return
 	}
 
@@ -67,31 +73,67 @@ func main() {
 	}
 }
 
-// runInstrumented executes one metrics-enabled traversal of a seeded
-// random DAG and reports the run profile and scheduler counters on stderr
-// (Prometheus text and the annotated DOT dump on request).
-func runInstrumented(size, workers int, seed int64, prom bool, dotPath string) {
-	var dotw io.Writer
-	if dotPath != "" {
-		f, err := os.Create(dotPath)
+// runInstrumented executes one fully observable traversal of a seeded
+// random DAG: the executor counts scheduler events and arms event
+// tracing, the taskflow collects timed run statistics, and the run
+// profile plus scheduler counters land on stderr. On request it also
+// writes Prometheus text, an annotated DOT dump, a Chrome trace capture
+// of the run, and serves the live /debug/taskflow/ endpoint for its
+// duration.
+func runInstrumented(size, workers int, seed int64, prom bool, dotPath, tracePath, debugAddr string) {
+	d := graphgen.Random(size, graphgen.Config{Seed: seed})
+	e := executor.New(workers, executor.WithMetrics(), executor.WithTracing(0))
+	defer e.Shutdown()
+	name := fmt.Sprintf("traversal_%d", d.N)
+	tf := core.NewShared(e).SetName(name).CollectRunStats(true)
+	val := traversal.Build(tf, d, traversal.Spin)
+
+	if debugAddr != "" {
+		addr, stopSrv, err := debughttp.New(e).Register(name, tf).ListenAndServe(debugAddr)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		dotw = f
+		defer stopSrv() //nolint:errcheck
+		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s%s\n", addr, debughttp.Prefix)
 	}
-	d := graphgen.Random(size, graphgen.Config{Seed: seed})
-	sum, rs, snap, err := traversal.TaskflowStats(d, traversal.Spin, workers, dotw)
-	if err != nil {
+	var stopTrace func() error
+	if tracePath != "" {
+		var err error
+		if stopTrace, err = cli.StartTraceCapture(e, tracePath); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if err := tf.Run(); err != nil {
 		log.Fatal(err)
 	}
+	if stopTrace != nil {
+		if err := stopTrace(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	rs, _ := tf.LastRunStats()
+	snap, _ := e.MetricsSnapshot()
 	fmt.Fprintf(os.Stderr, "traversal of %d nodes (%d edges, seed %d) on %d workers: checksum %#x\n",
-		size, d.NumEdges(), seed, workers, sum)
+		size, d.NumEdges(), seed, workers, traversal.Checksum(val))
 	if err := metrics.WriteRunSummary(os.Stderr, rs, snap); err != nil {
 		log.Fatal(err)
 	}
 	if prom {
 		if err := metrics.WritePrometheus(os.Stdout, metrics.Static(snap)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if dotPath != "" {
+		f, err := os.Create(dotPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tf.DumpAnnotated(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
 	}

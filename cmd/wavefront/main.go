@@ -11,16 +11,20 @@
 //	wavefront -metrics -size 256 -workers 8        # instrumented run: scheduler counters + run profile
 //	wavefront -metrics -prom -size 256             # same, plus Prometheus text on stdout
 //	wavefront -metrics -dot wf.dot -size 8         # same, plus annotated DOT dump
+//	wavefront -metrics -trace wf.json -size 256    # same, plus a Chrome/Perfetto event trace
+//	wavefront -metrics -debug localhost:6060       # same, serving /debug/taskflow/ during the run
 package main
 
 import (
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"os"
 
 	"gotaskflow/internal/cli"
+	"gotaskflow/internal/core"
+	"gotaskflow/internal/debughttp"
+	"gotaskflow/internal/executor"
 	"gotaskflow/internal/experiments"
 	"gotaskflow/internal/metrics"
 	"gotaskflow/internal/wavefront"
@@ -39,11 +43,13 @@ func main() {
 		withStats  = flag.Bool("metrics", false, "run one instrumented pass at -size/-workers and report scheduler metrics instead of sweeping")
 		prom       = flag.Bool("prom", false, "with -metrics: also write the Prometheus text exposition to stdout")
 		dotPath    = flag.String("dot", "", "with -metrics: write the annotated task graph (DOT) to this file")
+		tracePath  = flag.String("trace", "", "with -metrics: capture an event trace of the run and write Chrome trace-event JSON to this file")
+		debugAddr  = flag.String("debug", "", "with -metrics: serve /debug/taskflow/ on this address while the run executes")
 	)
 	flag.Parse()
 
 	if *withStats {
-		runInstrumented(*size, *workers, *prom, *dotPath)
+		runInstrumented(*size, *workers, *prom, *dotPath, *tracePath, *debugAddr)
 		return
 	}
 
@@ -66,24 +72,47 @@ func main() {
 	}
 }
 
-// runInstrumented executes one metrics-enabled wavefront and reports the
-// run profile and scheduler counters on stderr (Prometheus text and the
-// annotated DOT dump on request).
-func runInstrumented(size, workers int, prom bool, dotPath string) {
-	var dotw *os.File
-	if dotPath != "" {
-		f, err := os.Create(dotPath)
+// runInstrumented executes one fully observable wavefront: the executor
+// counts scheduler events and arms event tracing, the taskflow collects
+// timed run statistics, and the run profile plus scheduler counters land
+// on stderr. On request it also writes Prometheus text, an annotated DOT
+// dump, a Chrome trace capture of the run, and serves the live
+// /debug/taskflow/ endpoint for its duration.
+func runInstrumented(size, workers int, prom bool, dotPath, tracePath, debugAddr string) {
+	e := executor.New(workers, executor.WithMetrics(), executor.WithTracing(0))
+	defer e.Shutdown()
+	name := fmt.Sprintf("wavefront_%dx%d", size, size)
+	tf := core.NewShared(e).SetName(name).CollectRunStats(true)
+	g := wavefront.Build(tf, size, wavefront.Spin)
+
+	if debugAddr != "" {
+		addr, stopSrv, err := debughttp.New(e).Register(name, tf).ListenAndServe(debugAddr)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		dotw = f
+		defer stopSrv() //nolint:errcheck
+		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s%s\n", addr, debughttp.Prefix)
 	}
-	sum, rs, snap, err := wavefront.TaskflowStats(size, wavefront.Spin, workers, nilIfClosed(dotw))
-	if err != nil {
+	var stopTrace func() error
+	if tracePath != "" {
+		var err error
+		if stopTrace, err = cli.StartTraceCapture(e, tracePath); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if err := tf.Run(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "wavefront %dx%d on %d workers: checksum %#x\n", size, size, workers, sum)
+	if stopTrace != nil {
+		if err := stopTrace(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	rs, _ := tf.LastRunStats()
+	snap, _ := e.MetricsSnapshot()
+	fmt.Fprintf(os.Stderr, "wavefront %dx%d on %d workers: checksum %#x\n", size, size, workers, g[size][size])
 	if err := metrics.WriteRunSummary(os.Stderr, rs, snap); err != nil {
 		log.Fatal(err)
 	}
@@ -92,13 +121,16 @@ func runInstrumented(size, workers int, prom bool, dotPath string) {
 			log.Fatal(err)
 		}
 	}
-}
-
-// nilIfClosed converts a nil *os.File into a nil io.Writer interface (a
-// typed nil would make the callee dereference it).
-func nilIfClosed(f *os.File) io.Writer {
-	if f == nil {
-		return nil
+	if dotPath != "" {
+		f, err := os.Create(dotPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tf.DumpAnnotated(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
-	return f
 }

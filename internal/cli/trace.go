@@ -1,0 +1,43 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+
+	"gotaskflow/internal/executor"
+	"gotaskflow/internal/tracing"
+)
+
+// StartTraceCapture begins an event-trace capture on e for a driver's
+// -trace flag. The returned stop function ends the capture and writes the
+// Chrome trace-event JSON to path (load it in https://ui.perfetto.dev or
+// chrome://tracing). The executor must have been built with
+// executor.WithTracing.
+func StartTraceCapture(e *executor.Executor, path string) (stop func() error, err error) {
+	if !e.StartTrace() {
+		return nil, fmt.Errorf("cli: trace capture could not start (executor built without tracing, or a capture is already active)")
+	}
+	return func() error {
+		tr, ok := e.StopTrace()
+		if !ok {
+			return fmt.Errorf("cli: no active trace capture to stop")
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := tracing.WriteTrace(f, tr); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		msg := fmt.Sprintf("wrote %d trace events to %s", len(tr.Events), path)
+		if tr.Dropped > 0 {
+			msg += fmt.Sprintf(" (%d dropped; raise the ring capacity)", tr.Dropped)
+		}
+		fmt.Fprintln(os.Stderr, msg)
+		return nil
+	}, nil
+}

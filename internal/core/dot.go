@@ -24,12 +24,31 @@ func (tf *Taskflow) Dump(w io.Writer) error {
 // a condition-loop body that iterated five times shows ×5, a branch
 // never taken shows ×0. Without a prior stats-collecting Run all counts
 // are zero.
+// A timed run additionally prefixes the dump with the hot-task ranking
+// (top tasks by self time) as DOT comments, using the same names as the
+// node labels and trace spans.
 func (tf *Taskflow) DumpAnnotated(w io.Writer) error {
 	d := dotDumper{w: w, ids: map[*node]string{}, annotate: true}
 	d.printf("digraph %s {\n", dotName(tf.name, "Taskflow"))
+	d.dumpHot(tf.present)
 	d.dumpGraph(tf.present, "")
 	d.printf("}\n")
 	return d.err
+}
+
+// dumpHot emits the graph's hot-task ranking as DOT comments. Rankings
+// need per-task durations, so a count-only (or stats-less) dump emits
+// nothing and stays byte-identical to earlier releases.
+func (d *dotDumper) dumpHot(g *graph) {
+	hot := hotTasks(g, hotTaskK)
+	if len(hot) == 0 {
+		return
+	}
+	d.printf("  // hot tasks (top %d by self time):\n", len(hot))
+	for i, h := range hot {
+		d.printf("  //   %d. %s ×%d (%s)\n",
+			i+1, h.Name, h.Count, h.Total.Round(time.Microsecond))
+	}
 }
 
 // DumpTopologiesAnnotated is DumpTopologies with the per-task execution

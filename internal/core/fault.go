@@ -124,6 +124,7 @@ func (s execSubmitter) Submit(r *executor.Runnable) { _ = s.e.Submit(r) }
 // counted in pending, keeping the topology open until the retry resolves.
 func (t *topology) resubmitAfter(d time.Duration, n *node) {
 	submit := func() {
+		t.exec.TraceExternal(executor.EvRetryFire, n.Describe(), uint64(n.ext.attempts))
 		if n.hasAcquires() && !t.admit(execSubmitter{t.exec}, n) {
 			return // parked; a semaphore release will submit it
 		}

@@ -48,6 +48,12 @@ type node struct {
 	// arrays with it instead of allocating a map per dispatch.
 	idx int32
 
+	// traceID is a process-unique task identity assigned at allocation,
+	// used by trace exports to match dependency-release events to the
+	// spans they released (node pointers are unstable identity across
+	// text formats; a counter is not).
+	traceID uint64
+
 	// join is the number of unfinished dependents; a node becomes ready
 	// when it drops to zero. Reset from numDependents at dispatch.
 	join atomic.Int32
@@ -237,6 +243,27 @@ func (n *node) label(i int) string {
 	return fmt.Sprintf("p%#x", i)
 }
 
+// traceIDCounter hands out process-unique node identities; see
+// node.traceID. The zero value is reserved so a zero TaskMeta is
+// distinguishable from any real task.
+var traceIDCounter atomic.Uint64
+
+// Describe implements executor.Described: the task identity carried into
+// observer hooks and trace events. Building it copies string headers and
+// integers — no allocation on the traced hot path.
+func (n *node) Describe() executor.TaskMeta {
+	m := executor.TaskMeta{
+		Name: n.nodeName(),
+		ID:   n.traceID,
+		Idx:  n.idx,
+	}
+	if t := n.topo; t != nil {
+		m.Flow = t.flowName
+		m.Gen = t.gen.Load()
+	}
+	return m
+}
+
 // arenaChunk is the node-arena block size: nodes are allocated in blocks
 // to cut per-task allocation cost for large graphs (million-scale tasking,
 // paper Section IV). Blocks give nodes stable addresses, which Task
@@ -258,6 +285,7 @@ func (g *graph) alloc() *node {
 	n := &g.arena[0]
 	g.arena = g.arena[1:]
 	n.rbox = n
+	n.traceID = traceIDCounter.Add(1)
 	return n
 }
 

@@ -67,8 +67,7 @@ func (tf *Taskflow) run(ctx context.Context) error {
 	// need one.
 	t.errMu.Lock()
 	t.errs = t.errs[:0]
-	t.gen++
-	gen := t.gen
+	gen := t.gen.Add(1)
 	t.ctx, t.cancelCtx = nil, nil
 	if t.hasCtx || ctx != nil {
 		parent := ctx
@@ -143,11 +142,13 @@ func (tf *Taskflow) runStale() bool {
 func (tf *Taskflow) prepareRun() (*topology, error) {
 	g := tf.present
 	t := &topology{
-		graph:    g,
-		exec:     tf.exec,
-		reusable: true,
-		done:     make(chan struct{}, 1),
-		builtLen: g.len(),
+		graph:       g,
+		exec:        tf.exec,
+		reusable:    true,
+		done:        make(chan struct{}, 1),
+		builtLen:    g.len(),
+		flowName:    tf.name,
+		pprofLabels: tf.pprofLabels,
 	}
 	if tf.statsEnabled {
 		t.stats = &topoStats{timing: tf.statsTiming}

@@ -12,6 +12,7 @@ package core
 // reallocated — on every run. TestRunZeroAllocMetricsEnabled gates this.
 
 import (
+	"sort"
 	"sync/atomic"
 	"time"
 )
@@ -53,7 +54,24 @@ type RunStats struct {
 	// AchievedParallelism is Busy/Wall — the mean number of workers
 	// actually inside task bodies; zero without timing.
 	AchievedParallelism float64
+
+	// HotTasks ranks the run's tasks by self time (top-hotTaskK), using
+	// the same display names as DOT dumps and trace spans (task name, or
+	// the positional p<hex> fallback). Empty unless CollectRunStats was
+	// given timing=true. Spawned subflow tasks are included.
+	HotTasks []HotTask
 }
+
+// HotTask is one entry of RunStats.HotTasks: a task's display name with
+// its execution count and summed body duration for the run.
+type HotTask struct {
+	Name  string
+	Count uint64
+	Total time.Duration
+}
+
+// hotTaskK is the hot-task ranking depth.
+const hotTaskK = 5
 
 // topoStats is the mutable per-run counter block attached to a topology
 // when stats collection is on. Reset (never reallocated) at the start of
@@ -143,7 +161,39 @@ func (t *topology) runStats(span int) RunStats {
 	if rs.Wall > 0 && rs.Busy > 0 {
 		rs.AchievedParallelism = float64(rs.Busy) / float64(rs.Wall)
 	}
+	if st.timing {
+		rs.HotTasks = hotTasks(t.graph, hotTaskK)
+	}
 	return rs
+}
+
+// hotTasks ranks the graph's tasks (including spawned subflow tasks) by
+// recorded self time, descending, returning at most k entries. Names
+// follow node.label: the assigned name or the positional p<hex> fallback,
+// so the ranking, the DOT dump and the trace timeline agree.
+func hotTasks(g *graph, k int) []HotTask {
+	var out []HotTask
+	var walk func(*graph)
+	walk = func(g *graph) {
+		for _, n := range g.nodes {
+			if d := n.execDurNs.Load(); d > 0 {
+				out = append(out, HotTask{
+					Name:  n.label(int(n.idx)),
+					Count: n.execCount.Load(),
+					Total: time.Duration(d),
+				})
+			}
+			if sg := n.spawned(); sg != nil {
+				walk(sg)
+			}
+		}
+	}
+	walk(g)
+	sort.Slice(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
 }
 
 // structuralSpan computes the longest strong-edge dependency chain of g in

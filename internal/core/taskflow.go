@@ -75,6 +75,10 @@ type Taskflow struct {
 	// topologies created after CollectRunStats; see stats.go.
 	statsEnabled bool
 	statsTiming  bool
+
+	// pprofLabels configures runtime/pprof label propagation around task
+	// bodies for subsequently created topologies; see pprof.go.
+	pprofLabels bool
 }
 
 var _ FlowBuilder = (*Taskflow)(nil)
@@ -197,7 +201,13 @@ func (tf *Taskflow) dispatch(ctx context.Context) *topology {
 	g := tf.present
 	tf.present = &graph{}
 	tf.invalidateRun()
-	t := &topology{graph: g, exec: tf.exec, done: make(chan struct{})}
+	t := &topology{
+		graph:       g,
+		exec:        tf.exec,
+		done:        make(chan struct{}),
+		flowName:    tf.name,
+		pprofLabels: tf.pprofLabels,
+	}
 	if tf.statsEnabled {
 		t.stats = &topoStats{timing: tf.statsTiming}
 	}

@@ -52,10 +52,19 @@ type topology struct {
 	// when a context feature is in use (ctx tasks, RunContext or
 	// DispatchContext). Failure and cancellation cancel it, signalling
 	// in-flight context-aware bodies. gen guards reusable topologies
-	// against stale deadline callbacks from a previous run.
+	// against stale deadline callbacks from a previous run; it is atomic
+	// because trace events read it from worker goroutines (TaskMeta.Gen)
+	// while the run loop advances it.
 	ctx       context.Context
 	cancelCtx context.CancelFunc
-	gen       uint64
+	gen       atomic.Uint64
+
+	// flowName is the owning Taskflow's display name at dispatch time,
+	// carried into trace spans and pprof labels. pprofLabels enables
+	// runtime/pprof label propagation around task bodies (see
+	// Taskflow.EnablePprofLabels).
+	flowName    string
+	pprofLabels bool
 
 	// stats is the per-run counter block, non-nil only when the owning
 	// Taskflow enabled CollectRunStats. Reset per run, never reallocated.
@@ -115,8 +124,16 @@ func (f *Future) Cancel() {
 	}
 	if !f.t.cancelled.Swap(true) {
 		f.t.addErr(ErrCancelled)
+		f.t.traceCancel()
 		f.t.cancelDerivedCtx()
 	}
+}
+
+// traceCancel records a topology cancellation into an active trace capture
+// (external ring: cancellation originates off the worker pool or must not
+// be attributed to the worker that happened to observe it).
+func (t *topology) traceCancel() {
+	t.exec.TraceExternal(executor.EvCancel, executor.TaskMeta{Flow: t.flowName, Gen: t.gen.Load()}, 0)
 }
 
 // Cancelled reports whether the topology was cancelled — by Cancel, by a
@@ -158,7 +175,9 @@ func joinErrs(errs []error) error {
 // so waiters observe the failure promptly and never hang.
 func (t *topology) fail(err error) {
 	t.addErr(err)
-	t.cancelled.Store(true)
+	if !t.cancelled.Swap(true) {
+		t.traceCancel()
+	}
 	t.cancelDerivedCtx()
 }
 
@@ -168,14 +187,16 @@ func (t *topology) fail(err error) {
 // a reusable topology is ignored.
 func (t *topology) cancelWith(gen uint64, err error) {
 	t.errMu.Lock()
-	if gen != t.gen {
+	if gen != t.gen.Load() {
 		t.errMu.Unlock()
 		return
 	}
 	t.errs = append(t.errs, err)
 	cancel := t.cancelCtx
 	t.errMu.Unlock()
-	t.cancelled.Store(true)
+	if !t.cancelled.Swap(true) {
+		t.traceCancel()
+	}
 	if cancel != nil {
 		cancel()
 	}
@@ -249,6 +270,9 @@ func (t *topology) runNode(ctx executor.Context, n *node) {
 		if st := t.stats; st != nil {
 			st.skipped.Add(1)
 		}
+		if ctx.Tracing() {
+			ctx.Trace(executor.EvSkip, n.Describe(), 0)
+		}
 		t.releaseSems(ctx, n)
 		if n.condWork != nil {
 			t.retire(ctx, n)
@@ -273,7 +297,13 @@ func (t *topology) runNode(ctx executor.Context, n *node) {
 		// (including the -1 left by a panic) signals nothing, which is
 		// how a branch terminates.
 		if idx >= 0 && idx < n.succCount {
-			t.schedule(ctx, n.successor(idx), true)
+			s := n.successor(idx)
+			if ctx.Tracing() {
+				// A taken condition branch releases its target exactly
+				// like a final join-decrement releases a strong successor.
+				ctx.Trace(executor.EvDepRelease, n.Describe(), s.traceID)
+			}
+			t.schedule(ctx, s, true)
 		}
 		t.retire(ctx, n)
 		return
@@ -283,6 +313,9 @@ func (t *topology) runNode(ctx executor.Context, n *node) {
 		n.extra().subgraph = sf.g
 		t.invoke(n, func() { n.subflowWork(sf) })
 		t.releaseSems(ctx, n)
+		if sf.g.len() > 0 && ctx.Tracing() {
+			ctx.Trace(executor.EvSubflowSpawn, n.Describe(), uint64(sf.g.len()))
+		}
 		if sf.g.len() > 0 {
 			if !sf.detached {
 				// Joined subflow: the parent completes only after every
@@ -329,6 +362,9 @@ func (t *topology) runFallible(ctx executor.Context, n *node) bool {
 		if st := t.stats; st != nil {
 			st.retries.Add(1)
 		}
+		if ctx.Tracing() {
+			ctx.Trace(executor.EvRetryArm, n.Describe(), uint64(n.ext.attempts))
+		}
 		// Release units now: the retry waits on a timer, not on a worker,
 		// and re-admits through the semaphores when it resubmits.
 		t.releaseSems(ctx, n)
@@ -358,6 +394,21 @@ func (t *topology) captureErr(n *node) (err error) {
 			n.execDurNs.Add(d)
 		}()
 	}
+	if t.pprofLabels {
+		// Cold profiling path: the closure allocation is acceptable here
+		// and only here (see EnablePprofLabels).
+		t.labeled(n, func() {
+			switch {
+			case n.errWork != nil:
+				err = n.errWork()
+			case n.ctxWork != nil:
+				err = n.ctxWork(t.taskContext())
+			case n.work != nil:
+				n.work()
+			}
+		})
+		return err
+	}
 	switch {
 	case n.errWork != nil:
 		return n.errWork()
@@ -385,7 +436,7 @@ func (t *topology) invoke(n *node, fn func()) {
 			n.execDurNs.Add(d)
 		}()
 	}
-	fn()
+	t.labeled(n, fn)
 }
 
 // spawn schedules a freshly built subflow graph. parent is non-nil for
@@ -458,10 +509,10 @@ func (t *topology) finishNode(ctx executor.Context, n *node) {
 		k = len(n.succInline)
 	}
 	for i := 0; i < k; i++ {
-		cached, extra = t.notifySucc(ctx, n.succInline[i], cached, extra)
+		cached, extra = t.notifySucc(ctx, n, n.succInline[i], cached, extra)
 	}
 	for _, s := range n.succSpill {
-		cached, extra = t.notifySucc(ctx, s, cached, extra)
+		cached, extra = t.notifySucc(ctx, n, s, cached, extra)
 	}
 	if extra > 0 {
 		ctx.Wake(extra)
@@ -472,10 +523,17 @@ func (t *topology) finishNode(ctx executor.Context, n *node) {
 // notifySucc decrements s's join counter and, on readiness, accounts and
 // submits a new execution: the first ready successor of the batch goes to
 // the speculative cache slot, later ones are queued without waking (the
-// caller issues one Wake for the whole batch).
-func (t *topology) notifySucc(ctx executor.Context, s *node, cached bool, extra int) (bool, int) {
+// caller issues one Wake for the whole batch). src is the finishing node
+// whose edge performed the decrement; when its decrement is the one that
+// released s, that edge is recorded as a dependency-release trace event —
+// the exporter draws it as a flow arrow along the graph edge that actually
+// gated s this run.
+func (t *topology) notifySucc(ctx executor.Context, src, s *node, cached bool, extra int) (bool, int) {
 	if s.join.Add(-1) != 0 {
 		return cached, extra
+	}
+	if ctx.Tracing() {
+		ctx.Trace(executor.EvDepRelease, src.Describe(), s.traceID)
 	}
 	s.join.Store(int32(s.numDependents))
 	if s.parent != nil {
@@ -499,6 +557,9 @@ func (t *topology) notifySucc(ctx executor.Context, s *node, cached bool, extra 
 func (t *topology) retire(ctx executor.Context, n *node) {
 	if p := n.parent; p != nil {
 		if p.children.Add(-1) == 0 {
+			if ctx.Tracing() {
+				ctx.Trace(executor.EvSubflowJoin, p.Describe(), 0)
+			}
 			t.finishNode(ctx, p)
 		}
 	}

@@ -1,6 +1,8 @@
 package dnn
 
 import (
+	"fmt"
+
 	"gotaskflow/internal/core"
 	"gotaskflow/internal/mnist"
 )
@@ -44,6 +46,17 @@ func numSlots(workers, epochs int) int {
 // batch's F after every U of the previous batch. Task failures are
 // returned, not re-panicked.
 func TrainTaskflow(cfg Config, d *mnist.Dataset, workers int) (*MLP, []float64, error) {
+	tf := core.New(workers)
+	defer tf.Close()
+	return TrainTaskflowShared(cfg, d, workers, tf)
+}
+
+// TrainTaskflowShared is TrainTaskflow on a caller-supplied taskflow,
+// for callers that own the executor — e.g. to share a pool across
+// experiments or to attach observability (metrics, tracing, the debug
+// endpoint). workers still sizes the paper's bounded shuffle storage
+// (2×workers slots) and should match the executor's worker count.
+func TrainTaskflowShared(cfg Config, d *mnist.Dataset, workers int, tf *core.Taskflow) (*MLP, []float64, error) {
 	net := NewMLP(cfg.Sizes, cfg.Seed)
 	tr := NewTrainer(net, cfg.LR, cfg.BatchSize)
 	batches := d.Len() / cfg.BatchSize
@@ -52,17 +65,18 @@ func TrainTaskflow(cfg Config, d *mnist.Dataset, workers int) (*MLP, []float64, 
 	slots := numSlots(workers, cfg.Epochs)
 	store := newSlotStore(slots, d.Len())
 
-	tf := core.New(workers)
-	defer tf.Close()
-
 	lastF := make([]core.Task, cfg.Epochs) // final forward task per epoch
 	var prevUs []core.Task                 // update tasks of the previous batch
 	for e := 0; e < cfg.Epochs; e++ {
 		e := e
 		slot := e % slots
+		// Named after the paper's Figure-11 shuffle tasks so traces and
+		// DOT dumps show the epoch boundaries; the per-batch pipeline
+		// tasks stay anonymous (positional names) to keep construction
+		// cheap in the sweep benchmarks.
 		shuffle := tf.Emplace1(func() {
 			shuffled(d, cfg.Seed, e, store.imgs[slot], store.labels[slot])
-		})
+		}).Name(fmt.Sprintf("E%d_S", e))
 		if e >= slots {
 			// The slot is free once the epoch that last used it has
 			// loaded its final batch.

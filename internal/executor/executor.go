@@ -108,15 +108,26 @@ type Context interface {
 	WorkerID() int
 	// Executor returns the owning executor.
 	Executor() *Executor
+	// Tracing reports whether a trace capture is currently recording —
+	// the cheap guard before building a TaskMeta for Trace.
+	Tracing() bool
+	// Trace records a trace event attributed to this worker. No-op unless
+	// a capture is active (see WithTracing / StartTrace).
+	Trace(kind EventKind, meta TaskMeta, arg uint64)
 }
 
-// Observer receives callbacks around task execution. Observers must be
-// registered before any task is submitted and must be safe for concurrent
-// use; they serve profiling and visualization (paper Section IV, CPU
-// utilization profile).
+// Observer receives callbacks around task execution, carrying the task's
+// identity (name, owning flow, run generation) when the task offers one
+// (see Described; anonymous tasks pass a zero TaskMeta). Observers may be
+// registered at construction or while running and must be safe for
+// concurrent use; they serve profiling and visualization (paper Section
+// IV, CPU utilization profile). A panicking observer is contained at the
+// worker level and routed through the executor's panic machinery
+// (PanicError / WithPanicHandler) — it never unwinds the worker loop —
+// but the remaining observers of that event are skipped.
 type Observer interface {
-	OnTaskStart(worker int)
-	OnTaskEnd(worker int)
+	OnTaskStart(worker int, meta TaskMeta)
+	OnTaskEnd(worker int, meta TaskMeta)
 }
 
 // defaultWakeDen is the default denominator of the probabilistic
@@ -156,7 +167,9 @@ func (w *worker) Executor() *Executor { return w.exec }
 
 func (w *worker) Submit(r *Runnable) {
 	w.queue.Push(r)
-	w.exec.wakeOne()
+	if w.exec.wakeOne() {
+		w.traceEvent(EvWakePrecise, 1)
+	}
 }
 
 func (w *worker) SubmitNoWake(r *Runnable) {
@@ -168,7 +181,9 @@ func (w *worker) SubmitBatch(rs []*Runnable) {
 		return
 	}
 	w.queue.PushBatch(rs)
-	w.exec.wakeUpTo(len(rs))
+	if woke := w.exec.wakeUpTo(len(rs)); woke > 0 {
+		w.traceEvent(EvWakePrecise, uint64(woke))
+	}
 }
 
 func (w *worker) SubmitCached(r *Runnable) {
@@ -183,7 +198,9 @@ func (w *worker) SubmitCached(r *Runnable) {
 }
 
 func (w *worker) Wake(n int) {
-	w.exec.wakeUpTo(n)
+	if woke := w.exec.wakeUpTo(n); woke > 0 {
+		w.traceEvent(EvWakePrecise, uint64(woke))
+	}
 }
 
 // Executor schedules Runnables over a fixed set of worker goroutines.
@@ -224,6 +241,11 @@ type Executor struct {
 	// only when built WithMetrics.
 	metricsOn bool
 	metrics   *metricsState
+
+	// tracer is the event-trace recorder (see trace.go), non-nil only when
+	// built WithTracing. Each instrumentation point is one nil check, plus
+	// one atomic flag load while armed.
+	tracer *tracerState
 
 	// Ablation knobs for the Algorithm-1 heuristics (defaults match the
 	// paper's scheduler; see the ablation benchmarks in bench_test.go).
@@ -341,6 +363,14 @@ func New(n int, opts ...Option) *Executor {
 			w.queue.SetCounters(&e.metrics.deques[i].Counters)
 			w.metrics = &e.metrics.workers[i].workerMetrics
 		}
+		if e.tracer != nil {
+			// Ring reallocations on the push path are a latency smell worth a
+			// timeline mark; the hook runs on the owner, so it records into
+			// the owner's ring.
+			w.queue.SetGrowHook(func(newCap int) {
+				w.traceEvent(EvQueueGrow, uint64(newCap))
+			})
+		}
 		e.workers[i] = w
 	}
 	e.wg.Add(n)
@@ -373,7 +403,10 @@ func (e *Executor) Submit(r *Runnable) error {
 	if m := e.metrics; m != nil {
 		m.injectionPushes.Add(1)
 	}
-	e.wakeOne()
+	e.TraceExternal(EvInjectPush, TaskMeta{}, 1)
+	if e.wakeOne() {
+		e.TraceExternal(EvWakePrecise, TaskMeta{}, 1)
+	}
 	return nil
 }
 
@@ -399,7 +432,10 @@ func (e *Executor) SubmitBatch(rs []*Runnable) error {
 	if m := e.metrics; m != nil {
 		m.injectionPushes.Add(uint64(len(rs)))
 	}
-	e.wakeUpTo(len(rs))
+	e.TraceExternal(EvInjectPush, TaskMeta{}, uint64(len(rs)))
+	if woke := e.wakeUpTo(len(rs)); woke > 0 {
+		e.TraceExternal(EvWakePrecise, TaskMeta{}, uint64(woke))
+	}
 	return nil
 }
 
@@ -530,6 +566,7 @@ func (w *worker) steal() (*Runnable, bool) {
 				if m != nil {
 					m.steals.Add(1)
 				}
+				w.traceEvent(EvSteal, uint64(w.victim))
 				return r, true
 			}
 		}
@@ -544,13 +581,17 @@ func (w *worker) steal() (*Runnable, bool) {
 				if m != nil {
 					m.steals.Add(1)
 				}
+				w.traceEvent(EvSteal, uint64(v))
 				return r, true
 			}
 		}
 	}
 	r, ok := e.popInjection()
-	if ok && m != nil {
-		m.injectionDrains.Add(1)
+	if ok {
+		if m != nil {
+			m.injectionDrains.Add(1)
+		}
+		w.traceEvent(EvInjectDrain, 0)
 	}
 	return r, ok
 }
@@ -591,7 +632,9 @@ func (e *Executor) run(w *worker) {
 			if m := w.metrics; m != nil {
 				m.parks.Add(1)
 			}
+			w.traceEvent(EvPark, 0)
 			<-w.wake
+			w.traceEvent(EvUnpark, 0)
 			continue
 		}
 
@@ -609,6 +652,7 @@ func (e *Executor) run(w *worker) {
 				if m := w.metrics; m != nil {
 					m.probWakes.Add(1)
 				}
+				w.traceEvent(EvWakeProb, 1)
 			}
 		}
 	}
@@ -618,25 +662,70 @@ func (e *Executor) invoke(w *worker, r *Runnable) {
 	if m := w.metrics; m != nil {
 		m.executed.Add(1)
 	}
-	if !e.trackBusy.Load() {
+	tracing := w.Tracing()
+	busy := e.trackBusy.Load()
+	if !busy && !tracing {
 		e.safeRun(w, r)
 		return
 	}
-	e.busy.Add(1)
+	meta := taskMetaOf(r)
 	// Load the observer list once so this task delivers balanced
 	// OnTaskStart/OnTaskEnd pairs even if AddObserver races with it.
 	var obs []Observer
-	if p := e.observers.Load(); p != nil {
-		obs = *p
+	if busy {
+		e.busy.Add(1)
+		if p := e.observers.Load(); p != nil {
+			obs = *p
+		}
 	}
-	for _, o := range obs {
-		o.OnTaskStart(w.id)
+	e.notifyStart(w, obs, meta)
+	// Trace events sit innermost so spans bound the task body tightly,
+	// excluding observer work.
+	if tracing {
+		w.Trace(EvTaskStart, meta, 0)
 	}
 	e.safeRun(w, r)
-	for _, o := range obs {
-		o.OnTaskEnd(w.id)
+	if tracing {
+		w.Trace(EvTaskEnd, meta, 0)
 	}
-	e.busy.Add(-1)
+	e.notifyEnd(w, obs, meta)
+	if busy {
+		e.busy.Add(-1)
+	}
+}
+
+// notifyStart/notifyEnd dispatch observer hooks under panic containment: a
+// panicking observer is routed through the PanicError/WithPanicHandler
+// machinery instead of unwinding into the worker loop. The remaining
+// observers of that event are skipped (the deferred recover unwinds the
+// dispatch loop), but the task itself still runs and later events still
+// reach every observer.
+func (e *Executor) notifyStart(w *worker, obs []Observer, meta TaskMeta) {
+	if len(obs) == 0 {
+		return
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			e.containPanic(w.id, rec)
+		}
+	}()
+	for _, o := range obs {
+		o.OnTaskStart(w.id, meta)
+	}
+}
+
+func (e *Executor) notifyEnd(w *worker, obs []Observer, meta TaskMeta) {
+	if len(obs) == 0 {
+		return
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			e.containPanic(w.id, rec)
+		}
+	}()
+	for _, o := range obs {
+		o.OnTaskEnd(w.id, meta)
+	}
 }
 
 // safeRun executes r under worker-level panic containment: a panic that

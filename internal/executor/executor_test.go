@@ -275,8 +275,8 @@ type countingObserver struct {
 	ends   atomic.Int64
 }
 
-func (o *countingObserver) OnTaskStart(int) { o.starts.Add(1) }
-func (o *countingObserver) OnTaskEnd(int)   { o.ends.Add(1) }
+func (o *countingObserver) OnTaskStart(int, TaskMeta) { o.starts.Add(1) }
+func (o *countingObserver) OnTaskEnd(int, TaskMeta)   { o.ends.Add(1) }
 
 func TestObserver(t *testing.T) {
 	obs := &countingObserver{}

@@ -1,0 +1,352 @@
+package executor
+
+// Event-level execution tracing: the recording half of the TFProf-style
+// profiler (the Taskflow follow-up system's timeline view). Where
+// metrics.go answers "how many" (aggregate counters), this file answers
+// "when, where and why": every task span and scheduler lifecycle event —
+// steal, park/unpark, precise vs. probabilistic wake, injection traffic,
+// retry arm/fire, cancellation skips, subflow spawn/join, dependency
+// release — is timestamped into a per-worker ring buffer, and
+// internal/tracing renders the merged stream as a Chrome trace-event JSON
+// timeline (Perfetto).
+//
+// Design rules, mirroring metrics.go:
+//
+//   - Provably zero cost when disabled. Tracing exists only when the
+//     executor was built WithTracing; every instrumentation point is one
+//     nil check on the executor's tracer pointer.
+//
+//   - Lock-free on the hot path when enabled. Each worker owns a
+//     fixed-capacity event ring written only by that worker: a record is
+//     one atomic flag load, one monotonic clock read, one slot write and
+//     one atomic length publication. No mutex, no allocation. Events from
+//     non-worker goroutines (external submissions, retry timers,
+//     cancellation) go to a mutex-guarded overflow ring — a cold path by
+//     construction.
+//
+//   - Bounded. A full ring drops new events (drop-newest) and counts the
+//     drops; capture cost is capped by capacity, never by run length.
+//
+// Start/StopTrace may be called while workers run. Each capture allocates
+// fresh rings and publishes them atomically, so a racing in-flight record
+// lands either in the old capture (lost, at most one event per worker) or
+// the new one — never in a torn ring.
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EventKind enumerates the traced scheduler and task lifecycle events.
+type EventKind uint8
+
+const (
+	// EvTaskStart/EvTaskEnd bracket one task-body execution on a worker;
+	// the exporter pairs them into named "X" spans.
+	EvTaskStart EventKind = iota
+	EvTaskEnd
+	// EvSteal records a successful steal by this worker (Arg = victim id).
+	EvSteal
+	// EvInjectDrain records a task taken from the external injection queue.
+	EvInjectDrain
+	// EvInjectPush records an external submission (Arg = batch size).
+	EvInjectPush
+	// EvPark/EvUnpark bracket a worker blocking on the idlers list.
+	EvPark
+	EvUnpark
+	// EvWakePrecise records wakeups issued because new work arrived
+	// (Arg = workers woken); EvWakeProb records the 1/wakeDen
+	// load-balancing wake (Algorithm 1 lines 26-28).
+	EvWakePrecise
+	EvWakeProb
+	// EvQueueGrow records a deque ring reallocation (Arg = new capacity).
+	EvQueueGrow
+	// EvDepRelease records the dependency edge that made a task ready:
+	// Meta identifies the finishing (releasing) task, Arg is the released
+	// task's unique ID. The exporter draws these as flow arrows.
+	EvDepRelease
+	// EvRetryArm records a failed execution scheduling a backoff retry
+	// (Arg = attempt number); EvRetryFire records the timer resubmitting it.
+	EvRetryArm
+	EvRetryFire
+	// EvSkip records a task body skipped by cooperative cancellation while
+	// the dependency structure drained.
+	EvSkip
+	// EvCancel records the cancellation of a topology (fail-fast, Cancel,
+	// or deadline).
+	EvCancel
+	// EvSubflowSpawn records a dynamic task spawning a child graph
+	// (Arg = number of spawned tasks); EvSubflowJoin records a joined
+	// subflow draining back into its parent.
+	EvSubflowSpawn
+	EvSubflowJoin
+
+	numEventKinds
+)
+
+var eventKindNames = [numEventKinds]string{
+	EvTaskStart:    "task_start",
+	EvTaskEnd:      "task_end",
+	EvSteal:        "steal",
+	EvInjectDrain:  "inject_drain",
+	EvInjectPush:   "inject_push",
+	EvPark:         "park",
+	EvUnpark:       "unpark",
+	EvWakePrecise:  "wake_precise",
+	EvWakeProb:     "wake_prob",
+	EvQueueGrow:    "queue_grow",
+	EvDepRelease:   "dep_release",
+	EvRetryArm:     "retry_arm",
+	EvRetryFire:    "retry_fire",
+	EvSkip:         "skip",
+	EvCancel:       "cancel",
+	EvSubflowSpawn: "subflow_spawn",
+	EvSubflowJoin:  "subflow_join",
+}
+
+// String returns the stable lowercase name of the kind, used verbatim in
+// the exported Chrome trace.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return "unknown"
+}
+
+// TaskMeta identifies a task for observers and trace events. Producing a
+// TaskMeta copies two string headers and three integers — no allocation —
+// so carrying identity through the hot path is free of garbage.
+type TaskMeta struct {
+	// Flow is the owning taskflow/topology display name ("" if unnamed).
+	Flow string
+	// Name is the task display name ("" if unnamed; renderers fall back
+	// to a positional name derived from Idx, matching the DOT dump).
+	Name string
+	// ID is a unique task identity (stable across runs), used to match
+	// dependency-release events to the spans they released.
+	ID uint64
+	// Idx is the task's emplacement index within its graph — the basis of
+	// the positional fallback name.
+	Idx int32
+	// Gen is the run generation of a reusable topology (0 for one-shot
+	// dispatches), distinguishing spans of successive Run calls.
+	Gen uint64
+}
+
+// Described is implemented by Runnables that can identify themselves —
+// graph nodes do. Anonymous tasks (NewTask, SubmitFunc) trace with a zero
+// TaskMeta.
+type Described interface {
+	Describe() TaskMeta
+}
+
+// taskMetaOf extracts the task identity, if the task offers one.
+func taskMetaOf(r *Runnable) TaskMeta {
+	if d, ok := (*r).(Described); ok {
+		return d.Describe()
+	}
+	return TaskMeta{}
+}
+
+// TraceEvent is one recorded event. Worker is the recording worker's index,
+// or ExternalWorker for events from outside the pool (external submissions,
+// retry timers, cancellation).
+type TraceEvent struct {
+	Ts     time.Duration // offset from the capture epoch
+	Worker int32
+	Kind   EventKind
+	Arg    uint64
+	Meta   TaskMeta
+}
+
+// ExternalWorker is the Worker value of events recorded outside the pool.
+const ExternalWorker int32 = -1
+
+// Trace is the result of one capture: the merged, time-ordered event
+// stream of every ring.
+type Trace struct {
+	// Epoch is the wall-clock instant of StartTrace; event timestamps are
+	// offsets from it.
+	Epoch time.Time
+	// Events is the merged stream, sorted by Ts.
+	Events []TraceEvent
+	// Dropped counts events lost to full rings (drop-newest policy).
+	Dropped uint64
+	// Workers is the executor's worker count at capture time.
+	Workers int
+}
+
+// traceRing is one fixed-capacity event buffer. The writer (its owning
+// worker, or the external mutex holder) writes the slot first and then
+// publishes it with an atomic store of n, so a reader that loads n sees
+// fully written slots — no seqlock needed because slots are never
+// overwritten (drop-newest).
+type traceRing struct {
+	buf     []TraceEvent
+	n       atomic.Int64
+	dropped atomic.Uint64
+}
+
+func (r *traceRing) record(ev TraceEvent) {
+	i := r.n.Load()
+	if i >= int64(len(r.buf)) {
+		r.dropped.Add(1)
+		return
+	}
+	r.buf[i] = ev
+	r.n.Store(i + 1)
+}
+
+// capture is the storage of one Start/StopTrace window. Fresh per capture
+// so a control goroutine never resets storage a worker may be writing.
+type capture struct {
+	epoch time.Time
+	// rings[i] belongs to worker i; rings[len-1] is the external ring,
+	// serialized by extMu.
+	rings []traceRing
+	extMu sync.Mutex
+}
+
+// tracerState exists iff the executor was built WithTracing.
+type tracerState struct {
+	capacity int
+	active   atomic.Bool
+	cur      atomic.Pointer[capture]
+}
+
+// defaultTraceCapacity is the per-ring event budget when WithTracing is
+// given a non-positive capacity: 16K events ≈ 1.3 MiB per worker.
+const defaultTraceCapacity = 1 << 14
+
+// WithTracing enables event-level tracing with the given per-worker ring
+// capacity (<= 0 selects the default). Tracing is armed but idle until
+// StartTrace; the idle cost per instrumentation point is one atomic flag
+// load, and executors built without this option pay only a nil check.
+func WithTracing(capacity int) Option {
+	if capacity <= 0 {
+		capacity = defaultTraceCapacity
+	}
+	return func(e *Executor) { e.tracer = &tracerState{capacity: capacity} }
+}
+
+// TracingEnabled reports whether the executor was built WithTracing.
+func (e *Executor) TracingEnabled() bool { return e.tracer != nil }
+
+// TraceActive reports whether a capture is currently recording.
+func (e *Executor) TraceActive() bool {
+	t := e.tracer
+	return t != nil && t.active.Load()
+}
+
+// StartTrace begins a capture: fresh rings, epoch now. It returns false
+// when the executor was built without WithTracing or a capture is already
+// active. Safe to call while workers run.
+func (e *Executor) StartTrace() bool {
+	t := e.tracer
+	if t == nil || t.active.Load() {
+		return false
+	}
+	c := &capture{
+		epoch: time.Now(),
+		rings: make([]traceRing, len(e.workers)+1),
+	}
+	for i := range c.rings {
+		c.rings[i].buf = make([]TraceEvent, t.capacity)
+	}
+	t.cur.Store(c)
+	t.active.Store(true)
+	return true
+}
+
+// StopTrace ends the capture and returns the merged, time-ordered event
+// stream. ok is false when tracing was not built in or no capture was
+// started. Records racing with StopTrace may lose at most one event per
+// worker; events already published are never torn.
+func (e *Executor) StopTrace() (Trace, bool) {
+	t := e.tracer
+	if t == nil {
+		return Trace{}, false
+	}
+	t.active.Store(false)
+	c := t.cur.Load()
+	if c == nil {
+		return Trace{}, false
+	}
+	tr := Trace{Epoch: c.epoch, Workers: len(e.workers)}
+	for i := range c.rings {
+		r := &c.rings[i]
+		n := r.n.Load()
+		tr.Events = append(tr.Events, r.buf[:n]...)
+		tr.Dropped += r.dropped.Load()
+	}
+	sort.SliceStable(tr.Events, func(i, j int) bool {
+		return tr.Events[i].Ts < tr.Events[j].Ts
+	})
+	return tr, true
+}
+
+// record appends one event to the worker's ring (ExternalWorker goes to
+// the mutex-guarded external ring). Callers must have checked TraceActive;
+// record re-reads the capture pointer so a concurrent Stop/Start at worst
+// misroutes one event into an orphaned ring.
+func (t *tracerState) record(worker int32, kind EventKind, meta TaskMeta, arg uint64) {
+	c := t.cur.Load()
+	if c == nil {
+		return
+	}
+	ev := TraceEvent{
+		Ts:     time.Since(c.epoch),
+		Worker: worker,
+		Kind:   kind,
+		Arg:    arg,
+		Meta:   meta,
+	}
+	if worker >= 0 && int(worker) < len(c.rings)-1 {
+		c.rings[worker].record(ev)
+		return
+	}
+	ev.Worker = ExternalWorker
+	c.extMu.Lock()
+	c.rings[len(c.rings)-1].record(ev)
+	c.extMu.Unlock()
+}
+
+// TraceExternal records an event from outside the worker pool (retry
+// timers, cancellation, submission goroutines). No-op unless a capture is
+// active.
+func (e *Executor) TraceExternal(kind EventKind, meta TaskMeta, arg uint64) {
+	t := e.tracer
+	if t == nil || !t.active.Load() {
+		return
+	}
+	t.record(ExternalWorker, kind, meta, arg)
+}
+
+// Tracing implements Context: it reports whether a capture is active, the
+// cheap guard tasks use before building a TaskMeta for Trace.
+func (w *worker) Tracing() bool {
+	t := w.exec.tracer
+	return t != nil && t.active.Load()
+}
+
+// Trace implements Context: record an event attributed to this worker.
+// No-op unless a capture is active.
+func (w *worker) Trace(kind EventKind, meta TaskMeta, arg uint64) {
+	t := w.exec.tracer
+	if t == nil || !t.active.Load() {
+		return
+	}
+	t.record(int32(w.id), kind, meta, arg)
+}
+
+// traceEvent is the executor-internal emission helper for events with no
+// task identity (scheduler lifecycle).
+func (w *worker) traceEvent(kind EventKind, arg uint64) {
+	t := w.exec.tracer
+	if t == nil || !t.active.Load() {
+		return
+	}
+	t.record(int32(w.id), kind, TaskMeta{}, arg)
+}

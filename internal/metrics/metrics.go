@@ -17,6 +17,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"gotaskflow/internal/core"
 	"gotaskflow/internal/executor"
@@ -121,7 +122,9 @@ func (s staticSource) MetricsSnapshot() (executor.Snapshot, bool) { return s.sna
 // WriteRunSummary writes a compact human-readable digest of one
 // instrumented run — the graph-level RunStats and the executor's scheduler
 // counter totals — the form the benchmark drivers print behind their
-// -metrics flags.
+// -metrics flags. A timed run (CollectRunStats(true)) appends the
+// hot-task ranking: the top tasks by summed body time, under the same
+// names the trace spans and DOT dumps use.
 func WriteRunSummary(w io.Writer, rs core.RunStats, snap executor.Snapshot) error {
 	t := snap.Total()
 	_, err := fmt.Fprintf(w,
@@ -132,6 +135,16 @@ func WriteRunSummary(w io.Writer, rs core.RunStats, snap executor.Snapshot) erro
 		t.Executed, t.Pops, t.Steals, t.StealAttempts, t.InjectionDrains,
 		t.CacheHits, t.Parks, snap.PreciseWakes, snap.ProbabilisticWakes,
 		t.MaxQueueDepth)
+	if err != nil || len(rs.HotTasks) == 0 {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("hot:  ")
+	for i, h := range rs.HotTasks {
+		fmt.Fprintf(&b, " %d.%s ×%d (%v)", i+1, h.Name, h.Count, h.Total.Round(time.Microsecond))
+	}
+	b.WriteByte('\n')
+	_, err = io.WriteString(w, b.String())
 	return err
 }
 

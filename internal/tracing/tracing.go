@@ -1,8 +1,14 @@
-// Package tracing records per-worker task execution timelines from an
-// executor observer and exports them in the Chrome trace-event JSON format
-// (chrome://tracing, Perfetto), the role TFProf plays for Cpp-Taskflow:
-// visualizing where every worker spends its time without modifying user
-// code.
+// Package tracing renders execution timelines in the Chrome trace-event
+// JSON format (chrome://tracing, Perfetto), the role TFProf plays for
+// Cpp-Taskflow: visualizing where every worker spends its time without
+// modifying user code.
+//
+// It has two layers. Profiler is an executor.Observer that aggregates
+// completed task spans — cheap, always-on-capable, mutex-guarded, good for
+// totals and coarse timelines. WriteTrace (chrome.go) renders the richer
+// executor.Trace stream captured by StartTrace/StopTrace — named spans,
+// scheduler instants and dependency flow arrows — recorded lock-free by
+// the executor itself.
 package tracing
 
 import (
@@ -15,11 +21,28 @@ import (
 	"gotaskflow/internal/executor"
 )
 
+// SpanName returns the display name for a task's trace span: the task's
+// own name, else the positional fallback used by the DOT dumps (p + hex
+// emplacement index), else "task" for anonymous one-shots.
+func SpanName(m executor.TaskMeta) string {
+	if m.Name != "" {
+		return m.Name
+	}
+	if m.ID != 0 {
+		return fmt.Sprintf("p%#x", m.Idx)
+	}
+	return "task"
+}
+
 // Event is one completed task execution on a worker.
 type Event struct {
 	Worker int
 	Start  time.Duration // offset from profiler creation
 	End    time.Duration
+	// Name and Flow identify the task when it offered identity (graph
+	// nodes do); both are "" for anonymous one-shots.
+	Name string
+	Flow string
 }
 
 // Profiler is an executor.Observer that records task execution spans.
@@ -39,14 +62,23 @@ type Event struct {
 // running is safe too: NumEvents, Events, TotalBusy and WriteChromeTrace
 // may be called while workers are executing and observe a consistent
 // prefix of completed spans (in-flight tasks appear once they end).
-// Reset may race with a running task; that task's span is dropped rather
-// than corrupted.
+// Reset is an epoch bump: spans that straddle it — including an
+// OnTaskStart whose timestamp was taken before Reset but delivered after —
+// are discarded rather than leaked into the new epoch.
 type Profiler struct {
 	epoch time.Time
 
-	mu     sync.Mutex
-	open   map[int]time.Duration // worker -> start offset
+	mu sync.Mutex
+	// floor is the offset of the most recent Reset; opens and spans
+	// strictly older than it belong to a discarded epoch.
+	floor  time.Duration
+	open   map[int]openSpan // worker -> in-flight span
 	events []Event
+}
+
+type openSpan struct {
+	start time.Duration
+	meta  executor.TaskMeta
 }
 
 var _ executor.Observer = (*Profiler)(nil)
@@ -55,25 +87,46 @@ var _ executor.Observer = (*Profiler)(nil)
 func NewProfiler() *Profiler {
 	return &Profiler{
 		epoch: time.Now(),
-		open:  map[int]time.Duration{},
+		open:  map[int]openSpan{},
 	}
 }
 
 // OnTaskStart implements executor.Observer.
-func (p *Profiler) OnTaskStart(worker int) {
-	now := time.Since(p.epoch)
+func (p *Profiler) OnTaskStart(worker int, meta executor.TaskMeta) {
+	p.startAt(worker, meta, time.Since(p.epoch))
+}
+
+// startAt is the timestamp-injected seam behind OnTaskStart: the clock is
+// read before the lock is taken, so a Reset can slip between them. The
+// floor check makes that interleaving drop the stale open instead of
+// leaking it into the new epoch.
+func (p *Profiler) startAt(worker int, meta executor.TaskMeta, now time.Duration) {
 	p.mu.Lock()
-	p.open[worker] = now
+	if now >= p.floor {
+		p.open[worker] = openSpan{start: now, meta: meta}
+	}
 	p.mu.Unlock()
 }
 
 // OnTaskEnd implements executor.Observer.
-func (p *Profiler) OnTaskEnd(worker int) {
-	now := time.Since(p.epoch)
+func (p *Profiler) OnTaskEnd(worker int, _ executor.TaskMeta) {
+	p.endAt(worker, time.Since(p.epoch))
+}
+
+func (p *Profiler) endAt(worker int, now time.Duration) {
 	p.mu.Lock()
-	if start, ok := p.open[worker]; ok {
+	if sp, ok := p.open[worker]; ok {
 		delete(p.open, worker)
-		p.events = append(p.events, Event{Worker: worker, Start: start, End: now})
+		// A span that started before the floor straddles a Reset; drop it.
+		if sp.start >= p.floor {
+			p.events = append(p.events, Event{
+				Worker: worker,
+				Start:  sp.start,
+				End:    now,
+				Name:   sp.meta.Name,
+				Flow:   sp.meta.Flow,
+			})
+		}
 	}
 	p.mu.Unlock()
 }
@@ -94,10 +147,16 @@ func (p *Profiler) Events() []Event {
 	return out
 }
 
-// Reset discards all recorded events.
+// Reset discards all recorded events and bumps the epoch floor: spans in
+// flight at the Reset — even ones whose start timestamp was read before it
+// but delivered after — are discarded, never recorded into the new epoch.
 func (p *Profiler) Reset() {
+	now := time.Since(p.epoch)
 	p.mu.Lock()
-	p.open = map[int]time.Duration{}
+	if now > p.floor {
+		p.floor = now
+	}
+	p.open = map[int]openSpan{}
 	p.events = nil
 	p.mu.Unlock()
 }
@@ -114,13 +173,18 @@ type traceEvent struct {
 }
 
 // WriteChromeTrace exports the recorded spans as a Chrome trace-event JSON
-// array, one "thread" per worker.
+// array, one "thread" per worker. Spans carry task names when the tasks
+// offered them (anonymous spans render as "task").
 func (p *Profiler) WriteChromeTrace(w io.Writer) error {
 	evs := p.Events()
 	out := make([]traceEvent, 0, len(evs))
-	for i, e := range evs {
+	for _, e := range evs {
+		name := e.Name
+		if name == "" {
+			name = "task"
+		}
 		out = append(out, traceEvent{
-			Name: fmt.Sprintf("task#%d", i),
+			Name: name,
 			Cat:  "task",
 			Ph:   "X",
 			Ts:   float64(e.Start.Nanoseconds()) / 1e3,

@@ -184,3 +184,46 @@ func TestProfilerRegisterAndReadWhileRunning(t *testing.T) {
 		}
 	}
 }
+
+// TestProfilerResetDropsStraddlingStart is the regression test for the
+// Reset race: OnTaskStart reads the clock before taking the lock, so a
+// Reset can land in between — the stale open used to repopulate the map
+// after Reset and pair with a later OnTaskEnd, leaking a span that
+// straddles the epoch bump. Reset now records a floor timestamp and
+// strictly-older opens are discarded. The timestamp-injected seams
+// (startAt/endAt) reproduce the interleaving deterministically.
+func TestProfilerResetDropsStraddlingStart(t *testing.T) {
+	p := NewProfiler()
+	meta := executor.TaskMeta{Name: "stale"}
+
+	// The racing OnTaskStart read the clock at 1ms...
+	staleNow := time.Millisecond
+	// ...then Reset ran (its floor must exceed the stale timestamp)...
+	time.Sleep(2 * time.Millisecond)
+	p.Reset()
+	// ...and only then did the start body take the lock.
+	p.startAt(0, meta, staleNow)
+	p.endAt(0, time.Since(time.Time{})) // any post-Reset end timestamp
+
+	if got := p.NumEvents(); got != 0 {
+		t.Fatalf("stale start leaked %d spans across Reset", got)
+	}
+
+	// A span opened before Reset and closed after is dropped too.
+	p.OnTaskStart(1, meta)
+	p.Reset()
+	p.OnTaskEnd(1, meta)
+	if got := p.NumEvents(); got != 0 {
+		t.Fatalf("open-across-Reset span leaked: %d events", got)
+	}
+
+	// The new epoch records normally.
+	p.OnTaskStart(2, executor.TaskMeta{Name: "fresh"})
+	p.OnTaskEnd(2, executor.TaskMeta{})
+	if got := p.NumEvents(); got != 1 {
+		t.Fatalf("post-Reset span not recorded: %d events", got)
+	}
+	if ev := p.Events()[0]; ev.Name != "fresh" {
+		t.Fatalf("post-Reset span name = %q, want fresh", ev.Name)
+	}
+}

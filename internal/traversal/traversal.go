@@ -67,8 +67,8 @@ func visit(val []uint64, pred []int32, v, spin int) {
 	val[v] = kernel(acc, v, spin)
 }
 
-// checksum folds all node values.
-func checksum(val []uint64) uint64 {
+// Checksum folds all node values.
+func Checksum(val []uint64) uint64 {
 	var c uint64
 	for _, v := range val {
 		c = c*31 + v
@@ -84,7 +84,7 @@ func Sequential(d *graphgen.DAG, spin int) uint64 {
 	for v := 0; v < d.N; v++ {
 		visit(val, p[v], v, spin)
 	}
-	return checksum(val)
+	return Checksum(val)
 }
 
 // Taskflow casts d into a taskflow graph and traverses it in parallel.
@@ -92,16 +92,16 @@ func Sequential(d *graphgen.DAG, spin int) uint64 {
 func Taskflow(d *graphgen.DAG, spin, workers int) (uint64, error) {
 	tf := core.New(workers)
 	defer tf.Close()
-	val := buildTraversal(tf, d, spin)
+	val := Build(tf, d, spin)
 	if err := tf.WaitForAll(); err != nil {
 		return 0, err
 	}
-	return checksum(val), nil
+	return Checksum(val), nil
 }
 
-// buildTraversal emplaces d's traversal task graph on tf and returns the
+// Build emplaces d's traversal task graph on tf and returns the
 // value array the tasks write into.
-func buildTraversal(tf *core.Taskflow, d *graphgen.DAG, spin int) []uint64 {
+func Build(tf *core.Taskflow, d *graphgen.DAG, spin int) []uint64 {
 	p := preds(d)
 	val := make([]uint64, d.N)
 	tasks := make([]core.Task, d.N)
@@ -126,7 +126,7 @@ func TaskflowStats(d *graphgen.DAG, spin, workers int, dotw io.Writer) (uint64, 
 	e := executor.New(workers, executor.WithMetrics())
 	defer e.Shutdown()
 	tf := core.NewShared(e).SetName(fmt.Sprintf("traversal_%d", d.N)).CollectRunStats(true)
-	val := buildTraversal(tf, d, spin)
+	val := Build(tf, d, spin)
 	if err := tf.Run(); err != nil {
 		return 0, core.RunStats{}, executor.Snapshot{}, err
 	}
@@ -137,7 +137,7 @@ func TaskflowStats(d *graphgen.DAG, spin, workers int, dotw io.Writer) (uint64, 
 			return 0, core.RunStats{}, executor.Snapshot{}, err
 		}
 	}
-	return checksum(val), rs, snap, nil
+	return Checksum(val), rs, snap, nil
 }
 
 // FlowGraph traverses d on the TBB FlowGraph model. All sources must be
@@ -163,7 +163,7 @@ func FlowGraph(d *graphgen.DAG, spin, workers int) uint64 {
 		nodes[s].TryPut(flowgraph.ContinueMsg{})
 	}
 	fg.WaitForAll()
-	return checksum(val)
+	return Checksum(val)
 }
 
 // OMP traverses d on the OpenMP task-depend model: one task per node,
@@ -195,7 +195,7 @@ func OMP(d *graphgen.DAG, spin, workers int) uint64 {
 			s.Task(func() { visit(val, p[v], v, spin) }, deps...)
 		}
 	})
-	return checksum(val)
+	return Checksum(val)
 }
 
 func edgeToken(u, v int) string { return fmt.Sprintf("e%d_%d", u, v) }

@@ -87,16 +87,16 @@ func TaskflowShared(m, spin int, e *executor.Executor) (uint64, error) {
 }
 
 func taskflowOn(tf *core.Taskflow, m, spin int) (uint64, error) {
-	g := buildWavefront(tf, m, spin)
+	g := Build(tf, m, spin)
 	if err := tf.WaitForAll(); err != nil {
 		return 0, err
 	}
 	return g[m][m], nil
 }
 
-// buildWavefront emplaces the m×m wavefront task graph on tf and returns
+// Build emplaces the m×m wavefront task graph on tf and returns
 // the value grid the tasks write into.
-func buildWavefront(tf *core.Taskflow, m, spin int) [][]uint64 {
+func Build(tf *core.Taskflow, m, spin int) [][]uint64 {
 	g := grid(m)
 	tasks := make([][]core.Task, m)
 	for i := 0; i < m; i++ {
@@ -131,7 +131,7 @@ func TaskflowStats(m, spin, workers int, dotw io.Writer) (uint64, core.RunStats,
 	e := executor.New(workers, executor.WithMetrics())
 	defer e.Shutdown()
 	tf := core.NewShared(e).SetName(fmt.Sprintf("wavefront_%dx%d", m, m)).CollectRunStats(true)
-	g := buildWavefront(tf, m, spin)
+	g := Build(tf, m, spin)
 	if err := tf.Run(); err != nil {
 		return 0, core.RunStats{}, executor.Snapshot{}, err
 	}

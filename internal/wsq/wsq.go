@@ -74,7 +74,17 @@ type Deque[T any] struct {
 	// Attached once before use; the disabled cost is one nil check per
 	// operation.
 	ctr *Counters
+
+	// growHook, when non-nil, is called by the owner after a ring growth
+	// with the new capacity. Same attachment contract as ctr.
+	growHook func(newCap int)
 }
+
+// SetGrowHook attaches fn, called by the owner goroutine after each ring
+// growth with the new capacity. Pass nil to detach. Must be set before the
+// deque is shared with thieves (attaching to a live deque is a data race);
+// the disabled cost is one nil check per growth.
+func (d *Deque[T]) SetGrowHook(fn func(newCap int)) { d.growHook = fn }
 
 // New creates an empty deque with at least the given initial capacity
 // (rounded up to a power of two, minimum 64).
@@ -100,6 +110,9 @@ func (d *Deque[T]) Push(item *T) {
 		d.array.Store(a)
 		if c := d.ctr; c != nil {
 			c.Grows.Add(1)
+		}
+		if h := d.growHook; h != nil {
+			h(int(a.cap()))
 		}
 	}
 	a.store(b, item)
@@ -127,6 +140,9 @@ func (d *Deque[T]) PushBatch(items []*T) {
 		d.array.Store(a)
 		if c := d.ctr; c != nil {
 			c.Grows.Add(1)
+		}
+		if h := d.growHook; h != nil {
+			h(int(a.cap()))
 		}
 	}
 	for i, item := range items {

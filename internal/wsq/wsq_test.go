@@ -485,3 +485,38 @@ func BenchmarkPushBatchSteal(b *testing.B) {
 		}
 	}
 }
+
+func TestGrowHook(t *testing.T) {
+	d := New[int](1) // capacity 64
+	var caps []int
+	d.SetGrowHook(func(newCap int) { caps = append(caps, newCap) })
+
+	items := ints(65) // one past capacity: exactly one growth via Push
+	for _, it := range items[:64] {
+		d.Push(it)
+	}
+	if len(caps) != 0 {
+		t.Fatalf("hook fired %d times before any growth", len(caps))
+	}
+	d.Push(items[64])
+	if len(caps) != 1 || caps[0] != 128 {
+		t.Fatalf("after Push growth caps = %v, want [128]", caps)
+	}
+
+	// Batch growth fires once with the final capacity.
+	d.PushBatch(ints(1000))
+	if len(caps) != 2 || caps[1] < 1065 {
+		t.Fatalf("after PushBatch growth caps = %v, want one more entry >= 1065", caps)
+	}
+	if caps[1] != d.Capacity() {
+		t.Fatalf("hook reported %d, Capacity() = %d", caps[1], d.Capacity())
+	}
+
+	d.SetGrowHook(nil) // detaching stops callbacks
+	for d.Capacity() < 8192 {
+		d.PushBatch(ints(int(d.Capacity())))
+	}
+	if len(caps) != 2 {
+		t.Fatalf("detached hook still fired: %v", caps)
+	}
+}

@@ -71,6 +71,44 @@ func BenchmarkSchedLinearChainMetricsOn(b *testing.B) {
 	}
 }
 
+// BenchmarkSchedLinearChainTracingOn is BenchmarkSchedLinearChain with an
+// active event-trace capture (WithTracing + StartTrace): every task span
+// and scheduler lifecycle event is recorded into the per-worker rings
+// while the chain re-runs. It is the tracing enabled-path gate: -benchmem
+// must report <= 2 allocs/op (in practice 0 — ring slots are written in
+// place), and the ns/op delta against the plain benchmark is the whole
+// cost of recording. Ring overflow just drops (and counts) events, so
+// long benchmark runs stay bounded.
+func BenchmarkSchedLinearChainTracingOn(b *testing.B) {
+	e := executor.New(workers(), executor.WithTracing(1<<16))
+	defer e.Shutdown()
+	tf := core.NewShared(e)
+	var n int64
+	prev := tf.Emplace1(func() { n++ })
+	for i := 1; i < 256; i++ {
+		next := tf.Emplace1(func() { n++ })
+		prev.Precede(next)
+		prev = next
+	}
+	if err := tf.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if !e.StartTrace() {
+		b.Fatal("StartTrace failed")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tf.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if tr, ok := e.StopTrace(); !ok || len(tr.Events) == 0 {
+		b.Fatal("no trace events were recorded during the benchmark")
+	}
+}
+
 // BenchmarkSchedDiamondRerun re-runs a 1→64→1 diamond: exercises batch
 // successor submission (one Wake per fan-out) and fan-in join counters.
 func BenchmarkSchedDiamondRerun(b *testing.B) {
