@@ -32,7 +32,7 @@ chaos:
 # the kept before/after medians.
 bench:
 	$(GO) test -run '^$$' \
-		-bench 'BenchmarkSched|Fig7WavefrontSizeTaskflow|Fig7TraversalSizeTaskflow' \
+		-bench 'BenchmarkSched|BenchmarkParallelForSkewed|Fig7WavefrontSizeTaskflow|Fig7TraversalSizeTaskflow' \
 		-benchmem -benchtime 2s -count 3 . | tee /tmp/bench_scheduler.txt
 	@echo "raw output in /tmp/bench_scheduler.txt; curate BENCH_scheduler.json from it"
 

@@ -67,7 +67,20 @@ func check(path string) error {
 				return fmt.Errorf("event %d: instant without thread scope: %v", i, ev)
 			}
 			if ev["cat"] == "sched" {
-				instantKinds[ev["name"].(string)] = true
+				name := ev["name"].(string)
+				instantKinds[name] = true
+				// steal_batch instants promise a batch size of at least 2
+				// in args.arg: single-task steals emit only "steal".
+				if name == "steal_batch" {
+					args, ok := ev["args"].(map[string]any)
+					if !ok {
+						return fmt.Errorf("event %d: steal_batch without args: %v", i, ev)
+					}
+					size, ok := args["arg"].(float64)
+					if !ok || size < 2 {
+						return fmt.Errorf("event %d: steal_batch with batch size %v, want >= 2", i, args["arg"])
+					}
+				}
 			}
 		case "s":
 			flowStarts++

@@ -1,6 +1,9 @@
 package core
 
-import "runtime"
+import (
+	"runtime"
+	"sync/atomic"
+)
 
 // This file implements the built-in algorithm collection of the paper
 // (Section III-F): parallel_for, reduce, and transform patterns expressed
@@ -15,12 +18,71 @@ import "runtime"
 // Because the constructors accept the unified FlowBuilder interface, the
 // same patterns splice into static graphs (*Taskflow) and dynamic subflows
 // (*Subflow) alike.
+//
+// Every constructor takes an optional partitioner (WithPartitioner)
+// deciding how the iteration space is split across workers, mirroring the
+// partitioner abstraction of the successor Taskflow system: Static bakes
+// one task per chunk into the graph; Dynamic and Guided emit only
+// min(workers, n) claimant tasks that carve ranges off a shared atomic
+// cursor at run time, so wide loops cost a handful of graph nodes and
+// skewed per-element work rebalances itself.
+
+// Partitioner selects how the algorithm constructors split an iteration
+// space across workers.
+type Partitioner int
+
+const (
+	// Static partitions at graph-construction time: one task per chunk of
+	// the given size. Predictable, zero coordination at run time, and the
+	// only strategy whose per-chunk tasks can be individually observed
+	// (traced, profiled, stolen) — prefer it for uniform per-element cost
+	// or when the per-chunk tasks themselves matter.
+	Static Partitioner = iota
+	// Dynamic emits min(workers, n) claimant tasks that repeatedly claim
+	// fixed-size chunks (the chunk argument; default 1) from a shared
+	// atomic cursor at run time. Best load balance for skewed bodies, at
+	// one CAS per chunk.
+	Dynamic
+	// Guided is Dynamic with geometrically shrinking grants: each claim
+	// takes remaining/(2*workers) indices (never below the chunk
+	// argument), so the range drains in O(workers·log n) claims —
+	// front-loaded big grants, tail balanced by small ones.
+	Guided
+)
+
+// algConfig collects the optional knobs of the algorithm constructors.
+type algConfig struct {
+	part Partitioner
+}
+
+// AlgOption configures an algorithm constructor (currently the
+// partitioner; defaults to Static).
+type AlgOption func(*algConfig)
+
+// WithPartitioner selects the strategy used to split the iteration space;
+// see the Partitioner constants.
+func WithPartitioner(p Partitioner) AlgOption {
+	return func(c *algConfig) { c.part = p }
+}
+
+func resolveOpts(opts []AlgOption) algConfig {
+	var c algConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
 
 // chunkSize resolves a user-provided chunk size: non-positive means
 // auto-partition into roughly 4 tasks per worker of the executor that will
 // actually run the flow (falling back to GOMAXPROCS when the worker count
 // is unknown), so a 2-worker executor gets ~8 chunks rather than 4×NumCPU.
+// An empty or negative range needs no partitioning at all: n <= 0 returns
+// 1 regardless of the requested chunk.
 func chunkSize(n, chunk, workers int) int {
+	if n <= 0 {
+		return 1
+	}
 	if chunk > 0 {
 		return chunk
 	}
@@ -35,15 +97,123 @@ func chunkSize(n, chunk, workers int) int {
 	return c
 }
 
-// ParallelFor applies fn to every element of items using one task per chunk
-// of the given size (non-positive chunk selects an automatic size). It
-// returns the (source, target) placeholder pair delimiting the pattern.
-func ParallelFor[T any](fb FlowBuilder, items []T, fn func(T), chunk int) (Task, Task) {
+// rangeCursor is the shared run-time state of a Dynamic or Guided
+// partition: claimant tasks carve [lo, hi) grants off it with a CAS loop.
+// It is allocated once at graph construction and reset by the pattern's
+// source placeholder, so re-running the flow (Taskflow.Run/RunN) replays
+// the whole range without allocating.
+type rangeCursor struct {
+	next  atomic.Int64
+	n     int64 // iteration-space size
+	grain int64 // minimum grant
+	div   int64 // guided: grant = max(grain, remaining/div); 0 = fixed grain
+}
+
+func newCursor(n, chunk, workers int, p Partitioner) *rangeCursor {
+	grain := chunk
+	if grain <= 0 {
+		grain = 1
+	}
+	c := &rangeCursor{n: int64(n), grain: int64(grain)}
+	if p == Guided {
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		c.div = int64(2 * workers)
+	}
+	return c
+}
+
+func (c *rangeCursor) reset() { c.next.Store(0) }
+
+// claim carves the next grant off the cursor, returning ok=false once the
+// range is drained. Safe for any number of concurrent claimants.
+func (c *rangeCursor) claim() (int, int, bool) {
+	for {
+		lo := c.next.Load()
+		if lo >= c.n {
+			return 0, 0, false
+		}
+		size := c.grain
+		if c.div > 0 {
+			if g := (c.n - lo) / c.div; g > size {
+				size = g
+			}
+		}
+		hi := lo + size
+		if hi > c.n {
+			hi = c.n
+		}
+		if c.next.CompareAndSwap(lo, hi) {
+			return int(lo), int(hi), true
+		}
+	}
+}
+
+// claimantCount returns how many claimant tasks a dynamic partition emits:
+// one per worker, but never more than the iteration space could occupy.
+func claimantCount(workers, total int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// buildClaimants wires a dynamic partition between s and t: the cursor is
+// re-armed by s (so the pattern is re-runnable), and each of the slots
+// claimant tasks loops claiming ranges and passing them — with its own
+// claimant index — to body.
+func buildClaimants(fb FlowBuilder, s, t Task, cur *rangeCursor, slots int, rearm func(), body func(slot, lo, hi int)) {
+	s.Work(func() {
+		cur.reset()
+		if rearm != nil {
+			rearm()
+		}
+	})
+	for i := 0; i < slots; i++ {
+		slot := i
+		w := fb.Emplace(func() {
+			for {
+				lo, hi, ok := cur.claim()
+				if !ok {
+					return
+				}
+				body(slot, lo, hi)
+			}
+		})[0]
+		s.Precede(w)
+		w.Precede(t)
+	}
+}
+
+// ParallelFor applies fn to every element of items. With the default
+// Static partitioner it emits one task per chunk of the given size
+// (non-positive chunk selects an automatic size); with Dynamic or Guided
+// it emits min(workers, n) claimant tasks that split the range at run time
+// (chunk then sets the minimum grant). It returns the (source, target)
+// placeholder pair delimiting the pattern.
+func ParallelFor[T any](fb FlowBuilder, items []T, fn func(T), chunk int, opts ...AlgOption) (Task, Task) {
 	s := fb.Placeholder().Name("pfor_S")
 	t := fb.Placeholder().Name("pfor_T")
 	n := len(items)
 	if n == 0 {
 		s.Precede(t)
+		return s, t
+	}
+	if cfg := resolveOpts(opts); cfg.part != Static {
+		cur := newCursor(n, chunk, fb.workerCount(), cfg.part)
+		buildClaimants(fb, s, t, cur, claimantCount(fb.workerCount(), n), nil,
+			func(_, lo, hi int) {
+				for _, item := range items[lo:hi] {
+					fn(item)
+				}
+			})
 		return s, t
 	}
 	c := chunkSize(n, chunk, fb.workerCount())
@@ -66,12 +236,22 @@ func ParallelFor[T any](fb FlowBuilder, items []T, fn func(T), chunk int) (Task,
 
 // ParallelForPtr is ParallelFor with pointer access to each element, for
 // in-place mutation.
-func ParallelForPtr[T any](fb FlowBuilder, items []T, fn func(*T), chunk int) (Task, Task) {
+func ParallelForPtr[T any](fb FlowBuilder, items []T, fn func(*T), chunk int, opts ...AlgOption) (Task, Task) {
 	s := fb.Placeholder().Name("pforp_S")
 	t := fb.Placeholder().Name("pforp_T")
 	n := len(items)
 	if n == 0 {
 		s.Precede(t)
+		return s, t
+	}
+	if cfg := resolveOpts(opts); cfg.part != Static {
+		cur := newCursor(n, chunk, fb.workerCount(), cfg.part)
+		buildClaimants(fb, s, t, cur, claimantCount(fb.workerCount(), n), nil,
+			func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					fn(&items[i])
+				}
+			})
 		return s, t
 	}
 	c := chunkSize(n, chunk, fb.workerCount())
@@ -93,8 +273,9 @@ func ParallelForPtr[T any](fb FlowBuilder, items []T, fn func(*T), chunk int) (T
 }
 
 // ParallelForIndex applies fn to every index in the arithmetic range
-// [beg, end) with the given positive step, one task per chunk of indices.
-func ParallelForIndex(fb FlowBuilder, beg, end, step int, fn func(int), chunk int) (Task, Task) {
+// [beg, end) with the given positive step. Partitioning follows the same
+// rules as ParallelFor, over the iteration count of the range.
+func ParallelForIndex(fb FlowBuilder, beg, end, step int, fn func(int), chunk int, opts ...AlgOption) (Task, Task) {
 	s := fb.Placeholder().Name("pfori_S")
 	t := fb.Placeholder().Name("pfori_T")
 	if step <= 0 {
@@ -105,6 +286,16 @@ func ParallelForIndex(fb FlowBuilder, beg, end, step int, fn func(int), chunk in
 		return s, t
 	}
 	total := (end - beg + step - 1) / step
+	if cfg := resolveOpts(opts); cfg.part != Static {
+		cur := newCursor(total, chunk, fb.workerCount(), cfg.part)
+		buildClaimants(fb, s, t, cur, claimantCount(fb.workerCount(), total), nil,
+			func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					fn(beg + i*step)
+				}
+			})
+		return s, t
+	}
 	c := chunkSize(total, chunk, fb.workerCount())
 	for i := 0; i < total; i += c {
 		hi := i + c
@@ -124,10 +315,11 @@ func ParallelForIndex(fb FlowBuilder, beg, end, step int, fn func(int), chunk in
 }
 
 // Reduce folds items into *result with the associative binary operator bop,
-// using one task per chunk plus a final combine task. The initial value of
-// *result at execution time seeds the fold, matching Cpp-Taskflow's
+// using partial-fold tasks (one per chunk, or one claimant per worker under
+// Dynamic/Guided) plus a final combine task. The value of *result when the
+// combine task executes seeds the fold, matching Cpp-Taskflow's
 // reduce(beg, end, result, bop) convention.
-func Reduce[T any](fb FlowBuilder, items []T, result *T, bop func(T, T) T, chunk int) (Task, Task) {
+func Reduce[T any](fb FlowBuilder, items []T, result *T, bop func(T, T) T, chunk int, opts ...AlgOption) (Task, Task) {
 	s := fb.Placeholder().Name("reduce_S")
 	t := fb.Placeholder().Name("reduce_T")
 	n := len(items)
@@ -135,10 +327,42 @@ func Reduce[T any](fb FlowBuilder, items []T, result *T, bop func(T, T) T, chunk
 		s.Precede(t)
 		return s, t
 	}
+	var partials []T
+	var have []bool
+	combine := func() {
+		acc := *result
+		for i, p := range partials {
+			if have[i] {
+				acc = bop(acc, p)
+			}
+		}
+		*result = acc
+	}
+	if cfg := resolveOpts(opts); cfg.part != Static {
+		slots := claimantCount(fb.workerCount(), n)
+		partials = make([]T, slots)
+		have = make([]bool, slots)
+		cur := newCursor(n, chunk, fb.workerCount(), cfg.part)
+		buildClaimants(fb, s, t, cur, slots,
+			func() { clear(have) },
+			func(slot, lo, hi int) {
+				acc := items[lo]
+				for _, item := range items[lo+1 : hi] {
+					acc = bop(acc, item)
+				}
+				if have[slot] {
+					acc = bop(partials[slot], acc)
+				}
+				partials[slot] = acc
+				have[slot] = true
+			})
+		t.Work(combine)
+		return s, t
+	}
 	c := chunkSize(n, chunk, fb.workerCount())
 	numChunks := (n + c - 1) / c
-	partials := make([]T, numChunks)
-	have := make([]bool, numChunks)
+	partials = make([]T, numChunks)
+	have = make([]bool, numChunks)
 	k := 0
 	for beg := 0; beg < n; beg += c {
 		end := beg + c
@@ -159,21 +383,13 @@ func Reduce[T any](fb FlowBuilder, items []T, result *T, bop func(T, T) T, chunk
 		w.Precede(t)
 		k++
 	}
-	t.Work(func() {
-		acc := *result
-		for i, p := range partials {
-			if have[i] {
-				acc = bop(acc, p)
-			}
-		}
-		*result = acc
-	})
+	t.Work(combine)
 	return s, t
 }
 
 // Transform maps src through fn into dst (which must be at least as long as
-// src), one task per chunk.
-func Transform[T, U any](fb FlowBuilder, src []T, dst []U, fn func(T) U, chunk int) (Task, Task) {
+// src). Partitioning follows the same rules as ParallelFor.
+func Transform[T, U any](fb FlowBuilder, src []T, dst []U, fn func(T) U, chunk int, opts ...AlgOption) (Task, Task) {
 	if len(dst) < len(src) {
 		panic("core: Transform destination shorter than source")
 	}
@@ -182,6 +398,16 @@ func Transform[T, U any](fb FlowBuilder, src []T, dst []U, fn func(T) U, chunk i
 	n := len(src)
 	if n == 0 {
 		s.Precede(t)
+		return s, t
+	}
+	if cfg := resolveOpts(opts); cfg.part != Static {
+		cur := newCursor(n, chunk, fb.workerCount(), cfg.part)
+		buildClaimants(fb, s, t, cur, claimantCount(fb.workerCount(), n), nil,
+			func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					dst[i] = fn(src[i])
+				}
+			})
 		return s, t
 	}
 	c := chunkSize(n, chunk, fb.workerCount())
@@ -203,8 +429,9 @@ func Transform[T, U any](fb FlowBuilder, src []T, dst []U, fn func(T) U, chunk i
 }
 
 // TransformReduce maps each element through uop and folds the mapped values
-// into *result with bop; the initial value of *result seeds the fold.
-func TransformReduce[T, U any](fb FlowBuilder, items []T, result *U, bop func(U, U) U, uop func(T) U, chunk int) (Task, Task) {
+// into *result with bop; the value of *result when the combine task
+// executes seeds the fold. Partitioning follows the same rules as Reduce.
+func TransformReduce[T, U any](fb FlowBuilder, items []T, result *U, bop func(U, U) U, uop func(T) U, chunk int, opts ...AlgOption) (Task, Task) {
 	s := fb.Placeholder().Name("treduce_S")
 	t := fb.Placeholder().Name("treduce_T")
 	n := len(items)
@@ -212,10 +439,42 @@ func TransformReduce[T, U any](fb FlowBuilder, items []T, result *U, bop func(U,
 		s.Precede(t)
 		return s, t
 	}
+	var partials []U
+	var have []bool
+	combine := func() {
+		acc := *result
+		for i, p := range partials {
+			if have[i] {
+				acc = bop(acc, p)
+			}
+		}
+		*result = acc
+	}
+	if cfg := resolveOpts(opts); cfg.part != Static {
+		slots := claimantCount(fb.workerCount(), n)
+		partials = make([]U, slots)
+		have = make([]bool, slots)
+		cur := newCursor(n, chunk, fb.workerCount(), cfg.part)
+		buildClaimants(fb, s, t, cur, slots,
+			func() { clear(have) },
+			func(slot, lo, hi int) {
+				acc := uop(items[lo])
+				for _, item := range items[lo+1 : hi] {
+					acc = bop(acc, uop(item))
+				}
+				if have[slot] {
+					acc = bop(partials[slot], acc)
+				}
+				partials[slot] = acc
+				have[slot] = true
+			})
+		t.Work(combine)
+		return s, t
+	}
 	c := chunkSize(n, chunk, fb.workerCount())
 	numChunks := (n + c - 1) / c
-	partials := make([]U, numChunks)
-	have := make([]bool, numChunks)
+	partials = make([]U, numChunks)
+	have = make([]bool, numChunks)
 	k := 0
 	for beg := 0; beg < n; beg += c {
 		end := beg + c
@@ -236,14 +495,6 @@ func TransformReduce[T, U any](fb FlowBuilder, items []T, result *U, bop func(U,
 		w.Precede(t)
 		k++
 	}
-	t.Work(func() {
-		acc := *result
-		for i, p := range partials {
-			if have[i] {
-				acc = bop(acc, p)
-			}
-		}
-		*result = acc
-	})
+	t.Work(combine)
 	return s, t
 }

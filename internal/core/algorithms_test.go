@@ -282,12 +282,322 @@ func TestQuickTransformMatchesSequential(t *testing.T) {
 	}
 }
 
+// partitioners is the test matrix over partition strategies.
+var partitioners = []struct {
+	name string
+	p    Partitioner
+}{
+	{"Static", Static},
+	{"Dynamic", Dynamic},
+	{"Guided", Guided},
+}
+
+// TestParallelForPartitioners checks every strategy against the same
+// sum, with the S/T placeholders wired between pre and post tasks so the
+// beg→end ordering contract is asserted too.
+func TestParallelForPartitioners(t *testing.T) {
+	for _, pt := range partitioners {
+		t.Run(pt.name, func(t *testing.T) {
+			tf := New(4)
+			defer tf.Close()
+			var sum atomic.Int64
+			items := make([]int64, 1000)
+			for i := range items {
+				items[i] = int64(i)
+			}
+			S, T := ParallelFor(tf, items, func(v int64) { sum.Add(v) }, 0, WithPartitioner(pt.p))
+			pre := tf.Emplace1(func() { sum.Add(1) })
+			post := tf.Emplace1(func() {
+				if got := sum.Load(); got != 1000*999/2+1 {
+					t.Errorf("sum at post = %d, want %d", got, 1000*999/2+1)
+				}
+			})
+			pre.Precede(S)
+			T.Precede(post)
+			if err := tf.WaitForAll(); err != nil {
+				t.Fatal(err)
+			}
+			if got := sum.Load(); got != 1000*999/2+1 {
+				t.Fatalf("sum = %d, want %d", got, 1000*999/2+1)
+			}
+		})
+	}
+}
+
+// A chunk larger than the input must still visit every element exactly
+// once, under every strategy.
+func TestParallelForChunkLargerThanN(t *testing.T) {
+	for _, pt := range partitioners {
+		t.Run(pt.name, func(t *testing.T) {
+			tf := New(4)
+			defer tf.Close()
+			hits := make([]atomic.Int32, 5)
+			idx := make([]int, 5)
+			for i := range idx {
+				idx[i] = i
+			}
+			ParallelFor(tf, idx, func(i int) { hits[i].Add(1) }, 1000, WithPartitioner(pt.p))
+			if err := tf.WaitForAll(); err != nil {
+				t.Fatal(err)
+			}
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("element %d visited %d times, want 1", i, got)
+				}
+			}
+		})
+	}
+}
+
+// A single-worker executor must still drain every strategy (Dynamic and
+// Guided emit exactly one claimant there).
+func TestParallelForSingleWorker(t *testing.T) {
+	for _, pt := range partitioners {
+		t.Run(pt.name, func(t *testing.T) {
+			tf := New(1)
+			defer tf.Close()
+			var sum int64 // single worker: no atomics needed
+			items := make([]int64, 300)
+			for i := range items {
+				items[i] = 1
+			}
+			ParallelFor(tf, items, func(v int64) { sum += v }, 0, WithPartitioner(pt.p))
+			if err := tf.WaitForAll(); err != nil {
+				t.Fatal(err)
+			}
+			if sum != 300 {
+				t.Fatalf("sum = %d, want 300", sum)
+			}
+		})
+	}
+}
+
+// step > 1 must hit exactly the arithmetic sequence beg, beg+step, ...,
+// under every strategy, matching a sequential reference.
+func TestParallelForIndexStepPartitioned(t *testing.T) {
+	for _, pt := range partitioners {
+		t.Run(pt.name, func(t *testing.T) {
+			tf := New(4)
+			defer tf.Close()
+			const beg, end, step = 3, 250, 7
+			hits := make([]atomic.Int32, end)
+			ParallelForIndex(tf, beg, end, step, func(i int) { hits[i].Add(1) }, 4, WithPartitioner(pt.p))
+			if err := tf.WaitForAll(); err != nil {
+				t.Fatal(err)
+			}
+			want := make([]int32, end)
+			for j := beg; j < end; j += step {
+				want[j] = 1
+			}
+			for i := range hits {
+				if got := hits[i].Load(); got != want[i] {
+					t.Fatalf("index %d hit %d times, want %d", i, got, want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestReducePartitioners(t *testing.T) {
+	for _, pt := range partitioners {
+		t.Run(pt.name, func(t *testing.T) {
+			tf := New(4)
+			defer tf.Close()
+			items := make([]int, 777)
+			for i := range items {
+				items[i] = i + 1
+			}
+			result := 100 // initial value seeds the fold
+			Reduce(tf, items, &result, func(a, b int) int { return a + b }, 10, WithPartitioner(pt.p))
+			if err := tf.WaitForAll(); err != nil {
+				t.Fatal(err)
+			}
+			if want := 100 + 777*778/2; result != want {
+				t.Fatalf("Reduce = %d, want %d", result, want)
+			}
+		})
+	}
+}
+
+func TestTransformPartitioners(t *testing.T) {
+	for _, pt := range partitioners {
+		t.Run(pt.name, func(t *testing.T) {
+			tf := New(4)
+			defer tf.Close()
+			src := make([]int, 333)
+			for i := range src {
+				src[i] = i
+			}
+			dst := make([]int, 333)
+			Transform(tf, src, dst, func(v int) int { return v * 3 }, 0, WithPartitioner(pt.p))
+			if err := tf.WaitForAll(); err != nil {
+				t.Fatal(err)
+			}
+			for i := range src {
+				if dst[i] != i*3 {
+					t.Fatalf("dst[%d] = %d, want %d", i, dst[i], i*3)
+				}
+			}
+		})
+	}
+}
+
+func TestTransformReducePartitioners(t *testing.T) {
+	for _, pt := range partitioners {
+		t.Run(pt.name, func(t *testing.T) {
+			tf := New(4)
+			defer tf.Close()
+			items := make([]int, 500)
+			for i := range items {
+				items[i] = i
+			}
+			total := 7
+			TransformReduce(tf, items, &total,
+				func(a, b int) int { return a + b },
+				func(v int) int { return v * 2 }, 8, WithPartitioner(pt.p))
+			if err := tf.WaitForAll(); err != nil {
+				t.Fatal(err)
+			}
+			if want := 7 + 2*(500*499/2); total != want {
+				t.Fatalf("TransformReduce = %d, want %d", total, want)
+			}
+		})
+	}
+}
+
+// Re-running a dynamically partitioned flow must replay the whole range
+// each time: the source placeholder re-arms the shared cursor (and the
+// reduce partial-slot flags) before the claimants run.
+func TestPartitionedRerun(t *testing.T) {
+	for _, pt := range partitioners {
+		t.Run(pt.name, func(t *testing.T) {
+			tf := New(4)
+			defer tf.Close()
+			var count atomic.Int64
+			items := make([]int, 512)
+			ParallelFor(tf, items, func(int) { count.Add(1) }, 0, WithPartitioner(pt.p))
+			const runs = 10
+			if err := tf.RunN(runs); err != nil {
+				t.Fatal(err)
+			}
+			if got := count.Load(); got != runs*512 {
+				t.Fatalf("after %d runs: %d iterations, want %d", runs, got, runs*512)
+			}
+		})
+	}
+}
+
+func TestPartitionedReduceRerun(t *testing.T) {
+	for _, pt := range partitioners {
+		t.Run(pt.name, func(t *testing.T) {
+			tf := New(4)
+			defer tf.Close()
+			items := make([]int, 400)
+			for i := range items {
+				items[i] = 1
+			}
+			result := 0
+			Reduce(tf, items, &result, func(a, b int) int { return a + b }, 3, WithPartitioner(pt.p))
+			for run := 0; run < 3; run++ {
+				result = 0
+				if err := tf.Run(); err != nil {
+					t.Fatal(err)
+				}
+				if result != 400 {
+					t.Fatalf("run %d: Reduce = %d, want 400", run, result)
+				}
+			}
+		})
+	}
+}
+
+// Dynamic partitioners inside a subflow: same unified-interface contract
+// as the static strategies.
+func TestGuidedInsideSubflow(t *testing.T) {
+	tf := New(4)
+	defer tf.Close()
+	var sum atomic.Int64
+	items := make([]int64, 200)
+	for i := range items {
+		items[i] = 1
+	}
+	tf.EmplaceSubflow(func(sf *Subflow) {
+		ParallelFor(sf, items, func(v int64) { sum.Add(v) }, 0, WithPartitioner(Guided))
+	})
+	if err := tf.WaitForAll(); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 200 {
+		t.Fatalf("subflow guided ParallelFor sum = %d, want 200", sum.Load())
+	}
+}
+
+// Property: every partitioner matches the sequential fold for any input,
+// chunk, and strategy.
+func TestQuickPartitionedReduceMatchesSequential(t *testing.T) {
+	tf := New(4)
+	defer tf.Close()
+	f := func(xs []int32, chunk uint8, strat uint8) bool {
+		p := Partitioner(strat % 3)
+		want := int64(0)
+		for _, x := range xs {
+			want += int64(x)
+		}
+		items := make([]int64, len(xs))
+		for i, x := range xs {
+			items[i] = int64(x)
+		}
+		got := int64(0)
+		Reduce(tf, items, &got, func(a, b int64) int64 { return a + b }, int(chunk), WithPartitioner(p))
+		if err := tf.WaitForAll(); err != nil {
+			return false
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunParallelForGuidedZeroAlloc gates the dynamic-partitioner
+// steady state: re-running a guided loop claims ranges off the shared
+// cursor without allocating.
+func TestRunParallelForGuidedZeroAlloc(t *testing.T) {
+	tf := New(2)
+	defer tf.Close()
+	var n atomic.Int64
+	items := make([]int64, 1024)
+	for i := range items {
+		items[i] = 1
+	}
+	ParallelFor(tf, items, func(v int64) { n.Add(v) }, 0, WithPartitioner(Guided))
+	if err := tf.Run(); err != nil { // build run state outside measurement
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := tf.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("guided ParallelFor Run allocates %v objects/run, want 0", allocs)
+	}
+}
+
 func TestChunkSize(t *testing.T) {
 	if got := chunkSize(100, 7, 4); got != 7 {
 		t.Fatalf("chunkSize(100,7,4) = %d", got)
 	}
 	if got := chunkSize(0, 0, 4); got < 1 {
 		t.Fatalf("chunkSize(0,0,4) = %d, want >= 1", got)
+	}
+	// Empty-range contract: n <= 0 returns 1 regardless of the requested
+	// chunk — an empty range needs no partitioning.
+	if got := chunkSize(0, 7, 4); got != 1 {
+		t.Fatalf("chunkSize(0,7,4) = %d, want 1", got)
+	}
+	if got := chunkSize(-3, 50, 2); got != 1 {
+		t.Fatalf("chunkSize(-3,50,2) = %d, want 1", got)
 	}
 	if got := chunkSize(5, -1, 4); got < 1 {
 		t.Fatalf("chunkSize(5,-1,4) = %d, want >= 1", got)

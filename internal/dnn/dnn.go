@@ -222,13 +222,18 @@ func Accuracy(net *MLP, d *mnist.Dataset) float64 {
 	return float64(correct) / float64(len(pred))
 }
 
-// shuffled produces the epoch-e permuted copy of the dataset into the slot
-// buffers — the paper's per-epoch shuffle task body. The permutation
-// depends only on (seed, epoch), so every backend sees identical batches.
-func shuffled(d *mnist.Dataset, seed int64, epoch int, imgs [][]float64, labels []uint8) {
+// shufflePerm computes the epoch-e permutation of the dataset. It depends
+// only on (seed, epoch), so every backend sees identical batches however
+// the permuted copy itself is parallelized.
+func shufflePerm(d *mnist.Dataset, seed int64, epoch int) []int {
 	rng := rand.New(rand.NewSource(seed ^ int64(epoch)*0x9e3779b9))
-	perm := rng.Perm(d.Len())
-	for i, p := range perm {
+	return rng.Perm(d.Len())
+}
+
+// shuffled produces the epoch-e permuted copy of the dataset into the slot
+// buffers — the paper's per-epoch shuffle task body.
+func shuffled(d *mnist.Dataset, seed int64, epoch int, imgs [][]float64, labels []uint8) {
+	for i, p := range shufflePerm(d, seed, epoch) {
 		imgs[i] = d.Images[p]
 		labels[i] = d.Labels[p]
 	}

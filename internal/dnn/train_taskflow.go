@@ -73,9 +73,18 @@ func TrainTaskflowShared(cfg Config, d *mnist.Dataset, workers int, tf *core.Tas
 		// Named after the paper's Figure-11 shuffle tasks so traces and
 		// DOT dumps show the epoch boundaries; the per-batch pipeline
 		// tasks stay anonymous (positional names) to keep construction
-		// cheap in the sweep benchmarks.
-		shuffle := tf.Emplace1(func() {
-			shuffled(d, cfg.Seed, e, store.imgs[slot], store.labels[slot])
+		// cheap in the sweep benchmarks. The permuted copy itself is a
+		// guided parallel loop spawned as a subflow: the permutation is
+		// computed serially (identical across backends), the row copies
+		// load-balance across whatever workers are idle between epochs.
+		shuffle := tf.EmplaceSubflow(func(sf *core.Subflow) {
+			perm := shufflePerm(d, cfg.Seed, e)
+			imgs, labels := store.imgs[slot], store.labels[slot]
+			core.ParallelForIndex(sf, 0, len(perm), 1, func(i int) {
+				p := perm[i]
+				imgs[i] = d.Images[p]
+				labels[i] = d.Labels[p]
+			}, 0, core.WithPartitioner(core.Guided))
 		}).Name(fmt.Sprintf("E%d_S", e))
 		if e >= slots {
 			// The slot is free once the epoch that last used it has

@@ -470,6 +470,30 @@ func (e *Executor) popInjection() (*Runnable, bool) {
 	return r, ok
 }
 
+// drainInjection removes up to half of the externally submitted backlog —
+// capped at len(scratch) — into scratch under one lock acquisition, and
+// returns the number moved. Like popInjection, the atomic length check
+// keeps the common empty case lock-free. Grabbing only half leaves the
+// rest for the other workers a deep backlog will wake, mirroring the
+// half-grab policy of wsq.StealBatch.
+func (e *Executor) drainInjection(scratch []*Runnable) int {
+	n := e.injLen.Load()
+	if n == 0 {
+		return 0
+	}
+	grab := (n + 1) / 2
+	if grab > int64(len(scratch)) {
+		grab = int64(len(scratch))
+	}
+	e.injMu.Lock()
+	k := e.inj.popN(scratch[:grab])
+	e.injMu.Unlock()
+	if k > 0 {
+		e.injLen.Add(-int64(k))
+	}
+	return k
+}
+
 // injCap reports the injection ring's current capacity (for tests).
 func (e *Executor) injCap() int {
 	e.injMu.Lock()
@@ -553,6 +577,11 @@ func (e *Executor) wakeAll() {
 // injection queue (Algorithm 1 line 3). One call is one steal attempt in
 // the metrics; a hit is counted against the source it came from (a victim
 // deque or the injection queue).
+//
+// Both sources are robbed in batch: a hit moves up to half of the source's
+// visible backlog (capped at wsq.MaxStealBatch), executing the first task
+// and parking the extras on this worker's own deque, so one victim
+// selection and one sweep pay for several tasks on wide fan-outs.
 func (w *worker) steal() (*Runnable, bool) {
 	e := w.exec
 	m := w.metrics
@@ -562,11 +591,8 @@ func (w *worker) steal() (*Runnable, bool) {
 	n := len(e.workers)
 	if n > 1 {
 		if w.victim != w.id {
-			if r, ok := e.workers[w.victim].queue.Steal(); ok {
-				if m != nil {
-					m.steals.Add(1)
-				}
-				w.traceEvent(EvSteal, uint64(w.victim))
+			if r, k := e.workers[w.victim].queue.StealBatch(w.queue); k > 0 {
+				w.noteSteal(m, w.victim, k)
 				return r, true
 			}
 		}
@@ -576,24 +602,42 @@ func (w *worker) steal() (*Runnable, bool) {
 			if v == w.id {
 				continue
 			}
-			if r, ok := e.workers[v].queue.Steal(); ok {
+			if r, k := e.workers[v].queue.StealBatch(w.queue); k > 0 {
 				w.victim = v
-				if m != nil {
-					m.steals.Add(1)
-				}
-				w.traceEvent(EvSteal, uint64(v))
+				w.noteSteal(m, v, k)
 				return r, true
 			}
 		}
 	}
-	r, ok := e.popInjection()
-	if ok {
+	var scratch [wsq.MaxStealBatch]*Runnable
+	if k := e.drainInjection(scratch[:]); k > 0 {
+		if k > 1 {
+			w.queue.PushBatch(scratch[1:k])
+		}
 		if m != nil {
 			m.injectionDrains.Add(1)
+			m.injectionDrainedTasks.Add(uint64(k))
 		}
-		w.traceEvent(EvInjectDrain, 0)
+		w.traceEvent(EvInjectDrain, uint64(k))
+		return scratch[0], true
 	}
-	return r, ok
+	return nil, false
+}
+
+// noteSteal records one successful steal operation against victim v that
+// moved k tasks (metrics and trace events).
+func (w *worker) noteSteal(m *workerMetrics, v, k int) {
+	if m != nil {
+		m.steals.Add(1)
+		m.stolenTasks.Add(uint64(k))
+		if k > 1 {
+			m.stealBatches.Add(1)
+		}
+	}
+	w.traceEvent(EvSteal, uint64(v))
+	if k > 1 {
+		w.traceEvent(EvStealBatch, uint64(k))
+	}
 }
 
 // run is the main worker loop, a direct transcription of Algorithm 1.

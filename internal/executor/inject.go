@@ -61,6 +61,30 @@ func (q *taskRing) pushBatch(rs []*Runnable) {
 	}
 }
 
+// popN removes up to len(dst) of the oldest tasks into dst and returns how
+// many were moved. One lock acquisition (and one shrink check) covers the
+// whole batch, amortizing the drain cost of a deep backlog.
+func (q *taskRing) popN(dst []*Runnable) int {
+	n := int(q.tail - q.head)
+	if n == 0 {
+		return 0
+	}
+	if n > len(dst) {
+		n = len(dst)
+	}
+	mask := int64(len(q.buf) - 1)
+	for i := 0; i < n; i++ {
+		j := q.head & mask
+		dst[i] = q.buf[j]
+		q.buf[j] = nil // release the task for GC
+		q.head++
+	}
+	if c := int64(len(q.buf)); c > injShrinkCap && (q.tail-q.head)*4 <= c {
+		q.resize(c / 2)
+	}
+	return n
+}
+
 func (q *taskRing) pop() (*Runnable, bool) {
 	if q.head == q.tail {
 		return nil, false

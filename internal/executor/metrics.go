@@ -41,13 +41,25 @@ type workerMetrics struct {
 	// steal() call, i.e. one pass over last victim, random victims, and the
 	// injection queue.
 	stealAttempts atomic.Uint64
-	// steals counts tasks this worker took from other workers' deques.
-	// (The per-deque Counters.Steals counts the stolen-FROM side; the two
-	// totals agree.)
+	// steals counts successful steal operations by this worker: sweeps
+	// that came back with at least one task. The first task of each
+	// operation runs directly; extras (batch stealing) land on this
+	// worker's own deque.
 	steals atomic.Uint64
-	// injectionDrains counts tasks this worker took from the external
-	// injection queue (work sharing).
+	// stolenTasks counts tasks this worker moved out of other workers'
+	// deques, including the extras of batch steals. (The per-deque
+	// Counters.Steals counts the stolen-FROM side; Σ stolenTasks ==
+	// Σ StolenFrom.)
+	stolenTasks atomic.Uint64
+	// stealBatches counts steal operations that moved more than one task.
+	stealBatches atomic.Uint64
+	// injectionDrains counts drain operations on the external injection
+	// queue (work sharing): sweeps that came back with at least one task.
 	injectionDrains atomic.Uint64
+	// injectionDrainedTasks counts tasks this worker took from the
+	// injection queue, including the extras of batch drains that were
+	// re-pushed onto its own deque.
+	injectionDrainedTasks atomic.Uint64
 	// cacheHits counts tasks placed in the speculative task-cache slot
 	// (Algorithm 1 lines 16-25) instead of a queue.
 	cacheHits atomic.Uint64
@@ -117,14 +129,20 @@ type WorkerStats struct {
 	MaxQueueDepth uint64 // push-time high watermark of resident tasks
 	QueueDepth    int    // resident tasks at the snapshot instant (gauge)
 
-	// Worker-side accounting.
-	StealAttempts      uint64 // steal sweeps (Algorithm 1 line 3)
-	Steals             uint64 // tasks stolen BY this worker from other deques
-	InjectionDrains    uint64 // tasks taken from the external injection queue
-	CacheHits          uint64 // tasks run through the speculative cache slot
-	Parks              uint64 // times parked on the idlers list
-	ProbabilisticWakes uint64 // successful 1/wakeDen load-balancing wakeups issued
-	Executed           uint64 // tasks invoked
+	// Worker-side accounting. Steal and injection-drain traffic is counted
+	// twice over: operations (sweeps that found work — the first task of
+	// each runs directly on this worker) and tasks (total items moved,
+	// including batch extras re-pushed onto this worker's own deque).
+	StealAttempts         uint64 // steal sweeps (Algorithm 1 line 3)
+	Steals                uint64 // successful steal operations by this worker
+	StolenTasks           uint64 // tasks moved out of other deques (incl. batch extras)
+	StealBatches          uint64 // steal operations that moved more than one task
+	InjectionDrains       uint64 // successful injection-queue drain operations
+	InjectionDrainedTasks uint64 // tasks taken from the injection queue (incl. batch extras)
+	CacheHits             uint64 // tasks run through the speculative cache slot
+	Parks                 uint64 // times parked on the idlers list
+	ProbabilisticWakes    uint64 // successful 1/wakeDen load-balancing wakeups issued
+	Executed              uint64 // tasks invoked
 }
 
 // Snapshot is a point-in-time reading of every scheduler counter. Taking a
@@ -134,8 +152,10 @@ type WorkerStats struct {
 type Snapshot struct {
 	Workers []WorkerStats
 
-	// InjectionPushes/Drains count external-submission traffic; Depth is
-	// the queue's resident size at the snapshot instant (gauge).
+	// InjectionPushes/Drains count external-submission traffic in tasks
+	// (Drains sums the per-worker drained-task counts, so it balances
+	// Pushes at quiescence); Depth is the queue's resident size at the
+	// snapshot instant (gauge).
 	InjectionPushes uint64
 	InjectionDrains uint64
 	InjectionDepth  int
@@ -162,7 +182,10 @@ func (s *Snapshot) Total() WorkerStats {
 		t.QueueDepth += w.QueueDepth
 		t.StealAttempts += w.StealAttempts
 		t.Steals += w.Steals
+		t.StolenTasks += w.StolenTasks
+		t.StealBatches += w.StealBatches
 		t.InjectionDrains += w.InjectionDrains
+		t.InjectionDrainedTasks += w.InjectionDrainedTasks
 		t.CacheHits += w.CacheHits
 		t.Parks += w.Parks
 		t.ProbabilisticWakes += w.ProbabilisticWakes
@@ -175,34 +198,51 @@ func (s *Snapshot) Total() WorkerStats {
 // quiescence (no task in any queue, no worker inside the scheduler):
 //
 //	deque pushes            == deque pops + deque steals
-//	steals (thief side)     == steals (victim side)
-//	injection pushes        == injection drains
-//	executed                == pops + steals + injection drains + cache hits
+//	stolen tasks (thieves)  == deque steals (victims)
+//	injection pushes        == injection drained tasks
+//	executed                == pops + steal ops + injection drain ops + cache hits
 //
-// i.e. pushes = pops + steals + injection drains with pushes counting both
-// deque and injection submissions. It returns nil when every law holds, or
-// an error naming the first imbalance. Calling it while tasks are in
-// flight reports spurious imbalances.
+// The executed law counts operations, not tasks: each successful steal or
+// drain operation hands exactly one task straight to the thief for
+// execution; the batch extras it also moved re-enter the thief's own deque
+// as pushes and are later popped or re-stolen, so they surface through the
+// first law instead. Batch shape is additionally sanity-checked:
+// stolenTasks ≥ steal ops, stealBatches ≤ steal ops, drained tasks ≥ drain
+// ops. It returns nil when every law holds, or an error naming the first
+// imbalance. Calling it while tasks are in flight reports spurious
+// imbalances.
 func (s *Snapshot) Reconcile() error {
 	t := s.Total()
 	if t.Pushes != t.Pops+t.StolenFrom {
 		return fmt.Errorf("executor metrics: deque pushes %d != pops %d + steals %d",
 			t.Pushes, t.Pops, t.StolenFrom)
 	}
-	if t.Steals != t.StolenFrom {
-		return fmt.Errorf("executor metrics: thief-side steals %d != victim-side steals %d",
-			t.Steals, t.StolenFrom)
+	if t.StolenTasks != t.StolenFrom {
+		return fmt.Errorf("executor metrics: thief-side stolen tasks %d != victim-side steals %d",
+			t.StolenTasks, t.StolenFrom)
 	}
-	if s.InjectionPushes != t.InjectionDrains {
-		return fmt.Errorf("executor metrics: injection pushes %d != drains %d",
-			s.InjectionPushes, t.InjectionDrains)
+	if t.StolenTasks < t.Steals {
+		return fmt.Errorf("executor metrics: stolen tasks %d < steal operations %d",
+			t.StolenTasks, t.Steals)
 	}
-	if s.InjectionDrains != t.InjectionDrains {
-		return fmt.Errorf("executor metrics: snapshot injection drains %d != per-worker sum %d",
-			s.InjectionDrains, t.InjectionDrains)
+	if t.StealBatches > t.Steals {
+		return fmt.Errorf("executor metrics: steal batches %d > steal operations %d",
+			t.StealBatches, t.Steals)
+	}
+	if s.InjectionPushes != t.InjectionDrainedTasks {
+		return fmt.Errorf("executor metrics: injection pushes %d != drained tasks %d",
+			s.InjectionPushes, t.InjectionDrainedTasks)
+	}
+	if t.InjectionDrainedTasks < t.InjectionDrains {
+		return fmt.Errorf("executor metrics: injection drained tasks %d < drain operations %d",
+			t.InjectionDrainedTasks, t.InjectionDrains)
+	}
+	if s.InjectionDrains != t.InjectionDrainedTasks {
+		return fmt.Errorf("executor metrics: snapshot injection drains %d != per-worker drained-task sum %d",
+			s.InjectionDrains, t.InjectionDrainedTasks)
 	}
 	if t.Executed != t.Pops+t.Steals+t.InjectionDrains+t.CacheHits {
-		return fmt.Errorf("executor metrics: executed %d != pops %d + steals %d + injection drains %d + cache hits %d",
+		return fmt.Errorf("executor metrics: executed %d != pops %d + steal ops %d + injection drain ops %d + cache hits %d",
 			t.Executed, t.Pops, t.Steals, t.InjectionDrains, t.CacheHits)
 	}
 	return nil
@@ -231,13 +271,16 @@ func (e *Executor) MetricsSnapshot() (Snapshot, bool) {
 		ws.QueueDepth = w.queue.Len()
 		ws.StealAttempts = wm.stealAttempts.Load()
 		ws.Steals = wm.steals.Load()
+		ws.StolenTasks = wm.stolenTasks.Load()
+		ws.StealBatches = wm.stealBatches.Load()
 		ws.InjectionDrains = wm.injectionDrains.Load()
+		ws.InjectionDrainedTasks = wm.injectionDrainedTasks.Load()
 		ws.CacheHits = wm.cacheHits.Load()
 		ws.Parks = wm.parks.Load()
 		ws.ProbabilisticWakes = wm.probWakes.Load()
 		ws.Executed = wm.executed.Load()
 		probTotal += ws.ProbabilisticWakes
-		s.InjectionDrains += ws.InjectionDrains
+		s.InjectionDrains += ws.InjectionDrainedTasks
 	}
 	s.InjectionPushes = m.injectionPushes.Load()
 	s.InjectionDepth = int(e.injLen.Load())

@@ -67,8 +67,12 @@ func TestMetricsCountAndReconcile(t *testing.T) {
 	if snap.InjectionPushes != 501 {
 		t.Fatalf("injection pushes = %d, want 501", snap.InjectionPushes)
 	}
-	if total.Pushes != 200 {
-		t.Fatalf("deque pushes = %d, want 200", total.Pushes)
+	// At least the 200 fan-out children are pushed on worker deques; batch
+	// steals and batch injection drains re-push their extras onto the
+	// thief's deque, so the total may be higher (each re-push is balanced
+	// by a pop or steal, which Reconcile checks below).
+	if total.Pushes < 200 {
+		t.Fatalf("deque pushes = %d, want >= 200", total.Pushes)
 	}
 	if err := snap.Reconcile(); err != nil {
 		t.Fatal(err)
@@ -122,14 +126,59 @@ func TestMetricsStealAccounting(t *testing.T) {
 	e.Shutdown()
 	snap, _ := e.MetricsSnapshot()
 	total := snap.Total()
-	if total.Steals != total.StolenFrom {
-		t.Fatalf("thief-side steals %d != victim-side %d", total.Steals, total.StolenFrom)
+	if total.StolenTasks != total.StolenFrom {
+		t.Fatalf("thief-side stolen tasks %d != victim-side %d", total.StolenTasks, total.StolenFrom)
+	}
+	if total.StolenTasks < total.Steals {
+		t.Fatalf("stolen tasks %d < steal operations %d", total.StolenTasks, total.Steals)
+	}
+	if total.StealBatches > total.Steals {
+		t.Fatalf("steal batches %d > steal operations %d", total.StealBatches, total.Steals)
 	}
 	if total.StealAttempts < total.Steals {
 		t.Fatalf("steal attempts %d < steals %d", total.StealAttempts, total.Steals)
 	}
 	if total.MaxQueueDepth == 0 {
 		t.Fatal("max queue depth watermark never raised by a 2000-task fan-out")
+	}
+	if err := snap.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMetricsBatchDrainAccounting drives wide external bursts through a
+// small pool so the batch injection drain fires, and checks the
+// operation/task split the batch counters promise.
+func TestMetricsBatchDrainAccounting(t *testing.T) {
+	e := New(2, WithMetrics(), WithSeed(11), WithSpin(0))
+	const rounds, burst = 10, 256
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		wg.Add(burst)
+		r := NewTask(func(Context) { wg.Done() })
+		rs := make([]*Runnable, burst)
+		for i := range rs {
+			rs[i] = r
+		}
+		if err := e.SubmitBatch(rs); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+	}
+	e.Shutdown()
+	snap, _ := e.MetricsSnapshot()
+	total := snap.Total()
+	if snap.InjectionPushes != rounds*burst {
+		t.Fatalf("injection pushes = %d, want %d", snap.InjectionPushes, rounds*burst)
+	}
+	if total.InjectionDrainedTasks != snap.InjectionPushes {
+		t.Fatalf("drained tasks %d != pushes %d", total.InjectionDrainedTasks, snap.InjectionPushes)
+	}
+	// A 256-task burst against a 2-worker pool must produce at least one
+	// multi-task drain, so the task count strictly exceeds the op count.
+	if total.InjectionDrainedTasks <= total.InjectionDrains {
+		t.Fatalf("no batch drains: drained tasks %d, drain ops %d",
+			total.InjectionDrainedTasks, total.InjectionDrains)
 	}
 	if err := snap.Reconcile(); err != nil {
 		t.Fatal(err)

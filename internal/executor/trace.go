@@ -82,6 +82,11 @@ const (
 	// subflow draining back into its parent.
 	EvSubflowSpawn
 	EvSubflowJoin
+	// EvStealBatch records a batch steal moving more than one task in a
+	// single sweep (Arg = number of tasks moved, ≥ 2): the first ran on the
+	// thief, the rest landed on its deque. It follows the EvSteal event that
+	// names the victim.
+	EvStealBatch
 
 	numEventKinds
 )
@@ -104,6 +109,7 @@ var eventKindNames = [numEventKinds]string{
 	EvCancel:       "cancel",
 	EvSubflowSpawn: "subflow_spawn",
 	EvSubflowJoin:  "subflow_join",
+	EvStealBatch:   "steal_batch",
 }
 
 // String returns the stable lowercase name of the kind, used verbatim in

@@ -54,10 +54,16 @@ var exported = []series{
 		func(w *executor.WorkerStats) float64 { return float64(w.QueueDepth) }, nil},
 	{"gotaskflow_steal_attempts_total", "Steal sweeps over victims and the injection queue", "counter",
 		func(w *executor.WorkerStats) float64 { return float64(w.StealAttempts) }, nil},
-	{"gotaskflow_steals_total", "Tasks stolen by the worker from other deques", "counter",
+	{"gotaskflow_steals_total", "Successful steal operations by the worker", "counter",
 		func(w *executor.WorkerStats) float64 { return float64(w.Steals) }, nil},
-	{"gotaskflow_injection_drains_total", "Tasks taken from the external injection queue", "counter",
+	{"gotaskflow_stolen_tasks_total", "Tasks moved out of other deques, incl. batch extras", "counter",
+		func(w *executor.WorkerStats) float64 { return float64(w.StolenTasks) }, nil},
+	{"gotaskflow_steal_batches_total", "Steal operations that moved more than one task", "counter",
+		func(w *executor.WorkerStats) float64 { return float64(w.StealBatches) }, nil},
+	{"gotaskflow_injection_drains_total", "Drain operations on the external injection queue", "counter",
 		func(w *executor.WorkerStats) float64 { return float64(w.InjectionDrains) }, nil},
+	{"gotaskflow_injection_drained_tasks_total", "Tasks taken from the injection queue, incl. batch extras", "counter",
+		func(w *executor.WorkerStats) float64 { return float64(w.InjectionDrainedTasks) }, nil},
 	{"gotaskflow_cache_hits_total", "Tasks run through the speculative cache slot", "counter",
 		func(w *executor.WorkerStats) float64 { return float64(w.CacheHits) }, nil},
 	{"gotaskflow_parks_total", "Times the worker parked on the idlers list", "counter",
@@ -129,10 +135,11 @@ func WriteRunSummary(w io.Writer, rs core.RunStats, snap executor.Snapshot) erro
 	t := snap.Total()
 	_, err := fmt.Fprintf(w,
 		"run:   tasks=%d span=%d parallelism=%.2f wall=%v busy=%v achieved=%.2f retries=%d skipped=%d\n"+
-			"sched: executed=%d pops=%d steals=%d/%d-attempts drains=%d cache-hits=%d parks=%d wakes=%d-precise/%d-prob max-depth=%d\n",
+			"sched: executed=%d pops=%d stolen=%d-tasks/%d-steals/%d-batches/%d-attempts drained=%d-tasks/%d-drains cache-hits=%d parks=%d wakes=%d-precise/%d-prob max-depth=%d\n",
 		rs.Tasks, rs.Span, rs.Parallelism, rs.Wall, rs.Busy, rs.AchievedParallelism,
 		rs.Retries, rs.Skipped,
-		t.Executed, t.Pops, t.Steals, t.StealAttempts, t.InjectionDrains,
+		t.Executed, t.Pops, t.StolenTasks, t.Steals, t.StealBatches, t.StealAttempts,
+		t.InjectionDrainedTasks, t.InjectionDrains,
 		t.CacheHits, t.Parks, snap.PreciseWakes, snap.ProbabilisticWakes,
 		t.MaxQueueDepth)
 	if err != nil || len(rs.HotTasks) == 0 {

@@ -250,6 +250,50 @@ func TestWavefrontTraceChromeExport(t *testing.T) {
 	}
 }
 
+// TestStealBatchInstantExport pins the export contract tracecheck
+// enforces: a steal_batch instant is a sched-category thread-scoped "i"
+// event whose args.arg carries the batch size (>= 2), emitted alongside
+// the plain steal instant for the first task of the batch.
+func TestStealBatchInstantExport(t *testing.T) {
+	ms := func(d int64) time.Duration { return time.Duration(d) * time.Millisecond }
+	anon := executor.TaskMeta{}
+	tr := executor.Trace{
+		Workers: 2,
+		Events: []executor.TraceEvent{
+			{Ts: ms(1), Worker: 1, Kind: executor.EvSteal, Arg: 0, Meta: anon},
+			{Ts: ms(1), Worker: 1, Kind: executor.EvStealBatch, Arg: 5, Meta: anon},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev["name"] != "steal_batch" {
+			continue
+		}
+		found = true
+		if ev["ph"] != "i" || ev["cat"] != "sched" || ev["s"] != "t" {
+			t.Fatalf("steal_batch instant malformed: %v", ev)
+		}
+		args, ok := ev["args"].(map[string]any)
+		if !ok {
+			t.Fatalf("steal_batch without args: %v", ev)
+		}
+		if size, ok := args["arg"].(float64); !ok || size != 5 {
+			t.Fatalf("steal_batch args.arg = %v, want 5", args["arg"])
+		}
+	}
+	if !found {
+		t.Fatal("no steal_batch instant in export")
+	}
+}
+
 // TestWriteTraceDroppedMetadata checks the overflow accounting surfaces in
 // the export.
 func TestWriteTraceDroppedMetadata(t *testing.T) {

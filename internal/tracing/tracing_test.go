@@ -165,6 +165,13 @@ func TestProfilerRegisterAndReadWhileRunning(t *testing.T) {
 		}()
 	}
 	readers.Wait()
+	// Under GOMAXPROCS=1 the readers can starve the feeder for their whole
+	// run, leaving every executed task ahead of the mid-run registration.
+	// Keep the stream alive until the profiler has provably observed one
+	// post-registration task, so the final assertions hold on any schedule.
+	for p.NumEvents() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
 	close(stop)
 	feeders.Wait()
 	e.Shutdown()

@@ -121,6 +121,51 @@ func Build(tf *core.Taskflow, m, spin int) [][]uint64 {
 	return g
 }
 
+// TaskflowLevelized runs the m×m wavefront as a levelized chain of
+// partitioned parallel loops — one ParallelForIndex per anti-diagonal,
+// every block of a diagonal being independent — instead of one task per
+// block. With a Dynamic or Guided partitioner the whole wavefront costs
+// O(m·workers) graph nodes instead of m², trading the fine-grained
+// dependency structure for run-time range claiming; the checksum is
+// identical.
+func TaskflowLevelized(m, spin, workers int, p core.Partitioner) (uint64, error) {
+	tf := core.New(workers)
+	defer tf.Close()
+	g := BuildLevelized(tf, m, spin, p)
+	if err := tf.WaitForAll(); err != nil {
+		return 0, err
+	}
+	return g[m][m], nil
+}
+
+// BuildLevelized emplaces the levelized wavefront — a chain of partitioned
+// anti-diagonal loops — on tf and returns the value grid.
+func BuildLevelized(tf *core.Taskflow, m, spin int, p core.Partitioner) [][]uint64 {
+	g := grid(m)
+	first := true
+	var prevT core.Task
+	for d := 2; d <= 2*m; d++ {
+		lo, hi := 1, m
+		if d-m > lo {
+			lo = d - m
+		}
+		if d-1 < hi {
+			hi = d - 1
+		}
+		d := d
+		S, T := core.ParallelForIndex(tf, lo, hi+1, 1, func(i int) {
+			j := d - i
+			g[i][j] = kernel(g[i][j-1], g[i-1][j], spin)
+		}, 0, core.WithPartitioner(p))
+		if !first {
+			prevT.Precede(S)
+		}
+		prevT = T
+		first = false
+	}
+	return g
+}
+
 // TaskflowStats runs one instrumented m×m wavefront: the executor counts
 // scheduler events (WithMetrics) and the taskflow collects timed run
 // statistics. It returns the checksum, the run's RunStats, and the

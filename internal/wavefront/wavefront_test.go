@@ -1,6 +1,38 @@
 package wavefront
 
-import "testing"
+import (
+	"testing"
+
+	"gotaskflow/internal/core"
+)
+
+// TestLevelizedAgrees checks the levelized (partitioned parallel-loop)
+// formulation against the sequential checksum for every partitioner,
+// several grid sizes, and both 1- and 4-worker pools.
+func TestLevelizedAgrees(t *testing.T) {
+	parts := []struct {
+		name string
+		p    core.Partitioner
+	}{
+		{"Static", core.Static},
+		{"Dynamic", core.Dynamic},
+		{"Guided", core.Guided},
+	}
+	for _, pt := range parts {
+		t.Run(pt.name, func(t *testing.T) {
+			for _, m := range []int{1, 2, 3, 8, 16, 31} {
+				want := Sequential(m, 16)
+				if got, err := TaskflowLevelized(m, 16, 4, pt.p); err != nil || got != want {
+					t.Fatalf("m=%d: TaskflowLevelized = %#x, %v, want %#x", m, got, err, want)
+				}
+			}
+			want := Sequential(12, 8)
+			if got, err := TaskflowLevelized(12, 8, 1, pt.p); err != nil || got != want {
+				t.Fatalf("1 worker: TaskflowLevelized = %#x, %v, want %#x", got, err, want)
+			}
+		})
+	}
+}
 
 func TestBackendsAgree(t *testing.T) {
 	for _, m := range []int{1, 2, 3, 8, 16, 31} {

@@ -4,16 +4,19 @@ package wsq
 // script, twice per input:
 //
 //  1. sequentially against a model queue — Push appends, Pop must return
-//     the newest item (LIFO bottom), Steal the oldest (FIFO top), with
-//     Len agreeing throughout; and
+//     the newest item (LIFO bottom), Steal the oldest (FIFO top), and
+//     StealBatch a ceil(half)-capped prefix of the oldest items in order,
+//     with Len agreeing throughout; and
 //  2. concurrently, the owner replaying the same script against 0-3
-//     stealer goroutines — every pushed item must be consumed exactly
-//     once, by either the owner or a thief.
+//     stealer goroutines — half of them using StealBatch into private
+//     deques they drain as owners — every pushed item must be consumed
+//     exactly once, by either the owner or a thief.
 //
 // Both phases check the counter conservation law at quiescence:
-// Pushes == Pops + Steals. The committed corpus lives under
-// testdata/fuzz/FuzzDeque; CI runs a -fuzztime smoke on top of the
-// corpus replay that plain `go test` performs.
+// Pushes == Pops + Steals (with StealBatch counting every item it moved as
+// a steal on the victim). The committed corpus lives under
+// testdata/fuzz/FuzzDeque; CI runs a -fuzztime smoke on top of the corpus
+// replay that plain `go test` performs.
 
 import (
 	"sync"
@@ -25,6 +28,7 @@ func FuzzDeque(f *testing.F) {
 	f.Add([]byte{2, 0, 0, 0, 1, 2, 0, 1})          // push/pop/steal mix, 2 thieves
 	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}) // push-only growth, 0 thieves
 	f.Add([]byte{3, 1, 2, 1, 2, 0, 1, 2})          // ops on an often-empty deque
+	f.Add([]byte{2, 0, 0, 0, 0, 0, 0, 0, 3, 1, 3}) // batch steals off a deep deque
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) < 2 {
 			return
@@ -45,10 +49,11 @@ func fuzzSequentialModel(t *testing.T, script []byte) {
 	d := New[int](2) // tiny capacity so growth paths get exercised
 	var c Counters
 	d.SetCounters(&c)
+	dst := New[int](2) // StealBatch target, drained after every batch
 	var model []int
 	next, pushed, consumed := 0, uint64(0), uint64(0)
 	for _, b := range script {
-		switch b % 3 {
+		switch b % 4 {
 		case 0:
 			v := new(int)
 			*v = next
@@ -84,6 +89,38 @@ func fuzzSequentialModel(t *testing.T, script []byte) {
 			}
 			model = model[1:]
 			consumed++
+		case 3:
+			// With no concurrency the batch must take exactly
+			// min(ceil(len/2), MaxStealBatch) items: the oldest first as the
+			// return value, the rest onto dst in victim order.
+			first, k := d.StealBatch(dst)
+			if len(model) == 0 {
+				if k != 0 {
+					t.Fatalf("StealBatch took %d items from an empty deque", k)
+				}
+				continue
+			}
+			want := (len(model) + 1) / 2
+			if want > MaxStealBatch {
+				want = MaxStealBatch
+			}
+			if k != want {
+				t.Fatalf("StealBatch took %d of %d items, want %d", k, len(model), want)
+			}
+			if *first != model[0] {
+				t.Fatalf("StealBatch first = %d, want oldest %d", *first, model[0])
+			}
+			for i := 1; i < k; i++ {
+				got, ok := dst.Steal()
+				if !ok || *got != model[i] {
+					t.Fatalf("dst item %d = (%v, %v), want (%d, true)", i, got, ok, model[i])
+				}
+			}
+			if !dst.Empty() {
+				t.Fatalf("dst kept items beyond the %d-item batch", k)
+			}
+			model = model[k:]
+			consumed += uint64(k)
 		}
 		if d.Len() != len(model) {
 			t.Fatalf("Len = %d, model has %d", d.Len(), len(model))
@@ -98,8 +135,9 @@ func fuzzSequentialModel(t *testing.T, script []byte) {
 }
 
 // fuzzConcurrentExactlyOnce replays the script's pushes from the owner
-// (popping on some bytes) while stealer goroutines drain concurrently,
-// then asserts exactly-once consumption and counter conservation.
+// (popping on some bytes) while stealer goroutines drain concurrently —
+// even-numbered thieves batch-steal into a private deque they own — then
+// asserts exactly-once consumption and counter conservation.
 func fuzzConcurrentExactlyOnce(t *testing.T, stealers int, script []byte) {
 	d := New[int](2)
 	var c Counters
@@ -116,22 +154,44 @@ func fuzzConcurrentExactlyOnce(t *testing.T, stealers int, script []byte) {
 	var wg sync.WaitGroup
 	for th := 0; th < stealers; th++ {
 		wg.Add(1)
-		go func() {
+		go func(batch bool) {
 			defer wg.Done()
+			mine := New[int](2)
+			drain := func() {
+				for {
+					p, ok := mine.Pop()
+					if !ok {
+						return
+					}
+					consume(p, ok)
+				}
+			}
 			for {
-				p, ok := d.Steal()
-				consume(p, ok)
+				var ok bool
+				if batch {
+					p, k := d.StealBatch(mine)
+					ok = k > 0
+					if ok {
+						consume(p, true)
+						drain()
+					}
+				} else {
+					var p *int
+					p, ok = d.Steal()
+					consume(p, ok)
+				}
 				if !ok {
 					select {
 					case <-stop:
 						if d.Empty() {
+							drain()
 							return
 						}
 					default:
 					}
 				}
 			}
-		}()
+		}(th%2 == 0)
 	}
 	for i, b := range script {
 		items[i] = i

@@ -208,6 +208,70 @@ func (d *Deque[T]) Steal() (*T, bool) {
 	return item, true
 }
 
+// MaxStealBatch bounds how many items one StealBatch call can move: half
+// of a deep deque is still grabbed in chunks of at most this many, keeping
+// a thief's time-to-first-task bounded and its scratch space on the stack.
+const MaxStealBatch = 16
+
+// StealBatch steals up to half of the victim's visible items — capped at
+// MaxStealBatch — returning the first for immediate execution and pushing
+// the rest onto dst, the thief's own deque, as one batch publication. It
+// returns the number of items moved; 0 means the deque looked empty or the
+// first grab lost a race, which callers should treat as "retry elsewhere"
+// exactly like Steal.
+//
+// Each item is taken by its own CAS on top, following the single-Steal
+// protocol verbatim: a one-CAS half-range grab is unsound under Chase-Lev,
+// because the owner pops interior items without touching top (only the
+// last-item pop synchronizes through it), so a thief that claimed [t, t+k)
+// with one CAS could re-take an item the owner already executed. The batch
+// still amortizes what actually costs: one victim selection, one traversal
+// of the steal loop, and one deque publication for k tasks instead of k
+// full sweeps.
+//
+// dst must be owned by the calling goroutine and must not be d.
+func (d *Deque[T]) StealBatch(dst *Deque[T]) (*T, int) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	n := b - t
+	if n <= 0 {
+		return nil, 0
+	}
+	grab := (n + 1) / 2
+	if grab > MaxStealBatch {
+		grab = MaxStealBatch
+	}
+	var scratch [MaxStealBatch]*T
+	taken := int64(0)
+	for taken < grab {
+		if taken > 0 {
+			// Re-check visibility: the owner may have popped the tail of
+			// the range since the first grab.
+			if b = d.bottom.Load(); t >= b {
+				break
+			}
+		}
+		a := d.array.Load()
+		item := a.load(t)
+		if !d.top.CompareAndSwap(t, t+1) {
+			break
+		}
+		scratch[taken] = item
+		taken++
+		t++
+	}
+	if taken == 0 {
+		return nil, 0
+	}
+	if c := d.ctr; c != nil {
+		c.Steals.Add(uint64(taken))
+	}
+	if taken > 1 {
+		dst.PushBatch(scratch[1:taken])
+	}
+	return scratch[0], int(taken)
+}
+
 // Empty reports whether the deque appears empty at this instant.
 func (d *Deque[T]) Empty() bool {
 	return d.bottom.Load() <= d.top.Load()

@@ -428,6 +428,246 @@ func TestConcurrentStealOnlyExactlyOnce(t *testing.T) {
 	}
 }
 
+func TestStealBatchHalf(t *testing.T) {
+	d := New[int](4)
+	dst := New[int](4)
+	items := ints(8)
+	for _, p := range items {
+		d.Push(p)
+	}
+	first, k := d.StealBatch(dst)
+	if k != 4 {
+		t.Fatalf("StealBatch moved %d items from 8, want 4 (half)", k)
+	}
+	if first != items[0] {
+		t.Fatalf("StealBatch first = %v, want oldest item 0", first)
+	}
+	if d.Len() != 4 || dst.Len() != 3 {
+		t.Fatalf("after StealBatch victim Len=%d dst Len=%d, want 4 and 3", d.Len(), dst.Len())
+	}
+	// The extras land on dst in victim FIFO order, so dst steals (and the
+	// thief's own pops, newest-last) see items 1, 2, 3.
+	for i := 1; i <= 3; i++ {
+		v, ok := dst.Steal()
+		if !ok || v != items[i] {
+			t.Fatalf("dst.Steal() = (%v,%v), want item %d", v, ok, i)
+		}
+	}
+	// The victim keeps its own tail, oldest-first from item 4.
+	for i := 4; i < 8; i++ {
+		v, ok := d.Steal()
+		if !ok || v != items[i] {
+			t.Fatalf("victim Steal() = (%v,%v), want item %d", v, ok, i)
+		}
+	}
+}
+
+func TestStealBatchSingleItem(t *testing.T) {
+	d := New[int](4)
+	dst := New[int](4)
+	items := ints(1)
+	d.Push(items[0])
+	first, k := d.StealBatch(dst)
+	if k != 1 || first != items[0] {
+		t.Fatalf("StealBatch on 1-item deque = (%v,%d), want (item 0, 1)", first, k)
+	}
+	if !dst.Empty() {
+		t.Fatal("dst received items from a single-item batch")
+	}
+	if !d.Empty() {
+		t.Fatal("victim not empty after its only item was stolen")
+	}
+}
+
+func TestStealBatchEmpty(t *testing.T) {
+	d := New[int](4)
+	dst := New[int](4)
+	if first, k := d.StealBatch(dst); first != nil || k != 0 {
+		t.Fatalf("StealBatch on empty deque = (%v,%d), want (nil,0)", first, k)
+	}
+}
+
+func TestStealBatchCap(t *testing.T) {
+	d := New[int](4)
+	dst := New[int](4)
+	n := MaxStealBatch * 4
+	items := ints(n)
+	for _, p := range items {
+		d.Push(p)
+	}
+	_, k := d.StealBatch(dst)
+	if k != MaxStealBatch {
+		t.Fatalf("StealBatch moved %d items from %d, want cap %d", k, n, MaxStealBatch)
+	}
+	if d.Len() != n-MaxStealBatch {
+		t.Fatalf("victim Len = %d, want %d", d.Len(), n-MaxStealBatch)
+	}
+}
+
+func TestStealBatchOddCount(t *testing.T) {
+	// ceil(n/2): 5 visible items yield a 3-item batch.
+	d := New[int](4)
+	dst := New[int](4)
+	for _, p := range ints(5) {
+		d.Push(p)
+	}
+	if _, k := d.StealBatch(dst); k != 3 {
+		t.Fatalf("StealBatch moved %d items from 5, want 3", k)
+	}
+}
+
+func TestStealBatchCounters(t *testing.T) {
+	d := New[int](4)
+	dst := New[int](4)
+	var vc, tc Counters
+	d.SetCounters(&vc)
+	dst.SetCounters(&tc)
+	for _, p := range ints(8) {
+		d.Push(p)
+	}
+	_, k := d.StealBatch(dst)
+	if k != 4 {
+		t.Fatalf("StealBatch moved %d, want 4", k)
+	}
+	// All taken items count as steals on the victim; the re-pushed extras
+	// count as pushes on the thief, keeping Pushes == Pops + Steals exact
+	// per deque once both drain.
+	if got := vc.Steals.Load(); got != 4 {
+		t.Fatalf("victim Steals = %d, want 4", got)
+	}
+	if got := tc.Pushes.Load(); got != 3 {
+		t.Fatalf("thief Pushes = %d, want 3", got)
+	}
+	for !dst.Empty() {
+		dst.Pop()
+	}
+	for !d.Empty() {
+		d.Pop()
+	}
+	if vc.Pushes.Load() != vc.Pops.Load()+vc.Steals.Load() {
+		t.Fatalf("victim conservation law broken: pushes=%d pops=%d steals=%d",
+			vc.Pushes.Load(), vc.Pops.Load(), vc.Steals.Load())
+	}
+	if tc.Pushes.Load() != tc.Pops.Load()+tc.Steals.Load() {
+		t.Fatalf("thief conservation law broken: pushes=%d pops=%d steals=%d",
+			tc.Pushes.Load(), tc.Pops.Load(), tc.Steals.Load())
+	}
+}
+
+// Concurrent stress: thieves use StealBatch into private deques they then
+// drain as owners; every item must be consumed exactly once.
+func TestConcurrentStealBatchExactlyOnce(t *testing.T) {
+	const n = 100000
+	const thieves = 4
+	d := New[int](64)
+	items := ints(n)
+	var consumed [n]atomic.Int32
+	var total atomic.Int64
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mine := New[int](64)
+			drain := func() {
+				for {
+					v, ok := mine.Pop()
+					if !ok {
+						return
+					}
+					consumed[*v].Add(1)
+					total.Add(1)
+				}
+			}
+			for {
+				if v, k := d.StealBatch(mine); k > 0 {
+					consumed[*v].Add(1)
+					total.Add(1)
+					drain()
+				}
+				select {
+				case <-stop:
+					for {
+						v, k := d.StealBatch(mine)
+						if k == 0 {
+							drain()
+							return
+						}
+						consumed[*v].Add(1)
+						total.Add(1)
+						drain()
+					}
+				default:
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < n; i++ {
+		d.Push(items[i])
+		if i%3 == 0 {
+			if v, ok := d.Pop(); ok {
+				consumed[*v].Add(1)
+				total.Add(1)
+			}
+		}
+	}
+	for {
+		v, ok := d.Pop()
+		if !ok {
+			break
+		}
+		consumed[*v].Add(1)
+		total.Add(1)
+	}
+	close(stop)
+	wg.Wait()
+	for {
+		v, ok := d.Steal()
+		if !ok {
+			break
+		}
+		consumed[*v].Add(1)
+		total.Add(1)
+	}
+
+	if got := total.Load(); got != n {
+		t.Fatalf("consumed %d items, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		if c := consumed[i].Load(); c != 1 {
+			t.Fatalf("item %d consumed %d times", i, c)
+		}
+	}
+}
+
+// The StealBatch scratch buffer must stay on the thief's stack: moving a
+// batch allocates nothing beyond (amortized) dst ring growth.
+func TestStealBatchAllocBound(t *testing.T) {
+	d := New[int](1024)
+	dst := New[int](1024) // pre-sized: no growth during the measured runs
+	items := ints(32)
+	allocs := testing.AllocsPerRun(1000, func() {
+		d.PushBatch(items)
+		for {
+			_, k := d.StealBatch(dst)
+			if k == 0 {
+				break
+			}
+		}
+		for {
+			if _, ok := dst.Pop(); !ok {
+				break
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("StealBatch allocates %v objects per op, want 0", allocs)
+	}
+}
+
 func TestNewRingValidation(t *testing.T) {
 	defer func() {
 		if recover() == nil {
