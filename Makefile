@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race chaos bench cover fuzz trace
+.PHONY: all build test vet race chaos bench bench-contention cover fuzz trace
 
 all: vet build test
 
@@ -35,6 +35,16 @@ bench:
 		-bench 'BenchmarkSched|BenchmarkParallelForSkewed|Fig7WavefrontSizeTaskflow|Fig7TraversalSizeTaskflow' \
 		-benchmem -benchtime 2s -count 3 . | tee /tmp/bench_scheduler.txt
 	@echo "raw output in /tmp/bench_scheduler.txt; curate BENCH_scheduler.json from it"
+
+# bench-contention runs the scheduler contention suite — thundering herd,
+# empty-steal storm, cross-worker fanout, injection flood — across the
+# GOMAXPROCS ladder (each sub-benchmark pins its own worker count/procs).
+# Medians feed the "contention" section of BENCH_scheduler.json.
+bench-contention:
+	$(GO) test -run '^$$' -bench 'BenchmarkContention' \
+		-benchmem -benchtime 1s -count 5 ./internal/executor/ \
+		| tee /tmp/bench_contention.txt
+	@echo "raw output in /tmp/bench_contention.txt; curate BENCH_scheduler.json (contention section) from it"
 
 # trace is the tracing smoke: capture an event trace from an instrumented
 # wavefront and traversal run via the drivers' -trace flags, then validate

@@ -81,6 +81,32 @@ func check(path string) error {
 						return fmt.Errorf("event %d: steal_batch with batch size %v, want >= 2", i, args["arg"])
 					}
 				}
+				// Injection instants carry the shard index and the task
+				// count as separate args (the exporter unpacks the packed
+				// wire arg).
+				if name == "inject_push" || name == "inject_drain" {
+					args, ok := ev["args"].(map[string]any)
+					if !ok {
+						return fmt.Errorf("event %d: %s without args: %v", i, name, ev)
+					}
+					if shard, ok := args["shard"].(float64); !ok || shard < 0 {
+						return fmt.Errorf("event %d: %s with shard %v, want numeric >= 0", i, name, args["shard"])
+					}
+					if count, ok := args["arg"].(float64); !ok || count < 1 {
+						return fmt.Errorf("event %d: %s with task count %v, want >= 1", i, name, args["arg"])
+					}
+				}
+				// Park/unpark instants carry the worker's eventcount epoch
+				// so a park can be paired with the unpark that resolved it.
+				if name == "park" || name == "unpark" {
+					args, ok := ev["args"].(map[string]any)
+					if !ok {
+						return fmt.Errorf("event %d: %s without args: %v", i, name, ev)
+					}
+					if _, ok := args["epoch"].(float64); !ok {
+						return fmt.Errorf("event %d: %s without numeric epoch: %v", i, name, args["epoch"])
+					}
+				}
 			}
 		case "s":
 			flowStarts++

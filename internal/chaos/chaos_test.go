@@ -199,6 +199,36 @@ func TestChaosWithSemaphoresQuiesces(t *testing.T) {
 	}
 }
 
+// Park/wake churn: repeated burst/idle cycles on ONE pool force every
+// worker through full eventcount park/unpark rounds between bursts, with
+// injected delays randomizing who parks when. A lost wakeup anywhere in
+// the publish-then-notify protocol shows up here as a hung run.
+func TestChaosParkWakeChurn(t *testing.T) {
+	in := chaos.New(chaos.Config{
+		Seed:     7,
+		PDelay:   0.5,
+		MaxDelay: time.Millisecond,
+	})
+	tf := core.New(4)
+	defer tf.Close()
+	buildWavefront(tf, in, 3)
+	for round := 0; round < 10; round++ {
+		done := make(chan error, 1)
+		go func() { done <- tf.Run() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatalf("round %d: pool failed to wake and quiesce", round)
+		}
+		// Idle gap: let every worker park so the next round's dispatch
+		// exercises cold wakeups through the eventcount.
+		time.Sleep(500 * time.Microsecond)
+	}
+}
+
 func TestChaosDeterministicPlan(t *testing.T) {
 	build := func() []chaos.Fault {
 		in := chaos.New(chaos.Config{Seed: 42, PPanic: 0.1, PFail: 0.2, PDelay: 0.3})

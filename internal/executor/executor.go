@@ -6,9 +6,9 @@
 //
 //  1. pop a task from its own deque (LIFO, for locality);
 //  2. otherwise steal, first from its last victim, then from random victims
-//     and the external injection queue (FIFO);
-//  3. otherwise register itself on the idlers list and block until a task
-//     producer wakes it precisely.
+//     and the external injection shards (FIFO per shard, home shard first);
+//  3. otherwise announce itself on the eventcount notifier, re-check every
+//     queue, and park until a task producer wakes it precisely.
 //
 // The scheduling currency is *Runnable: a pointer to an interface slot that
 // lives inside a pre-built task object (an intrusive task). Graph nodes
@@ -25,10 +25,13 @@
 //     task chains run without scheduling overhead ("speculative execution",
 //     Algorithm 1 lines 16-25).
 //
-//   - Idlers list: blocked workers park on an explicit list, so producers
-//     wake exactly one spare worker per new batch of work instead of
-//     broadcasting; additionally, after each task batch a worker wakes one
-//     idler with small probability to rebalance load (lines 26-28).
+//   - Precise wakeup: blocked workers park on a lock-free eventcount
+//     (notifier.go) instead of the paper's mutex-guarded idlers list, so
+//     producers wake exactly one spare worker per new batch of work without
+//     broadcasting — and without taking any lock: when nobody is parked the
+//     wake is a single atomic load. Additionally, after each task batch a
+//     worker wakes one idler with small probability to rebalance load
+//     (lines 26-28).
 //
 // Producers that make several tasks ready at once submit them as a batch
 // (SubmitBatch, or SubmitNoWake followed by one Wake) with a single
@@ -47,6 +50,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"gotaskflow/internal/wsq"
 )
@@ -151,8 +155,7 @@ type worker struct {
 	queue  *wsq.Deque[Runnable]
 	cache  *Runnable
 	rng    *rand.Rand
-	victim int           // last successful steal victim
-	wake   chan struct{} // buffered(1); signalled when this idler is woken
+	victim int // last successful steal victim
 
 	// metrics points at this worker's padded counter block when the
 	// executor was built WithMetrics, nil otherwise. Every instrumentation
@@ -208,16 +211,20 @@ type Executor struct {
 	workers []*worker
 
 	// injection is the external submission queue used by non-worker
-	// goroutines (work sharing): a growable ring buffer whose storage is
-	// recycled as tasks drain, plus an atomic length so workers can check
-	// for external work without taking the lock.
-	injMu  sync.Mutex
-	inj    taskRing
-	injLen atomic.Int64
+	// goroutines (work sharing): lock-guarded ring shards (see inject.go).
+	// Producers hash to a shard; workers drain their home shard first. The
+	// shard count is a power of two, so injMask selects one.
+	injShards []paddedInjShard
+	injMask   int
 
-	// notifier state: parked workers, LIFO.
-	idleMu     sync.Mutex
-	idlers     []*worker
+	// no is the eventcount notifier parked workers wait on (notifier.go).
+	// idlerCount is a derived gauge of workers currently inside the park
+	// protocol (between prewait and unpark) — it plays no role in wakeup
+	// correctness, but bounds wakeUpTo's wake count and feeds tests and
+	// debugging. It is incremented BEFORE prewait, so a producer that reads
+	// 0 after publishing work is guaranteed the worker's post-prewait
+	// re-check will see that work.
+	no         *notifier
 	idlerCount atomic.Int64
 
 	stop atomic.Bool
@@ -253,7 +260,11 @@ type Executor struct {
 	wakeDen int
 	spin    int
 
-	seed int64
+	// seed drives the per-worker RNGs (victim selection, probabilistic
+	// wakeup). Unless WithSeed pins it, every executor draws its own seed so
+	// two pools in one process never follow identical scheduling sequences.
+	seed    int64
+	seedSet bool
 
 	// Panic containment: a task that panics past its own recovery (e.g. a
 	// bare one-shot NewTask) is caught at the worker loop and recorded here
@@ -274,9 +285,9 @@ type Option func(*Executor)
 
 // WithSeed fixes the seed of the per-worker random number generators used
 // for victim selection and probabilistic wakeup, making scheduling decisions
-// reproducible in tests.
+// reproducible in tests. Without it each executor draws a fresh seed.
 func WithSeed(seed int64) Option {
-	return func(e *Executor) { e.seed = seed }
+	return func(e *Executor) { e.seed, e.seedSet = seed, true }
 }
 
 // WithObserver registers an observer at construction. Observers imply busy
@@ -341,13 +352,24 @@ func New(n int, opts ...Option) *Executor {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	e := &Executor{seed: 1, wakeDen: defaultWakeDen, spin: spinSteals}
+	e := &Executor{wakeDen: defaultWakeDen, spin: spinSteals}
 	for _, opt := range opts {
 		opt(e)
 	}
-	e.inj.init(injInitialCap)
+	if !e.seedSet {
+		// Per-instance seed: two executors in one process must not follow
+		// identical victim-selection and wakeup sequences.
+		e.seed = rand.Int63()
+	}
+	shards := injShardCount(n)
+	e.injMask = shards - 1
+	e.injShards = make([]paddedInjShard, shards)
+	for i := range e.injShards {
+		e.injShards[i].ring.init(injInitialCap)
+	}
+	e.no = newNotifier(n)
 	if e.metricsOn {
-		e.metrics = newMetricsState(n)
+		e.metrics = newMetricsState(n, shards)
 	}
 	e.workers = make([]*worker, n)
 	for i := 0; i < n; i++ {
@@ -357,7 +379,6 @@ func New(n int, opts ...Option) *Executor {
 			queue:  wsq.New[Runnable](256),
 			rng:    rand.New(rand.NewSource(e.seed + int64(i)*7919)),
 			victim: (i + 1) % n,
-			wake:   make(chan struct{}, 1),
 		}
 		if e.metrics != nil {
 			w.queue.SetCounters(&e.metrics.deques[i].Counters)
@@ -396,18 +417,32 @@ func (e *Executor) Submit(r *Runnable) error {
 	if e.stop.Load() {
 		return ErrShutdown
 	}
-	e.injMu.Lock()
-	e.inj.push(r)
-	e.injMu.Unlock()
-	e.injLen.Add(1)
+	idx := e.injShardIdx(r)
+	s := &e.injShards[idx].injShard
+	s.mu.Lock()
+	s.ring.push(r)
+	s.mu.Unlock()
+	// Publish the length before the wake: a parking worker that our notify
+	// misses has not re-checked anyWork yet and will see this count.
+	s.len.Add(1)
 	if m := e.metrics; m != nil {
 		m.injectionPushes.Add(1)
+		m.shards[idx].pushes.Add(1)
 	}
-	e.TraceExternal(EvInjectPush, TaskMeta{}, 1)
+	e.TraceExternal(EvInjectPush, TaskMeta{}, InjectArg(idx, 1))
 	if e.wakeOne() {
 		e.TraceExternal(EvWakePrecise, TaskMeta{}, 1)
 	}
 	return nil
+}
+
+// injShardIdx hashes a task reference to its injection shard. Task objects
+// are long-lived and word-aligned, so a Fibonacci hash of the pointer
+// spreads unrelated producers across shards while one producer
+// resubmitting the same task stays on one shard (keeping its tasks FIFO).
+func (e *Executor) injShardIdx(r *Runnable) int {
+	h := (uint64(uintptr(unsafe.Pointer(r))) >> 3) * 0x9E3779B97F4A7C15
+	return int(h>>32) & e.injMask
 }
 
 // SubmitFunc boxes fn and submits it — a convenience for one-shot jobs.
@@ -417,7 +452,9 @@ func (e *Executor) SubmitFunc(fn func(Context)) error {
 
 // SubmitBatch schedules several tasks at once and wakes at most
 // min(len(rs), parked workers) idlers, stopping at the first failed wake.
-// The batch is accepted whole or rejected whole with ErrShutdown.
+// The batch is accepted whole or rejected whole with ErrShutdown. The whole
+// batch lands on one shard (chosen by its first task) so the producer takes
+// one lock and the batch stays FIFO; batch drains and steals spread it.
 func (e *Executor) SubmitBatch(rs []*Runnable) error {
 	if len(rs) == 0 {
 		return nil
@@ -425,14 +462,17 @@ func (e *Executor) SubmitBatch(rs []*Runnable) error {
 	if e.stop.Load() {
 		return ErrShutdown
 	}
-	e.injMu.Lock()
-	e.inj.pushBatch(rs)
-	e.injMu.Unlock()
-	e.injLen.Add(int64(len(rs)))
+	idx := e.injShardIdx(rs[0])
+	s := &e.injShards[idx].injShard
+	s.mu.Lock()
+	s.ring.pushBatch(rs)
+	s.mu.Unlock()
+	s.len.Add(int64(len(rs)))
 	if m := e.metrics; m != nil {
 		m.injectionPushes.Add(uint64(len(rs)))
+		m.shards[idx].pushes.Add(uint64(len(rs)))
 	}
-	e.TraceExternal(EvInjectPush, TaskMeta{}, uint64(len(rs)))
+	e.TraceExternal(EvInjectPush, TaskMeta{}, InjectArg(idx, uint64(len(rs))))
 	if woke := e.wakeUpTo(len(rs)); woke > 0 {
 		e.TraceExternal(EvWakePrecise, TaskMeta{}, uint64(woke))
 	}
@@ -455,57 +495,75 @@ func (e *Executor) Shutdown() {
 	e.wg.Wait()
 }
 
-// popInjection removes the oldest externally submitted task, if any. The
-// atomic length check keeps the common empty case lock-free.
-func (e *Executor) popInjection() (*Runnable, bool) {
-	if e.injLen.Load() == 0 {
-		return nil, false
+// drainInjection sweeps the injection shards — this worker's home shard
+// first, then the others in index order — and removes up to half of the
+// first non-empty shard's backlog (capped at len(scratch)) into scratch
+// under one lock acquisition. It returns the number moved and the shard it
+// came from. The per-shard atomic length keeps empty shards lock-free to
+// skip. Grabbing only half leaves the rest for the other workers a deep
+// backlog will wake, mirroring the half-grab policy of wsq.StealBatch.
+func (w *worker) drainInjection(scratch []*Runnable) (int, int) {
+	e := w.exec
+	home := w.id & e.injMask
+	for i := range e.injShards {
+		idx := (home + i) & e.injMask
+		s := &e.injShards[idx].injShard
+		n := s.len.Load()
+		if n <= 0 {
+			// n can be transiently negative: producers publish the atomic
+			// length after releasing the ring lock, so a drain can land in
+			// between.
+			continue
+		}
+		grab := (n + 1) / 2
+		if grab > int64(len(scratch)) {
+			grab = int64(len(scratch))
+		}
+		s.mu.Lock()
+		k := s.ring.popN(scratch[:grab])
+		s.mu.Unlock()
+		if k > 0 {
+			s.len.Add(-int64(k))
+			return k, idx
+		}
 	}
-	e.injMu.Lock()
-	r, ok := e.inj.pop()
-	e.injMu.Unlock()
-	if ok {
-		e.injLen.Add(-1)
-	}
-	return r, ok
+	return 0, 0
 }
 
-// drainInjection removes up to half of the externally submitted backlog —
-// capped at len(scratch) — into scratch under one lock acquisition, and
-// returns the number moved. Like popInjection, the atomic length check
-// keeps the common empty case lock-free. Grabbing only half leaves the
-// rest for the other workers a deep backlog will wake, mirroring the
-// half-grab policy of wsq.StealBatch.
-func (e *Executor) drainInjection(scratch []*Runnable) int {
-	n := e.injLen.Load()
-	if n == 0 {
-		return 0
-	}
-	grab := (n + 1) / 2
-	if grab > int64(len(scratch)) {
-		grab = int64(len(scratch))
-	}
-	e.injMu.Lock()
-	k := e.inj.popN(scratch[:grab])
-	e.injMu.Unlock()
-	if k > 0 {
-		e.injLen.Add(-int64(k))
-	}
-	return k
-}
-
-// injCap reports the injection ring's current capacity (for tests).
+// injCap reports the largest injection shard ring capacity (for tests).
 func (e *Executor) injCap() int {
-	e.injMu.Lock()
-	defer e.injMu.Unlock()
-	return len(e.inj.buf)
+	max := 0
+	for i := range e.injShards {
+		s := &e.injShards[i].injShard
+		s.mu.Lock()
+		if c := len(s.ring.buf); c > max {
+			max = c
+		}
+		s.mu.Unlock()
+	}
+	return max
 }
 
-// anyWork reports whether any queue appears non-empty. Called under idleMu
-// by parking workers to close the sleep race.
+// injDepth reports the total injection backlog across shards (gauge).
+func (e *Executor) injDepth() int {
+	var total int64
+	for i := range e.injShards {
+		total += e.injShards[i].len.Load()
+	}
+	if total < 0 {
+		total = 0
+	}
+	return int(total)
+}
+
+// anyWork reports whether any queue appears non-empty. Parking workers call
+// it between prewait and commitWait: the eventcount's ordering guarantees
+// that work published before a missed notify is visible to this re-check.
 func (e *Executor) anyWork() bool {
-	if e.injLen.Load() > 0 {
-		return true
+	for i := range e.injShards {
+		if e.injShards[i].len.Load() > 0 {
+			return true
+		}
 	}
 	for _, w := range e.workers {
 		if !w.queue.Empty() {
@@ -515,26 +573,12 @@ func (e *Executor) anyWork() bool {
 	return false
 }
 
-// wakeOne pops one parked worker and signals it. Returns false when no
-// worker was parked.
+// wakeOne wakes one waiting worker through the eventcount. Returns false —
+// after one atomic load, with no lock and no store — when nobody is
+// waiting, which is the fast path on a busy pool.
 func (e *Executor) wakeOne() bool {
-	if e.idlerCount.Load() == 0 {
+	if !e.no.notifyOne() {
 		return false
-	}
-	e.idleMu.Lock()
-	var w *worker
-	if n := len(e.idlers); n > 0 {
-		w = e.idlers[n-1]
-		e.idlers = e.idlers[:n-1]
-		e.idlerCount.Add(-1)
-	}
-	e.idleMu.Unlock()
-	if w == nil {
-		return false
-	}
-	select {
-	case w.wake <- struct{}{}:
-	default:
 	}
 	if m := e.metrics; m != nil {
 		m.wakes.Add(1)
@@ -542,35 +586,33 @@ func (e *Executor) wakeOne() bool {
 	return true
 }
 
-// wakeUpTo wakes at most min(n, parked workers) idlers, stopping at the
-// first failed wake, and returns the number woken. One bounded wake pass
-// per ready batch replaces a wake attempt per task: a spinning worker that
-// will drain the batch anyway is never displaced by futile wakeups.
+// wakeUpTo wakes at most min(n, waiting workers) idlers and returns the
+// number woken. One bounded wake pass per ready batch replaces a wake
+// attempt per task: a spinning worker that will drain the batch anyway is
+// never displaced by futile wakeups. The idlerCount bound is a snapshot —
+// a worker it misses is one that had not yet prewaited when we read it, and
+// such a worker's re-check is guaranteed to see the work published before
+// this call.
 func (e *Executor) wakeUpTo(n int) int {
 	if c := int(e.idlerCount.Load()); c < n {
 		n = c
 	}
 	woke := 0
 	for ; woke < n; woke++ {
-		if !e.wakeOne() {
+		if !e.no.notifyOne() {
 			break
+		}
+	}
+	if woke > 0 {
+		if m := e.metrics; m != nil {
+			m.wakes.Add(uint64(woke))
 		}
 	}
 	return woke
 }
 
 func (e *Executor) wakeAll() {
-	e.idleMu.Lock()
-	ws := e.idlers
-	e.idlers = nil
-	e.idlerCount.Store(0)
-	e.idleMu.Unlock()
-	for _, w := range ws {
-		select {
-		case w.wake <- struct{}{}:
-		default:
-		}
-	}
+	e.no.notifyAll()
 }
 
 // steal tries the last victim first, then sweeps the other workers and the
@@ -610,7 +652,7 @@ func (w *worker) steal() (*Runnable, bool) {
 		}
 	}
 	var scratch [wsq.MaxStealBatch]*Runnable
-	if k := e.drainInjection(scratch[:]); k > 0 {
+	if k, shard := w.drainInjection(scratch[:]); k > 0 {
 		if k > 1 {
 			w.queue.PushBatch(scratch[1:k])
 		}
@@ -618,7 +660,11 @@ func (w *worker) steal() (*Runnable, bool) {
 			m.injectionDrains.Add(1)
 			m.injectionDrainedTasks.Add(uint64(k))
 		}
-		w.traceEvent(EvInjectDrain, uint64(k))
+		if em := e.metrics; em != nil {
+			em.shards[shard].drains.Add(1)
+			em.shards[shard].drainedTasks.Add(uint64(k))
+		}
+		w.traceEvent(EvInjectDrain, InjectArg(shard, uint64(k)))
 		return scratch[0], true
 	}
 	return nil, false
@@ -663,22 +709,31 @@ func (e *Executor) run(w *worker) {
 			if e.stop.Load() {
 				return
 			}
-			// Lines 5-15: park on the idlers list with a re-check under
-			// the lock to avoid lost wakeups.
-			e.idleMu.Lock()
+			// Lines 5-15: two-phase park on the eventcount. prewait
+			// announces intent, the anyWork re-check races any producer's
+			// publish-then-notify — the eventcount guarantees one side sees
+			// the other, so no lost wakeup without any lock. The idlerCount
+			// gauge is raised before prewait (see its field comment).
+			e.idlerCount.Add(1)
+			e.no.prewait()
+			if m := w.metrics; m != nil {
+				m.prewaits.Add(1)
+			}
 			if e.anyWork() || e.stop.Load() {
-				e.idleMu.Unlock()
+				e.no.cancelWait()
+				e.idlerCount.Add(-1)
+				if m := w.metrics; m != nil {
+					m.waitCancels.Add(1)
+				}
 				continue
 			}
-			e.idlers = append(e.idlers, w)
-			e.idlerCount.Add(1)
-			e.idleMu.Unlock()
 			if m := w.metrics; m != nil {
 				m.parks.Add(1)
 			}
-			w.traceEvent(EvPark, 0)
-			<-w.wake
-			w.traceEvent(EvUnpark, 0)
+			w.traceEvent(EvPark, e.no.epochOf(w.id))
+			e.no.commitWait(w.id)
+			e.idlerCount.Add(-1)
+			w.traceEvent(EvUnpark, e.no.epochOf(w.id))
 			continue
 		}
 

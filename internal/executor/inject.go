@@ -1,12 +1,61 @@
 package executor
 
-// injInitialCap is the initial capacity of the injection ring. Small: most
-// work flows through worker-local deques; external submission is the
-// topology-dispatch path.
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// injInitialCap is the initial capacity of each injection shard's ring.
+// Small: most work flows through worker-local deques; external submission
+// is the topology-dispatch path.
 const injInitialCap = 64
 
-// injShrinkCap is the capacity floor below which the ring never shrinks.
+// injShrinkCap is the capacity floor below which a shard's ring never
+// shrinks.
 const injShrinkCap = 1024
+
+// injMaxShards caps the injection shard count: beyond ~16 shards the
+// sweep cost of an idle worker checking every shard outweighs the
+// contention relief.
+const injMaxShards = 16
+
+// injShardCount sizes the injection queue for n workers: one shard per
+// four-worker group, rounded up to a power of two (so shard selection is a
+// mask), capped at injMaxShards. Small pools keep a single ring and pay
+// nothing for the sharding.
+func injShardCount(n int) int {
+	s := 1
+	for s*4 < n && s < injMaxShards {
+		s <<= 1
+	}
+	return s
+}
+
+// injShard is one lock-guarded ring of the sharded injection queue.
+// External producers hash their task pointer to a shard; each worker
+// drains its home shard (worker id mod shards) first and sweeps the others
+// only when home is empty, so at high core counts producer groups and
+// worker groups meet on different locks instead of one.
+//
+// len is published outside the lock (after push, before the wake), so
+// workers check for external work without acquiring anything; it can read
+// transiently negative when a drain lands between a producer's unlock and
+// its Add — readers treat <= 0 as empty.
+type injShard struct {
+	mu   sync.Mutex
+	ring taskRing
+	len  atomic.Int64
+}
+
+// injShardPad pads shards to 128 bytes (two cache lines) so producers
+// hammering adjacent shards do not false-share.
+const injShardPad = 128
+
+type paddedInjShard struct {
+	injShard
+	_ [injShardPad - unsafe.Sizeof(injShard{})%injShardPad]byte
+}
 
 // taskRing is a growable power-of-two ring buffer of task references — the
 // storage behind the executor's external injection queue. Unlike the

@@ -63,7 +63,16 @@ type workerMetrics struct {
 	// cacheHits counts tasks placed in the speculative task-cache slot
 	// (Algorithm 1 lines 16-25) instead of a queue.
 	cacheHits atomic.Uint64
-	// parks counts times the worker parked on the idlers list (lines 5-15).
+	// prewaits counts entries into the eventcount's two-phase wait protocol
+	// (lines 5-15): each is resolved by exactly one committed park or one
+	// cancelled wait.
+	prewaits atomic.Uint64
+	// waitCancels counts prewaits retracted because the post-announce
+	// re-check found work — the near-miss case the two-phase protocol
+	// exists for.
+	waitCancels atomic.Uint64
+	// parks counts committed waits on the eventcount (the worker pushed
+	// itself onto the waiter stack; the complement of waitCancels).
 	parks atomic.Uint64
 	// probWakes counts successful probabilistic load-balancing wakeups this
 	// worker issued (lines 26-28).
@@ -86,25 +95,41 @@ type paddedDequeCounters struct {
 	_ [metricsPad - unsafe.Sizeof(wsq.Counters{})%metricsPad]byte
 }
 
+// shardMetrics counts one injection shard's traffic. Pushes are written by
+// producers (already serialized per shard by the shard lock's cache
+// traffic); drains by whichever worker swept the shard.
+type shardMetrics struct {
+	pushes       atomic.Uint64
+	drains       atomic.Uint64
+	drainedTasks atomic.Uint64
+}
+
+type paddedShardMetrics struct {
+	shardMetrics
+	_ [metricsPad - unsafe.Sizeof(shardMetrics{})%metricsPad]byte
+}
+
 // metricsState is the executor's counter storage, allocated once at
 // construction when WithMetrics is given.
 type metricsState struct {
 	deques  []paddedDequeCounters
 	workers []paddedWorkerMetrics
+	shards  []paddedShardMetrics
 
 	// injectionPushes counts tasks submitted from outside the pool
-	// (Executor.Submit/SubmitBatch); written under injMu's cache traffic
-	// anyway, so a shared atomic costs nothing extra.
+	// (Executor.Submit/SubmitBatch); written alongside the shard lock's
+	// cache traffic anyway, so a shared atomic costs nothing extra.
 	injectionPushes atomic.Uint64
 	// wakes counts every successful wakeup (precise and probabilistic).
 	// Precise wakeups are derived: wakes − Σ probWakes.
 	wakes atomic.Uint64
 }
 
-func newMetricsState(n int) *metricsState {
+func newMetricsState(n, shards int) *metricsState {
 	return &metricsState{
 		deques:  make([]paddedDequeCounters, n),
 		workers: make([]paddedWorkerMetrics, n),
+		shards:  make([]paddedShardMetrics, shards),
 	}
 }
 
@@ -140,9 +165,19 @@ type WorkerStats struct {
 	InjectionDrains       uint64 // successful injection-queue drain operations
 	InjectionDrainedTasks uint64 // tasks taken from the injection queue (incl. batch extras)
 	CacheHits             uint64 // tasks run through the speculative cache slot
-	Parks                 uint64 // times parked on the idlers list
+	Prewaits              uint64 // entries into the eventcount wait protocol
+	WaitCancels           uint64 // prewaits retracted because the re-check found work
+	Parks                 uint64 // committed waits on the eventcount
 	ProbabilisticWakes    uint64 // successful 1/wakeDen load-balancing wakeups issued
 	Executed              uint64 // tasks invoked
+}
+
+// ShardStats is one injection shard's counters at a snapshot instant.
+type ShardStats struct {
+	Pushes       uint64 // tasks producers hashed onto this shard
+	Drains       uint64 // drain operations that found work here
+	DrainedTasks uint64 // tasks taken from this shard (incl. batch extras)
+	Depth        int    // resident tasks at the snapshot instant (gauge)
 }
 
 // Snapshot is a point-in-time reading of every scheduler counter. Taking a
@@ -152,10 +187,14 @@ type WorkerStats struct {
 type Snapshot struct {
 	Workers []WorkerStats
 
+	// Shards carries per-injection-shard traffic; its sums balance the
+	// per-worker injection counters at quiescence (Reconcile).
+	Shards []ShardStats
+
 	// InjectionPushes/Drains count external-submission traffic in tasks
 	// (Drains sums the per-worker drained-task counts, so it balances
-	// Pushes at quiescence); Depth is the queue's resident size at the
-	// snapshot instant (gauge).
+	// Pushes at quiescence); Depth is the total backlog across shards at
+	// the snapshot instant (gauge).
 	InjectionPushes uint64
 	InjectionDrains uint64
 	InjectionDepth  int
@@ -187,6 +226,8 @@ func (s *Snapshot) Total() WorkerStats {
 		t.InjectionDrains += w.InjectionDrains
 		t.InjectionDrainedTasks += w.InjectionDrainedTasks
 		t.CacheHits += w.CacheHits
+		t.Prewaits += w.Prewaits
+		t.WaitCancels += w.WaitCancels
 		t.Parks += w.Parks
 		t.ProbabilisticWakes += w.ProbabilisticWakes
 		t.Executed += w.Executed
@@ -201,6 +242,10 @@ func (s *Snapshot) Total() WorkerStats {
 //	stolen tasks (thieves)  == deque steals (victims)
 //	injection pushes        == injection drained tasks
 //	executed                == pops + steal ops + injection drain ops + cache hits
+//	Σ shard pushes          == injection pushes
+//	Σ shard drained tasks   == Σ worker injection drained tasks
+//	Σ shard drain ops       == Σ worker injection drain ops
+//	parks + wait cancels    ≤ prewaits ≤ parks + wait cancels + workers
 //
 // The executed law counts operations, not tasks: each successful steal or
 // drain operation hands exactly one task straight to the thief for
@@ -208,7 +253,15 @@ func (s *Snapshot) Total() WorkerStats {
 // as pushes and are later popped or re-stolen, so they surface through the
 // first law instead. Batch shape is additionally sanity-checked:
 // stolenTasks ≥ steal ops, stealBatches ≤ steal ops, drained tasks ≥ drain
-// ops. It returns nil when every law holds, or an error naming the first
+// ops.
+//
+// The eventcount law is a band rather than an equality because quiescence
+// includes workers parked (or about to park) on the notifier: each live
+// worker may hold one prewait that has not yet resolved into a committed
+// park or a cancelled wait, so up to len(Workers) prewaits may be
+// outstanding. Every resolved prewait resolved exactly once.
+//
+// It returns nil when every law holds, or an error naming the first
 // imbalance. Calling it while tasks are in flight reports spurious
 // imbalances.
 func (s *Snapshot) Reconcile() error {
@@ -245,6 +298,29 @@ func (s *Snapshot) Reconcile() error {
 		return fmt.Errorf("executor metrics: executed %d != pops %d + steal ops %d + injection drain ops %d + cache hits %d",
 			t.Executed, t.Pops, t.Steals, t.InjectionDrains, t.CacheHits)
 	}
+	var shardPushes, shardDrains, shardDrained uint64
+	for i := range s.Shards {
+		shardPushes += s.Shards[i].Pushes
+		shardDrains += s.Shards[i].Drains
+		shardDrained += s.Shards[i].DrainedTasks
+	}
+	if shardPushes != s.InjectionPushes {
+		return fmt.Errorf("executor metrics: shard pushes %d != injection pushes %d",
+			shardPushes, s.InjectionPushes)
+	}
+	if shardDrained != t.InjectionDrainedTasks {
+		return fmt.Errorf("executor metrics: shard drained tasks %d != per-worker drained tasks %d",
+			shardDrained, t.InjectionDrainedTasks)
+	}
+	if shardDrains != t.InjectionDrains {
+		return fmt.Errorf("executor metrics: shard drain ops %d != per-worker drain ops %d",
+			shardDrains, t.InjectionDrains)
+	}
+	resolved := t.Parks + t.WaitCancels
+	if t.Prewaits < resolved || t.Prewaits > resolved+uint64(len(s.Workers)) {
+		return fmt.Errorf("executor metrics: prewaits %d outside [parks %d + cancels %d, +%d workers]",
+			t.Prewaits, t.Parks, t.WaitCancels, len(s.Workers))
+	}
 	return nil
 }
 
@@ -276,14 +352,33 @@ func (e *Executor) MetricsSnapshot() (Snapshot, bool) {
 		ws.InjectionDrains = wm.injectionDrains.Load()
 		ws.InjectionDrainedTasks = wm.injectionDrainedTasks.Load()
 		ws.CacheHits = wm.cacheHits.Load()
+		// Load the wait-resolution counters before prewaits: a worker
+		// cycling the park protocol between the loads then inflates
+		// Prewaits (inside Reconcile's band) instead of deflating it
+		// (outside).
+		ws.WaitCancels = wm.waitCancels.Load()
 		ws.Parks = wm.parks.Load()
+		ws.Prewaits = wm.prewaits.Load()
 		ws.ProbabilisticWakes = wm.probWakes.Load()
 		ws.Executed = wm.executed.Load()
 		probTotal += ws.ProbabilisticWakes
 		s.InjectionDrains += ws.InjectionDrainedTasks
 	}
+	s.Shards = make([]ShardStats, len(m.shards))
+	for i := range m.shards {
+		sm := &m.shards[i].shardMetrics
+		s.Shards[i] = ShardStats{
+			Pushes:       sm.pushes.Load(),
+			Drains:       sm.drains.Load(),
+			DrainedTasks: sm.drainedTasks.Load(),
+			Depth:        int(e.injShards[i].len.Load()),
+		}
+		if s.Shards[i].Depth < 0 {
+			s.Shards[i].Depth = 0
+		}
+	}
 	s.InjectionPushes = m.injectionPushes.Load()
-	s.InjectionDepth = int(e.injLen.Load())
+	s.InjectionDepth = e.injDepth()
 	wakes := m.wakes.Load()
 	s.ProbabilisticWakes = probTotal
 	if wakes >= probTotal {

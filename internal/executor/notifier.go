@@ -1,0 +1,240 @@
+package executor
+
+// Lock-free eventcount notifier — the structure Taskflow's successor
+// system adopted for its scheduler (arXiv:2004.10908 §V), here modeled on
+// the Eigen/Dekker eventcount design. It replaces the mutex-guarded
+// idlers list: producers wake workers without ever taking a lock, and the
+// fast path when nobody is parked is a single atomic load.
+//
+// The protocol is two-phase to close the classic lost-wakeup window of a
+// naive check-then-park loop:
+//
+//	waiter:   prewait()             // announce intent to sleep
+//	          if work visible:      // re-check AFTER announcing
+//	              cancelWait()      // never sleeps
+//	          else:
+//	              commitWait(id)    // park until notified
+//	producer: publish work          // queue push
+//	          notify()              // AFTER the work is visible
+//
+// Both the waiter's prewait and the producer's notify are sequentially
+// consistent atomics on one state word, so at least one side observes the
+// other: either the waiter's re-check sees the producer's work, or the
+// producer's notify sees the waiter's announcement and leaves it a signal
+// (consumed by commitWait without parking) or pops it off the waiter
+// stack and unparks it. There is no interleaving in which the work is
+// published, the notify is a no-op, and the waiter still parks.
+//
+// All waiter bookkeeping is packed into one 64-bit state word:
+//
+//	bits  0..15  stack    index of the top parked waiter (all-ones = empty)
+//	bits 16..31  waiters  count of threads between prewait and commit/cancel
+//	bits 32..47  signals  count of banked wakeups for prewaiting threads
+//	bits 48..63  epoch    ABA stamp of the stack top (see below)
+//
+// Parked waiters form an intrusive LIFO stack threaded through per-worker
+// slots: commitWait CASes its own slot index (stamped with the slot's
+// current epoch) into the stack bits and stores the previous stack+epoch
+// bits into its slot's next word. The epoch stamp makes the CAS fail if
+// the same waiter was popped and re-pushed in between (the ABA hazard of
+// any pointer-CAS stack); each park cycle increments the slot's epoch.
+// A 16-bit epoch wraps after 65536 park cycles of one slot — for a stale
+// CAS to succeed, a notifier would have to stall across exactly that many
+// cycles and find the counts otherwise identical, the same odds the Eigen
+// implementation accepts.
+//
+// Parking itself uses one buffered(1) channel per waiter slot. Channel
+// sends and receives are exactly balanced by construction — a slot on the
+// stack is popped by exactly one notifier, which performs exactly one
+// send — so the buffered send never blocks and no tokens go stale.
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+const (
+	notifStackBits   = 16
+	notifStackMask   = uint64(1)<<notifStackBits - 1 // all-ones index = empty stack
+	notifWaiterShift = notifStackBits
+	notifWaiterBits  = 16
+	notifWaiterMask  = (uint64(1)<<notifWaiterBits - 1) << notifWaiterShift
+	notifWaiterInc   = uint64(1) << notifWaiterShift
+	notifSignalShift = notifWaiterShift + notifWaiterBits
+	notifSignalBits  = 16
+	notifSignalMask  = (uint64(1)<<notifSignalBits - 1) << notifSignalShift
+	notifSignalInc   = uint64(1) << notifSignalShift
+	notifEpochShift  = notifSignalShift + notifSignalBits
+	notifEpochBits   = 16
+	notifEpochMask   = (uint64(1)<<notifEpochBits - 1) << notifEpochShift
+	notifEpochInc    = uint64(1) << notifEpochShift
+)
+
+// maxNotifyWaiters bounds the worker count the packed state word can
+// address (one index is reserved as the empty-stack marker).
+const maxNotifyWaiters = int(notifStackMask)
+
+// notifyWaiter is one worker's waiter slot.
+type notifyWaiter struct {
+	// next holds the (stack|epoch) bits of the state word at push time —
+	// the rest of the intrusive stack below this waiter. Written by the
+	// owning worker before the publishing CAS, read by the notifier that
+	// pops it; the CAS pair orders the accesses.
+	next atomic.Uint64
+	// epoch is this slot's pre-shifted ABA stamp, bumped once per park
+	// cycle. Owner-written between parks; notifiers read it only packed
+	// inside the state word.
+	epoch uint64
+	// ch is the park primitive: commitWait receives, the popping notifier
+	// sends. Buffered(1) so the send never blocks.
+	ch chan struct{}
+}
+
+// notifPad pads waiter slots to 128 bytes (two cache lines) so adjacent
+// workers' park/wake traffic never shares a line.
+const notifPad = 128
+
+type paddedNotifyWaiter struct {
+	notifyWaiter
+	_ [notifPad - unsafe.Sizeof(notifyWaiter{})%notifPad]byte
+}
+
+// notifier is the eventcount. Allocated once at executor construction;
+// never allocates afterwards.
+type notifier struct {
+	state   atomic.Uint64
+	waiters []paddedNotifyWaiter
+}
+
+func newNotifier(n int) *notifier {
+	if n > maxNotifyWaiters {
+		panic("executor: worker count exceeds notifier capacity")
+	}
+	no := &notifier{waiters: make([]paddedNotifyWaiter, n)}
+	no.state.Store(notifStackMask) // empty stack, no waiters, no signals
+	for i := range no.waiters {
+		no.waiters[i].ch = make(chan struct{}, 1)
+		no.waiters[i].next.Store(notifStackMask)
+	}
+	return no
+}
+
+// prewait announces intent to park. The caller must re-check its work
+// sources afterwards and then call exactly one of commitWait or
+// cancelWait.
+func (no *notifier) prewait() {
+	no.state.Add(notifWaiterInc)
+}
+
+// commitWait completes the park of waiter slot id: it moves this thread
+// from the prewait count onto the waiter stack and blocks until a
+// notifier pops it — unless a notify that ran between prewait and now
+// banked a signal, in which case the signal is consumed and commitWait
+// returns immediately. Returns true if the waiter actually parked.
+func (no *notifier) commitWait(id int) bool {
+	w := &no.waiters[id].notifyWaiter
+	me := uint64(id) | w.epoch
+	state := no.state.Load()
+	for {
+		var newState uint64
+		signaled := state&notifSignalMask != 0
+		if signaled {
+			// A notify already paid for this wait: consume the signal and
+			// leave without parking.
+			newState = state - notifWaiterInc - notifSignalInc
+		} else {
+			// Leave the prewait count and push this slot onto the stack,
+			// remembering the previous (stack|epoch) bits as our next.
+			newState = (state-notifWaiterInc)&^(notifStackMask|notifEpochMask) | me
+			w.next.Store(state & (notifStackMask | notifEpochMask))
+		}
+		if no.state.CompareAndSwap(state, newState) {
+			if signaled {
+				return false
+			}
+			w.epoch += notifEpochInc
+			<-w.ch
+			return true
+		}
+		state = no.state.Load()
+	}
+}
+
+// cancelWait retracts a prewait: the caller found work on its re-check
+// and will not park. If a notify has already banked one signal per
+// prewaiting thread, one of those signals was addressed to this thread
+// and is consumed with it (the work it advertised is being processed by
+// the canceller anyway).
+func (no *notifier) cancelWait() {
+	state := no.state.Load()
+	for {
+		newState := state - notifWaiterInc
+		waiters := (state & notifWaiterMask) >> notifWaiterShift
+		signals := (state & notifSignalMask) >> notifSignalShift
+		if waiters == signals {
+			newState -= notifSignalInc
+		}
+		if no.state.CompareAndSwap(state, newState) {
+			return
+		}
+		state = no.state.Load()
+	}
+}
+
+// notifyOne wakes one waiter: it unparks the top of the waiter stack, or
+// banks a signal for a thread still between prewait and commit. Returns
+// false — after a single atomic load, with no stores — when nobody is
+// waiting, which is the producers' fast path on a busy pool.
+func (no *notifier) notifyOne() bool { return no.notify(false) }
+
+// notifyAll wakes every current waiter (parked or prewaiting). Returns
+// true if anyone was there to wake.
+func (no *notifier) notifyAll() bool { return no.notify(true) }
+
+func (no *notifier) notify(all bool) bool {
+	state := no.state.Load()
+	for {
+		waiters := (state & notifWaiterMask) >> notifWaiterShift
+		signals := (state & notifSignalMask) >> notifSignalShift
+		stackTop := state & notifStackMask
+		if stackTop == notifStackMask && waiters == signals {
+			return false // fast path: nobody to wake
+		}
+		var newState uint64
+		if all {
+			// Bank one signal per prewaiter and take the whole stack.
+			newState = state&notifWaiterMask | waiters<<notifSignalShift | notifStackMask
+		} else if signals < waiters {
+			// A thread is between prewait and commit: bank a signal its
+			// commitWait will consume. No unpark needed.
+			newState = state + notifSignalInc
+		} else {
+			// Pop the top parked waiter.
+			w := &no.waiters[stackTop].notifyWaiter
+			newState = state&^(notifStackMask|notifEpochMask) | w.next.Load()
+		}
+		if no.state.CompareAndSwap(state, newState) {
+			if !all {
+				if signals < waiters {
+					return true
+				}
+				no.waiters[stackTop].ch <- struct{}{}
+				return true
+			}
+			// Unpark the whole captured stack.
+			for stackTop != notifStackMask {
+				w := &no.waiters[stackTop].notifyWaiter
+				stackTop = w.next.Load() & notifStackMask
+				w.ch <- struct{}{}
+			}
+			return true
+		}
+		state = no.state.Load()
+	}
+}
+
+// epochOf returns slot id's park-cycle count — the epoch stamp traced on
+// park/unpark events. Owner-read only; it is exact for the calling worker.
+func (no *notifier) epochOf(id int) uint64 {
+	return no.waiters[id].epoch >> notifEpochShift
+}

@@ -49,11 +49,15 @@ const (
 	EvTaskEnd
 	// EvSteal records a successful steal by this worker (Arg = victim id).
 	EvSteal
-	// EvInjectDrain records a task taken from the external injection queue.
+	// EvInjectDrain records a drain from an external injection shard
+	// (Arg packs the shard index and task count; see InjectArg).
 	EvInjectDrain
-	// EvInjectPush records an external submission (Arg = batch size).
+	// EvInjectPush records an external submission (Arg packs the shard
+	// index and batch size; see InjectArg).
 	EvInjectPush
-	// EvPark/EvUnpark bracket a worker blocking on the idlers list.
+	// EvPark/EvUnpark bracket a worker blocking on the eventcount notifier
+	// (Arg = the worker's park-cycle epoch, so a timeline shows which park
+	// a wake resolved).
 	EvPark
 	EvUnpark
 	// EvWakePrecise records wakeups issued because new work arrived
@@ -120,6 +124,24 @@ func (k EventKind) String() string {
 	}
 	return "unknown"
 }
+
+// injectArgShardShift packs the injection shard index into the top byte of
+// an EvInjectPush/EvInjectDrain arg; the low 56 bits carry the task count.
+const injectArgShardShift = 56
+
+// InjectArg packs an injection shard index and task count into one trace
+// event arg (shard in the top byte, count below). The exporters decode it
+// with InjectArgShard/InjectArgCount so Perfetto shows which shard a push
+// landed on and which shard woke a worker.
+func InjectArg(shard int, count uint64) uint64 {
+	return uint64(shard)<<injectArgShardShift | count&(uint64(1)<<injectArgShardShift-1)
+}
+
+// InjectArgShard extracts the shard index from a packed injection arg.
+func InjectArgShard(arg uint64) int { return int(arg >> injectArgShardShift) }
+
+// InjectArgCount extracts the task count from a packed injection arg.
+func InjectArgCount(arg uint64) uint64 { return arg & (uint64(1)<<injectArgShardShift - 1) }
 
 // TaskMeta identifies a task for observers and trace events. Producing a
 // TaskMeta copies two string headers and three integers — no allocation —

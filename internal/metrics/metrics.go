@@ -30,55 +30,70 @@ type Source interface {
 
 // promCounter and promGauge describe one exported series.
 type series struct {
-	name  string
-	help  string
-	typ   string // "counter" or "gauge"
-	per   func(*executor.WorkerStats) float64
-	total func(*executor.Snapshot) float64
+	name     string
+	help     string
+	typ      string // "counter" or "gauge"
+	per      func(*executor.WorkerStats) float64
+	perShard func(*executor.ShardStats) float64
+	total    func(*executor.Snapshot) float64
 }
 
 // exported is the schema of the Prometheus export: per-worker series carry
-// a worker="<i>" label; executor-wide series carry none.
+// a worker="<i>" label, per-injection-shard series a shard="<i>" label;
+// executor-wide series carry none.
 var exported = []series{
 	{"gotaskflow_deque_pushes_total", "Tasks pushed to the worker's deque", "counter",
-		func(w *executor.WorkerStats) float64 { return float64(w.Pushes) }, nil},
+		func(w *executor.WorkerStats) float64 { return float64(w.Pushes) }, nil, nil},
 	{"gotaskflow_deque_pops_total", "Tasks the owner popped back out", "counter",
-		func(w *executor.WorkerStats) float64 { return float64(w.Pops) }, nil},
+		func(w *executor.WorkerStats) float64 { return float64(w.Pops) }, nil, nil},
 	{"gotaskflow_deque_stolen_from_total", "Tasks thieves stole out of the deque", "counter",
-		func(w *executor.WorkerStats) float64 { return float64(w.StolenFrom) }, nil},
+		func(w *executor.WorkerStats) float64 { return float64(w.StolenFrom) }, nil, nil},
 	{"gotaskflow_deque_grows_total", "Deque ring reallocations", "counter",
-		func(w *executor.WorkerStats) float64 { return float64(w.QueueGrows) }, nil},
+		func(w *executor.WorkerStats) float64 { return float64(w.QueueGrows) }, nil, nil},
 	{"gotaskflow_deque_max_depth", "Push-time high watermark of resident tasks", "gauge",
-		func(w *executor.WorkerStats) float64 { return float64(w.MaxQueueDepth) }, nil},
+		func(w *executor.WorkerStats) float64 { return float64(w.MaxQueueDepth) }, nil, nil},
 	{"gotaskflow_deque_depth", "Resident tasks at scrape time", "gauge",
-		func(w *executor.WorkerStats) float64 { return float64(w.QueueDepth) }, nil},
+		func(w *executor.WorkerStats) float64 { return float64(w.QueueDepth) }, nil, nil},
 	{"gotaskflow_steal_attempts_total", "Steal sweeps over victims and the injection queue", "counter",
-		func(w *executor.WorkerStats) float64 { return float64(w.StealAttempts) }, nil},
+		func(w *executor.WorkerStats) float64 { return float64(w.StealAttempts) }, nil, nil},
 	{"gotaskflow_steals_total", "Successful steal operations by the worker", "counter",
-		func(w *executor.WorkerStats) float64 { return float64(w.Steals) }, nil},
+		func(w *executor.WorkerStats) float64 { return float64(w.Steals) }, nil, nil},
 	{"gotaskflow_stolen_tasks_total", "Tasks moved out of other deques, incl. batch extras", "counter",
-		func(w *executor.WorkerStats) float64 { return float64(w.StolenTasks) }, nil},
+		func(w *executor.WorkerStats) float64 { return float64(w.StolenTasks) }, nil, nil},
 	{"gotaskflow_steal_batches_total", "Steal operations that moved more than one task", "counter",
-		func(w *executor.WorkerStats) float64 { return float64(w.StealBatches) }, nil},
+		func(w *executor.WorkerStats) float64 { return float64(w.StealBatches) }, nil, nil},
 	{"gotaskflow_injection_drains_total", "Drain operations on the external injection queue", "counter",
-		func(w *executor.WorkerStats) float64 { return float64(w.InjectionDrains) }, nil},
+		func(w *executor.WorkerStats) float64 { return float64(w.InjectionDrains) }, nil, nil},
 	{"gotaskflow_injection_drained_tasks_total", "Tasks taken from the injection queue, incl. batch extras", "counter",
-		func(w *executor.WorkerStats) float64 { return float64(w.InjectionDrainedTasks) }, nil},
+		func(w *executor.WorkerStats) float64 { return float64(w.InjectionDrainedTasks) }, nil, nil},
 	{"gotaskflow_cache_hits_total", "Tasks run through the speculative cache slot", "counter",
-		func(w *executor.WorkerStats) float64 { return float64(w.CacheHits) }, nil},
-	{"gotaskflow_parks_total", "Times the worker parked on the idlers list", "counter",
-		func(w *executor.WorkerStats) float64 { return float64(w.Parks) }, nil},
+		func(w *executor.WorkerStats) float64 { return float64(w.CacheHits) }, nil, nil},
+	{"gotaskflow_prewaits_total", "Park announcements on the eventcount (prewait)", "counter",
+		func(w *executor.WorkerStats) float64 { return float64(w.Prewaits) }, nil, nil},
+	{"gotaskflow_wait_cancels_total", "Prewaits cancelled because the re-check found work", "counter",
+		func(w *executor.WorkerStats) float64 { return float64(w.WaitCancels) }, nil, nil},
+	{"gotaskflow_parks_total", "Committed parks on the eventcount", "counter",
+		func(w *executor.WorkerStats) float64 { return float64(w.Parks) }, nil, nil},
 	{"gotaskflow_executed_total", "Tasks invoked by the worker", "counter",
-		func(w *executor.WorkerStats) float64 { return float64(w.Executed) }, nil},
+		func(w *executor.WorkerStats) float64 { return float64(w.Executed) }, nil, nil},
+
+	{"gotaskflow_injection_shard_pushes_total", "Tasks hashed onto the injection shard", "counter",
+		nil, func(sh *executor.ShardStats) float64 { return float64(sh.Pushes) }, nil},
+	{"gotaskflow_injection_shard_drains_total", "Drain operations on the injection shard", "counter",
+		nil, func(sh *executor.ShardStats) float64 { return float64(sh.Drains) }, nil},
+	{"gotaskflow_injection_shard_drained_tasks_total", "Tasks taken from the injection shard", "counter",
+		nil, func(sh *executor.ShardStats) float64 { return float64(sh.DrainedTasks) }, nil},
+	{"gotaskflow_injection_shard_depth", "Injection shard residents at scrape time", "gauge",
+		nil, func(sh *executor.ShardStats) float64 { return float64(sh.Depth) }, nil},
 
 	{"gotaskflow_injection_pushes_total", "Tasks submitted from outside the pool", "counter",
-		nil, func(s *executor.Snapshot) float64 { return float64(s.InjectionPushes) }},
+		nil, nil, func(s *executor.Snapshot) float64 { return float64(s.InjectionPushes) }},
 	{"gotaskflow_injection_depth", "Injection queue residents at scrape time", "gauge",
-		nil, func(s *executor.Snapshot) float64 { return float64(s.InjectionDepth) }},
+		nil, nil, func(s *executor.Snapshot) float64 { return float64(s.InjectionDepth) }},
 	{"gotaskflow_wakes_precise_total", "Wakeups issued because new work arrived", "counter",
-		nil, func(s *executor.Snapshot) float64 { return float64(s.PreciseWakes) }},
+		nil, nil, func(s *executor.Snapshot) float64 { return float64(s.PreciseWakes) }},
 	{"gotaskflow_wakes_probabilistic_total", "1/wakeDen load-balancing wakeups", "counter",
-		nil, func(s *executor.Snapshot) float64 { return float64(s.ProbabilisticWakes) }},
+		nil, nil, func(s *executor.Snapshot) float64 { return float64(s.ProbabilisticWakes) }},
 }
 
 // WritePrometheus writes the source's current counters in the Prometheus
@@ -92,11 +107,16 @@ func WritePrometheus(w io.Writer, src Source) error {
 	var b strings.Builder
 	for _, s := range exported {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", s.name, s.help, s.name, s.typ)
-		if s.per != nil {
+		switch {
+		case s.per != nil:
 			for i := range snap.Workers {
 				fmt.Fprintf(&b, "%s{worker=\"%d\"} %g\n", s.name, i, s.per(&snap.Workers[i]))
 			}
-		} else {
+		case s.perShard != nil:
+			for i := range snap.Shards {
+				fmt.Fprintf(&b, "%s{shard=\"%d\"} %g\n", s.name, i, s.perShard(&snap.Shards[i]))
+			}
+		default:
 			fmt.Fprintf(&b, "%s %g\n", s.name, s.total(&snap))
 		}
 	}
@@ -135,12 +155,13 @@ func WriteRunSummary(w io.Writer, rs core.RunStats, snap executor.Snapshot) erro
 	t := snap.Total()
 	_, err := fmt.Fprintf(w,
 		"run:   tasks=%d span=%d parallelism=%.2f wall=%v busy=%v achieved=%.2f retries=%d skipped=%d\n"+
-			"sched: executed=%d pops=%d stolen=%d-tasks/%d-steals/%d-batches/%d-attempts drained=%d-tasks/%d-drains cache-hits=%d parks=%d wakes=%d-precise/%d-prob max-depth=%d\n",
+			"sched: executed=%d pops=%d stolen=%d-tasks/%d-steals/%d-batches/%d-attempts drained=%d-tasks/%d-drains/%d-shards cache-hits=%d parks=%d/%d-prewaits/%d-cancels wakes=%d-precise/%d-prob max-depth=%d\n",
 		rs.Tasks, rs.Span, rs.Parallelism, rs.Wall, rs.Busy, rs.AchievedParallelism,
 		rs.Retries, rs.Skipped,
 		t.Executed, t.Pops, t.StolenTasks, t.Steals, t.StealBatches, t.StealAttempts,
-		t.InjectionDrainedTasks, t.InjectionDrains,
-		t.CacheHits, t.Parks, snap.PreciseWakes, snap.ProbabilisticWakes,
+		t.InjectionDrainedTasks, t.InjectionDrains, len(snap.Shards),
+		t.CacheHits, t.Parks, t.Prewaits, t.WaitCancels,
+		snap.PreciseWakes, snap.ProbabilisticWakes,
 		t.MaxQueueDepth)
 	if err != nil || len(rs.HotTasks) == 0 {
 		return err

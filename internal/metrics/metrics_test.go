@@ -40,6 +40,12 @@ func TestWritePrometheus(t *testing.T) {
 		"# TYPE gotaskflow_deque_depth gauge",
 		"gotaskflow_injection_pushes_total 100",
 		"gotaskflow_wakes_precise_total",
+		"# TYPE gotaskflow_prewaits_total counter",
+		`gotaskflow_prewaits_total{worker="0"}`,
+		`gotaskflow_wait_cancels_total{worker="1"}`,
+		"# TYPE gotaskflow_injection_shard_depth gauge",
+		`gotaskflow_injection_shard_pushes_total{shard="0"} 100`,
+		`gotaskflow_injection_shard_drained_tasks_total{shard="0"}`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("prometheus output missing %q:\n%s", want, out)

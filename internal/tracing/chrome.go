@@ -177,6 +177,19 @@ func WriteTrace(w io.Writer, tr executor.Trace) error {
 			)
 		default:
 			args := map[string]any{"arg": ev.Arg}
+			switch ev.Kind {
+			case executor.EvInjectPush, executor.EvInjectDrain:
+				// The packed arg carries shard and count (see
+				// executor.InjectArg); decode so Perfetto shows which shard
+				// a push landed on and which shard a drain emptied.
+				args["arg"] = executor.InjectArgCount(ev.Arg)
+				args["shard"] = executor.InjectArgShard(ev.Arg)
+			case executor.EvPark, executor.EvUnpark:
+				// The arg is the worker's eventcount park-cycle epoch:
+				// matching epochs pair a park with the unpark that resolved
+				// it.
+				args["epoch"] = ev.Arg
+			}
 			if ev.Meta.ID != 0 || ev.Meta.Name != "" {
 				args["task"] = SpanName(ev.Meta)
 			}
