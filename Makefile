@@ -61,9 +61,12 @@ cover:
 	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
 	$(GO) tool cover -func=coverage.out | tail -20
 
-# fuzz runs the work-stealing deque fuzzer (sequential model check +
-# concurrent exactly-once) on top of the committed corpus. Override
-# FUZZTIME for longer campaigns.
+# fuzz runs the fuzzers on top of their committed corpora: the
+# work-stealing deque fuzzer (sequential model check + concurrent
+# exactly-once) and the schedule fuzzer (random graph × fault plan ×
+# seed-permuted interleaving under the deterministic simulation
+# executor, internal/sim). Override FUZZTIME for longer campaigns.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDeque$$' -fuzztime $(FUZZTIME) ./internal/wsq/
+	$(GO) test -run '^$$' -fuzz '^FuzzSchedule$$' -fuzztime $(FUZZTIME) ./internal/sim/

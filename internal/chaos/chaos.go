@@ -64,6 +64,11 @@ type Config struct {
 	PDelay float64
 	// MaxDelay bounds Delay faults; 0 means 1ms.
 	MaxDelay time.Duration
+	// Sleep, when non-nil, replaces time.Sleep for Delay faults. Under
+	// the deterministic simulation executor (internal/sim) it is wired to
+	// SimExecutor.AdvanceBy so injected delays advance the virtual clock
+	// instead of costing wall time.
+	Sleep func(time.Duration)
 }
 
 // Fault is one planned injection, recorded at Wrap time.
@@ -139,7 +144,11 @@ func (in *Injector) apply(f Fault, body func() error) error {
 		return fmt.Errorf("chaos: task %q: %w", f.Task, ErrInjected)
 	case Delay:
 		in.record(f)
-		time.Sleep(f.Delay)
+		if in.cfg.Sleep != nil {
+			in.cfg.Sleep(f.Delay)
+		} else {
+			time.Sleep(f.Delay)
+		}
 	}
 	if body == nil {
 		return nil

@@ -11,12 +11,14 @@ import (
 
 	"gotaskflow/internal/chaos"
 	"gotaskflow/internal/core"
+	"gotaskflow/internal/testutil"
 )
 
 // waitQuiesce runs WaitForAll with a liveness deadline: the whole point of
 // the fault layer is that no injected mixture of panics, failures, and
-// delays can hang the waiters.
-func waitQuiesce(t *testing.T, tf *core.Taskflow) error {
+// delays can hang the waiters. On failure it prints the recipe line that
+// replays exactly this case.
+func waitQuiesce(t *testing.T, tf *core.Taskflow, recipe string) error {
 	t.Helper()
 	done := make(chan error, 1)
 	go func() { done <- tf.WaitForAll() }()
@@ -24,15 +26,16 @@ func waitQuiesce(t *testing.T, tf *core.Taskflow) error {
 	case err := <-done:
 		return err
 	case <-time.After(60 * time.Second):
-		t.Fatal("executor failed to quiesce under injected faults")
+		t.Fatalf("executor failed to quiesce under injected faults\n%s", recipe)
 		return nil
 	}
 }
 
 // assertCoherent checks the error contract after a chaotic run: an error
 // is reported iff a panic or failure actually fired, and pure error-mode
-// faults are identifiable via errors.Is(err, ErrInjected).
-func assertCoherent(t *testing.T, in *chaos.Injector, err error) {
+// faults are identifiable via errors.Is(err, ErrInjected). Every failure
+// carries the one-line replay recipe.
+func assertCoherent(t *testing.T, in *chaos.Injector, err error, recipe string) {
 	t.Helper()
 	fails, panics := 0, 0
 	for _, f := range in.Triggered() {
@@ -44,19 +47,19 @@ func assertCoherent(t *testing.T, in *chaos.Injector, err error) {
 		}
 	}
 	if fails+panics > 0 && err == nil {
-		t.Fatalf("%d faults fired but the run reported no error", fails+panics)
+		t.Fatalf("%d faults fired but the run reported no error\n%s", fails+panics, recipe)
 	}
 	if fails+panics == 0 && err != nil {
-		t.Fatalf("no fault fired but the run reported %v", err)
+		t.Fatalf("no fault fired but the run reported %v\n%s", err, recipe)
 	}
 	if err == nil {
 		return
 	}
 	if panics == 0 && !errors.Is(err, chaos.ErrInjected) {
-		t.Fatalf("error %v does not identify the injected failure", err)
+		t.Fatalf("error %v does not identify the injected failure\n%s", err, recipe)
 	}
 	if fails == 0 && panics > 0 && !strings.Contains(err.Error(), "panic") {
-		t.Fatalf("error %v does not surface the injected panic", err)
+		t.Fatalf("error %v does not surface the injected panic\n%s", err, recipe)
 	}
 }
 
@@ -111,9 +114,11 @@ func buildTraversal(tf *core.Taskflow, in *chaos.Injector, seed int64, layers, w
 }
 
 func TestChaosWavefrontQuiesces(t *testing.T) {
-	for seed := int64(0); seed < 8; seed++ {
+	for _, seed := range chaos.Seeds(8) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			recipe := chaos.Recipe(fmt.Sprintf("TestChaosWavefrontQuiesces/seed%d", seed),
+				"./internal/chaos", seed, 4, "wavefront8x8")
 			in := chaos.New(chaos.Config{
 				Seed:     seed,
 				PPanic:   0.02,
@@ -124,15 +129,17 @@ func TestChaosWavefrontQuiesces(t *testing.T) {
 			tf := core.New(4)
 			defer tf.Close()
 			buildWavefront(tf, in, 8)
-			assertCoherent(t, in, waitQuiesce(t, tf))
+			assertCoherent(t, in, waitQuiesce(t, tf, recipe), recipe)
 		})
 	}
 }
 
 func TestChaosTraversalQuiesces(t *testing.T) {
-	for seed := int64(0); seed < 8; seed++ {
+	for _, seed := range chaos.Seeds(8) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			recipe := chaos.Recipe(fmt.Sprintf("TestChaosTraversalQuiesces/seed%d", seed),
+				"./internal/chaos", seed, 4, "traversal12x8")
 			in := chaos.New(chaos.Config{
 				Seed:     seed,
 				PPanic:   0.03,
@@ -143,7 +150,7 @@ func TestChaosTraversalQuiesces(t *testing.T) {
 			tf := core.New(4)
 			defer tf.Close()
 			buildTraversal(tf, in, seed, 12, 8)
-			assertCoherent(t, in, waitQuiesce(t, tf))
+			assertCoherent(t, in, waitQuiesce(t, tf, recipe), recipe)
 		})
 	}
 }
@@ -151,9 +158,11 @@ func TestChaosTraversalQuiesces(t *testing.T) {
 // Faults layered on retrying tasks: retries must neither hang the
 // topology nor mask a permanently failing body.
 func TestChaosWithRetriesQuiesces(t *testing.T) {
-	for seed := int64(0); seed < 4; seed++ {
+	for _, seed := range chaos.Seeds(4) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			recipe := chaos.Recipe(fmt.Sprintf("TestChaosWithRetriesQuiesces/seed%d", seed),
+				"./internal/chaos", seed, 4, "chain40+retry")
 			in := chaos.New(chaos.Config{Seed: seed, PFail: 0.15, PDelay: 0.1})
 			tf := core.New(4)
 			defer tf.Close()
@@ -166,15 +175,15 @@ func TestChaosWithRetriesQuiesces(t *testing.T) {
 				}
 				prev = task
 			}
-			err := waitQuiesce(t, tf)
+			err := waitQuiesce(t, tf, recipe)
 			// A Wrap-planned Fail fires on every attempt, so retries must
 			// exhaust and surface it; a clean plan must stay clean.
 			if in.CountPlanned(chaos.Fail) > 0 {
 				if !errors.Is(err, chaos.ErrInjected) {
-					t.Fatalf("err = %v, want injected failure after retry exhaustion", err)
+					t.Fatalf("err = %v, want injected failure after retry exhaustion\n%s", err, recipe)
 				}
 			} else if err != nil {
-				t.Fatalf("err = %v with a fault-free plan", err)
+				t.Fatalf("err = %v with a fault-free plan\n%s", err, recipe)
 			}
 		})
 	}
@@ -183,9 +192,11 @@ func TestChaosWithRetriesQuiesces(t *testing.T) {
 // Faults inside semaphore-throttled graphs: units must be returned on
 // every exit path or the drain deadlocks.
 func TestChaosWithSemaphoresQuiesces(t *testing.T) {
-	for seed := int64(0); seed < 4; seed++ {
+	for _, seed := range chaos.Seeds(4) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			recipe := chaos.Recipe(fmt.Sprintf("TestChaosWithSemaphoresQuiesces/seed%d", seed),
+				"./internal/chaos", seed, 4, "sem2x60")
 			in := chaos.New(chaos.Config{Seed: seed, PPanic: 0.05, PFail: 0.1, PDelay: 0.2})
 			tf := core.New(4)
 			defer tf.Close()
@@ -194,7 +205,7 @@ func TestChaosWithSemaphoresQuiesces(t *testing.T) {
 				tf.EmplaceErr(in.Wrap(fmt.Sprintf("s%d", i), nil)).
 					Acquire(sem).Release(sem)
 			}
-			assertCoherent(t, in, waitQuiesce(t, tf))
+			assertCoherent(t, in, waitQuiesce(t, tf, recipe), recipe)
 		})
 	}
 }
@@ -252,27 +263,16 @@ func TestChaosDeterministicPlan(t *testing.T) {
 }
 
 // The whole suite must not leak goroutines: after every topology drains
-// and executors shut down, the count returns to the baseline.
+// and executors shut down, the count returns to the baseline (shared
+// assertion: testutil.NoLeaks).
 func TestChaosNoGoroutineLeak(t *testing.T) {
-	before := runtime.NumGoroutine()
-	for seed := int64(0); seed < 3; seed++ {
+	testutil.NoLeaks(t)
+	for _, seed := range chaos.Seeds(3) {
+		recipe := chaos.Recipe("TestChaosNoGoroutineLeak", "./internal/chaos", seed, 4, "wavefront6x6")
 		in := chaos.New(chaos.Config{Seed: seed, PPanic: 0.05, PFail: 0.1, PDelay: 0.2})
 		tf := core.New(4)
 		buildWavefront(tf, in, 6)
-		waitQuiesce(t, tf)
+		waitQuiesce(t, tf, recipe)
 		tf.Close()
-	}
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		now := runtime.NumGoroutine()
-		if now <= before+2 { // tolerate runtime helpers
-			return
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<20)
-			t.Fatalf("goroutines: %d before, %d after\n%s",
-				before, now, buf[:runtime.Stack(buf, true)])
-		}
-		time.Sleep(10 * time.Millisecond)
 	}
 }

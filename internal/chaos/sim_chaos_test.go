@@ -1,0 +1,77 @@
+package chaos_test
+
+// Chaos × deterministic simulation: the fault plan (pure function of the
+// chaos seed and wrap order) composed with a simulated schedule (pure
+// function of the sim seed) makes the ENTIRE failing run a pure function
+// of one seed — faults, interleaving, error text and all. These tests
+// drive the same graph shapes as the real-pool chaos suite through
+// internal/sim and assert the composition replays bit-for-bit: identical
+// schedule hashes, identical aggregated errors, identical triggered
+// fault lists. Delay faults advance the virtual clock through the
+// Config.Sleep hook, so a 2ms injected delay costs no wall time and
+// perturbs the schedule only through the decisions the PRNG makes.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gotaskflow/internal/chaos"
+	"gotaskflow/internal/core"
+	"gotaskflow/internal/sim"
+)
+
+// chaosSimRun executes one wavefront under composed chaos+sim seeding
+// and returns everything a replay must reproduce.
+func chaosSimRun(t *testing.T, seed int64, recipe string) (hash uint64, errText string, triggered []chaos.Fault) {
+	t.Helper()
+	s := sim.New(4, sim.WithSeed(seed))
+	in := chaos.New(chaos.Config{
+		Seed:     seed,
+		PPanic:   0.04,
+		PFail:    0.08,
+		PDelay:   0.20,
+		MaxDelay: 2 * time.Millisecond,
+		Sleep:    s.AdvanceBy, // injected delays advance virtual time, not wall time
+	})
+	tf := core.NewShared(s)
+	buildWavefront(tf, in, 6)
+	err := waitQuiesce(t, tf, recipe)
+	assertCoherent(t, in, err, recipe)
+	if lerr := s.Failure(); lerr != nil {
+		t.Fatalf("liveness failure: %v\n%s", lerr, recipe)
+	}
+	if cerr := s.Stats().Check(); cerr != nil {
+		t.Fatalf("%v\n%s", cerr, recipe)
+	}
+	if err != nil {
+		errText = err.Error()
+	}
+	return s.ScheduleHash(), errText, in.Triggered()
+}
+
+func TestChaosSimComposedReplay(t *testing.T) {
+	for _, seed := range chaos.Seeds(30) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			recipe := chaos.Recipe(fmt.Sprintf("TestChaosSimComposedReplay/seed%d", seed),
+				"./internal/chaos", seed, 4, "sim-wavefront6x6")
+			h1, e1, f1 := chaosSimRun(t, seed, recipe)
+			h2, e2, f2 := chaosSimRun(t, seed, recipe)
+			if h1 != h2 {
+				t.Fatalf("schedule hashes differ across replays: %#x vs %#x\n%s", h1, h2, recipe)
+			}
+			if e1 != e2 {
+				t.Fatalf("aggregated errors differ across replays:\n%q\nvs\n%q\n%s", e1, e2, recipe)
+			}
+			if len(f1) != len(f2) {
+				t.Fatalf("triggered faults differ across replays: %d vs %d\n%s", len(f1), len(f2), recipe)
+			}
+			for i := range f1 {
+				if f1[i] != f2[i] {
+					t.Fatalf("triggered fault %d differs: %+v vs %+v\n%s", i, f1[i], f2[i], recipe)
+				}
+			}
+		})
+	}
+}

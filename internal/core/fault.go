@@ -111,27 +111,45 @@ func (sf *Subflow) EmplaceCtx(fn func(context.Context) error) Task {
 	return Task{sf.g.emplaceCtx(fn)}
 }
 
-// execSubmitter adapts *executor.Executor to the submitter interface used
-// by semaphore admission and retry resubmission. Executor.Submit returns
-// an error only after Shutdown; admission hand-offs are best-effort there
-// (the topology is already unable to progress).
-type execSubmitter struct{ e *executor.Executor }
+// execSubmitter adapts a Scheduler to the submitter interface used by
+// semaphore admission and retry resubmission. Scheduler.Submit returns an
+// error only after Shutdown; admission hand-offs are best-effort there
+// (the topology is already unable to progress). The wrapper is two words
+// (an interface value), so it is boxed once per topology (topology.sub)
+// rather than per call.
+type execSubmitter struct{ e executor.Scheduler }
 
 func (s execSubmitter) Submit(r *executor.Runnable) { _ = s.e.Submit(r) }
 
-// resubmitAfter re-executes n after d through a timer and the executor's
+// resubmitAfter re-executes n after d through a scheduler timer and the
 // injection queue — the waiting task holds no worker. The execution stays
 // counted in pending, keeping the topology open until the retry resolves.
+// The timer goes through Scheduler.AfterFunc, which gives it a bounded
+// lifetime: if the scheduler shuts down while the backoff runs, the timer
+// is resolved during Shutdown and the submission below fails with
+// ErrShutdown, so the topology completes promptly instead of hanging on
+// an execution that can never run (and no armed wall-clock timer outlives
+// the pool). Under internal/sim the same seam is a virtual clock: the
+// backoff fires instantly, in seed-controlled order.
 func (t *topology) resubmitAfter(d time.Duration, n *node) {
 	submit := func() {
 		t.exec.TraceExternal(executor.EvRetryFire, n.Describe(), uint64(n.ext.attempts))
-		if n.hasAcquires() && !t.admit(execSubmitter{t.exec}, n) {
+		if t.exec.Stopped() {
+			// Dead pool: do not touch the semaphores (admission could park
+			// the node forever — no release would ever come). Resolve the
+			// execution so waiters unblock.
+			t.fail(fmt.Errorf("core: retry of task %q: %w", n.nodeName(), executor.ErrShutdown))
+			if t.pending.Add(-1) == 0 {
+				t.finish()
+			}
+			return
+		}
+		if n.hasAcquires() && !t.admit(t.sub, n) {
 			return // parked; a semaphore release will submit it
 		}
 		if err := t.exec.Submit(n.ref()); err != nil {
-			// The executor shut down while the retry waited: the topology
-			// cannot progress. Record the failure and retire the execution
-			// so waiters unblock.
+			// The executor shut down between the check above and the
+			// submission: same resolution as the dead-pool path.
 			t.fail(fmt.Errorf("core: retry of task %q: %w", n.nodeName(), err))
 			if t.pending.Add(-1) == 0 {
 				t.finish()
@@ -142,5 +160,5 @@ func (t *topology) resubmitAfter(d time.Duration, n *node) {
 		submit()
 		return
 	}
-	time.AfterFunc(d, submit)
+	t.exec.AfterFunc(d, submit)
 }

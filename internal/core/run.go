@@ -106,7 +106,7 @@ func (tf *Taskflow) run(ctx context.Context) error {
 	// Semaphore-guarded sources are admitted or parked individually (rare
 	// path); the rest start as one batch.
 	for _, n := range tf.runSemSources {
-		if t.admit(execSubmitter{tf.exec}, n) {
+		if t.admit(t.sub, n) {
 			if err := tf.exec.Submit(n.ref()); err != nil {
 				t.setErr(err)
 				if t.pending.Add(-1) == 0 {
@@ -150,6 +150,7 @@ func (tf *Taskflow) prepareRun() (*topology, error) {
 		flowName:    tf.name,
 		pprofLabels: tf.pprofLabels,
 	}
+	t.sub = execSubmitter{tf.exec}
 	if tf.statsEnabled {
 		t.stats = &topoStats{timing: tf.statsTiming}
 	}

@@ -103,11 +103,10 @@ func insertSem(list []*Semaphore, s *Semaphore) []*Semaphore {
 }
 
 // submitter abstracts "where a semaphore-admitted task goes": a worker's
-// scheduling Context during execution, or the executor's injection queue
-// at dispatch and retry time (through the pointer-shaped execSubmitter
-// adapter, which boxes into this interface without allocating). Admission
-// paths pass them directly instead of minting a method-value closure per
-// call.
+// scheduling Context during execution, or the scheduler's injection queue
+// at dispatch and retry time (through the execSubmitter adapter, boxed
+// once per topology as topology.sub). Admission paths pass them directly
+// instead of minting a method-value closure per call.
 type submitter interface {
 	Submit(r *executor.Runnable)
 }

@@ -1,0 +1,84 @@
+package core
+
+// The property suite under deterministic simulation: the same
+// exactly-once and stats-agreement laws as the -race sweep, but across
+// hundreds of seeded schedules per graph instead of whatever
+// interleavings the machine happens to produce. Each subtest name embeds
+// the full parameter tuple, so any failure is replayed exactly by
+// `go test ./internal/core -run 'TestPropertySimSeedSweep/<name>'` —
+// the schedule is a pure function of the seed.
+
+import (
+	"fmt"
+	"testing"
+
+	"gotaskflow/internal/graphgen"
+	"gotaskflow/internal/sim"
+)
+
+func TestPropertySimSeedSweep(t *testing.T) {
+	seeds := int64(150)
+	if testing.Short() {
+		seeds = 25
+	}
+	for _, workers := range []int{1, 2, 4} {
+		for _, n := range []int{1, 30, 150} {
+			for seed := int64(0); seed < seeds; seed++ {
+				name := fmt.Sprintf("w%d/n%d/seed%d", workers, n, seed)
+				t.Run(name, func(t *testing.T) {
+					checkSimDAG(t, workers, n, seed,
+						fmt.Sprintf("go test ./internal/core -run 'TestPropertySimSeedSweep/%s' -count=1", name))
+				})
+			}
+		}
+	}
+}
+
+func checkSimDAG(t *testing.T, workers, n int, seed int64, replay string) {
+	d := graphgen.Random(n, graphgen.Config{Seed: seed})
+	s := sim.New(workers, sim.WithSeed(seed))
+	tf := NewShared(s).CollectRunStats(false)
+
+	execCounts := make([]int32, n)
+	tasks := make([]Task, n)
+	for i := 0; i < n; i++ {
+		i := i
+		tasks[i] = tf.Emplace1(func() { execCounts[i]++ })
+	}
+	for u := 0; u < n; u++ {
+		d.Successors(u, func(v int) { tasks[u].Precede(tasks[v]) })
+	}
+
+	const runs = 2
+	for run := 0; run < runs; run++ {
+		if err := tf.Run(); err != nil {
+			t.Fatalf("run %d: %v\nreplay: %s", run, err, replay)
+		}
+		for i, c := range execCounts {
+			if int(c) != run+1 {
+				t.Fatalf("run %d: node %d executed %d times, want %d\nreplay: %s",
+					run, i, c, run+1, replay)
+			}
+		}
+		rs, ok := tf.LastRunStats()
+		if !ok {
+			t.Fatalf("LastRunStats not ok\nreplay: %s", replay)
+		}
+		if rs.Tasks != int64(n) {
+			t.Fatalf("run %d: RunStats.Tasks = %d, want %d\nreplay: %s", run, rs.Tasks, n, replay)
+		}
+		if rs.Skipped != 0 || rs.Retries != 0 || rs.Errors != 0 || rs.Cancelled {
+			t.Fatalf("run %d: clean run reported failures: %+v\nreplay: %s", run, rs, replay)
+		}
+	}
+
+	if err := s.Stats().Check(); err != nil {
+		t.Fatalf("%v\nreplay: %s", err, replay)
+	}
+	if err := s.Failure(); err != nil {
+		t.Fatalf("liveness failure: %v\nreplay: %s", err, replay)
+	}
+	if got, want := s.Stats().Executed, uint64(n*runs); got != want {
+		t.Fatalf("sim executed %d tasks, want %d\nreplay: %s", got, want, replay)
+	}
+}

@@ -57,7 +57,7 @@ type FlowBuilder interface {
 // dependency graphs and dispatch them to an executor (paper Section III-A).
 type Taskflow struct {
 	name    string
-	exec    *executor.Executor
+	exec    executor.Scheduler
 	ownExec bool
 
 	present    *graph
@@ -93,12 +93,14 @@ func New(n int) *Taskflow {
 	}
 }
 
-// NewShared creates a Taskflow that shares e with other taskflows — the
+// NewShared creates a Taskflow that shares s with other taskflows — the
 // paper's shareable executor, which facilitates modular composition while
-// avoiding thread over-subscription (Section III-E). Close does not stop a
-// shared executor.
-func NewShared(e *executor.Executor) *Taskflow {
-	return &Taskflow{exec: e, present: &graph{}}
+// avoiding thread over-subscription (Section III-E). s is any scheduler
+// implementing the dispatch seam: the real work-stealing *executor.Executor,
+// or internal/sim's deterministic SimExecutor for seed-replayable schedule
+// exploration. Close does not stop a shared scheduler.
+func NewShared(s executor.Scheduler) *Taskflow {
+	return &Taskflow{exec: s, present: &graph{}}
 }
 
 // Close shuts down the executor if this Taskflow owns it. It does not wait
@@ -109,8 +111,9 @@ func (tf *Taskflow) Close() {
 	}
 }
 
-// Executor returns the underlying executor (shared or owned).
-func (tf *Taskflow) Executor() *executor.Executor { return tf.exec }
+// Executor returns the underlying scheduler (shared or owned) — the real
+// executor, or the simulation executor under internal/sim.
+func (tf *Taskflow) Executor() executor.Scheduler { return tf.exec }
 
 // workerCount implements FlowBuilder.
 func (tf *Taskflow) workerCount() int { return tf.exec.NumWorkers() }
@@ -208,6 +211,7 @@ func (tf *Taskflow) dispatch(ctx context.Context) *topology {
 		flowName:    tf.name,
 		pprofLabels: tf.pprofLabels,
 	}
+	t.sub = execSubmitter{tf.exec}
 	if tf.statsEnabled {
 		t.stats = &topoStats{timing: tf.statsTiming}
 	}
@@ -263,7 +267,7 @@ func (tf *Taskflow) dispatch(ctx context.Context) *topology {
 		if !n.isSource() {
 			continue
 		}
-		if n.hasAcquires() && !t.admit(execSubmitter{tf.exec}, n) {
+		if n.hasAcquires() && !t.admit(t.sub, n) {
 			continue
 		}
 		runnable = append(runnable, n.ref())

@@ -26,10 +26,17 @@ import (
 // allocation; see graph.go and the executor package documentation.
 type topology struct {
 	graph     *graph
-	exec      *executor.Executor
+	exec      executor.Scheduler
 	pending   atomic.Int64
 	cancelled atomic.Bool
 	done      chan struct{}
+
+	// sub is exec pre-boxed into the submitter interface used by
+	// semaphore admission and retry resubmission. Since exec became an
+	// interface value the execSubmitter wrapper is two words, so boxing
+	// it per admit call would allocate; building it once per topology
+	// keeps the steady-state Run path allocation-free.
+	sub submitter
 
 	// reusable marks a topology driven by Taskflow.Run: completion is
 	// signalled with a token on the (buffered) done channel instead of a

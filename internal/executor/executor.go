@@ -110,8 +110,9 @@ type Context interface {
 	Wake(n int)
 	// WorkerID returns the executing worker's index in [0, NumWorkers).
 	WorkerID() int
-	// Executor returns the owning executor.
-	Executor() *Executor
+	// Executor returns the owning scheduler (the real executor, or the
+	// simulation executor when the task runs under internal/sim).
+	Executor() Scheduler
 	// Tracing reports whether a trace capture is currently recording —
 	// the cheap guard before building a TaskMeta for Trace.
 	Tracing() bool
@@ -166,7 +167,7 @@ type worker struct {
 var _ Context = (*worker)(nil)
 
 func (w *worker) WorkerID() int       { return w.id }
-func (w *worker) Executor() *Executor { return w.exec }
+func (w *worker) Executor() Scheduler { return w.exec }
 
 func (w *worker) Submit(r *Runnable) {
 	w.queue.Push(r)
@@ -229,6 +230,11 @@ type Executor struct {
 
 	stop atomic.Bool
 	wg   sync.WaitGroup
+
+	// timers tracks armed AfterFunc callbacks (Task.Retry backoff) so
+	// Shutdown can resolve them instead of letting them fire into a dead
+	// pool later; see timers.go.
+	timers timerRegistry
 
 	// busy counts workers currently inside a task. Maintaining it costs
 	// two shared-cacheline atomics per task, so it is only updated when
@@ -484,8 +490,10 @@ func (e *Executor) Stopped() bool { return e.stop.Load() }
 
 // Shutdown stops all workers and waits for them to exit. Pending tasks that
 // have not begun executing are discarded; callers are expected to have
-// awaited completion (e.g. Taskflow.WaitForAll) first. Shutdown is
-// idempotent.
+// awaited completion (e.g. Taskflow.WaitForAll) first. Armed AfterFunc
+// timers (retry backoffs) are stopped and their callbacks run now, so a
+// topology waiting on a retry resolves with ErrShutdown instead of
+// hanging or firing into the dead pool later. Shutdown is idempotent.
 func (e *Executor) Shutdown() {
 	if e.stop.Swap(true) {
 		e.wg.Wait()
@@ -493,6 +501,7 @@ func (e *Executor) Shutdown() {
 	}
 	e.wakeAll()
 	e.wg.Wait()
+	e.fireArmedTimers()
 }
 
 // drainInjection sweeps the injection shards — this worker's home shard

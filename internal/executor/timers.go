@@ -1,0 +1,113 @@
+package executor
+
+// Armed-timer registry behind Scheduler.AfterFunc. Task.Retry backoff
+// (internal/core) arms one wall-clock timer per waiting retry; before
+// this registry existed those timers were bare time.AfterFunc calls that
+// survived Shutdown and fired into the dead pool up to a full backoff
+// (30s) later. Now every armed timer is tracked, and Shutdown stops the
+// wall-clock side and runs the callbacks immediately: the callback's
+// Submit sees ErrShutdown and the waiting topology resolves promptly
+// instead of hanging on an execution that can never run.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// afterTimer is one armed AfterFunc callback. Exactly one of the timer
+// firing, Shutdown, or Stop claims it; the others become no-ops.
+type afterTimer struct {
+	e     *Executor
+	t     *time.Timer
+	fn    func()
+	fired atomic.Bool
+}
+
+// claim wins the right to resolve the timer (fire or cancel).
+func (at *afterTimer) claim() bool { return at.fired.CompareAndSwap(false, true) }
+
+// Stop implements Timer.
+func (at *afterTimer) Stop() bool {
+	if !at.claim() {
+		return false
+	}
+	if at.t != nil {
+		at.t.Stop()
+	}
+	at.e.removeTimer(at)
+	return true
+}
+
+// timerRegistry tracks the executor's armed timers. A plain mutex is
+// fine: timers arm once per retry wait — nowhere near the per-task path.
+type timerRegistry struct {
+	mu    sync.Mutex
+	armed map[*afterTimer]struct{}
+}
+
+// AfterFunc implements Scheduler: run fn after d on its own goroutine,
+// or immediately if the executor has already shut down. The returned
+// Timer cancels it. Armed timers that Shutdown finds are stopped and
+// their callbacks run during Shutdown — exactly once either way.
+func (e *Executor) AfterFunc(d time.Duration, fn func()) Timer {
+	at := &afterTimer{e: e, fn: fn}
+	e.timers.mu.Lock()
+	if e.stop.Load() {
+		// The pool is already dead; run fn now (marked claimed) so
+		// whatever waits on this timer resolves instead of leaking.
+		at.fired.Store(true)
+		e.timers.mu.Unlock()
+		fn()
+		return at
+	}
+	if e.timers.armed == nil {
+		e.timers.armed = make(map[*afterTimer]struct{})
+	}
+	// The wall-clock timer is created while the registry lock is held so
+	// Shutdown can never observe a registered entry without its t; the
+	// callback itself locks only after claiming, so it just blocks until
+	// registration finishes if it fires immediately.
+	at.t = time.AfterFunc(d, func() {
+		if !at.claim() {
+			return // Stop or Shutdown got there first
+		}
+		at.e.removeTimer(at)
+		at.fn()
+	})
+	e.timers.armed[at] = struct{}{}
+	e.timers.mu.Unlock()
+	return at
+}
+
+// removeTimer drops a resolved timer from the registry.
+func (e *Executor) removeTimer(at *afterTimer) {
+	e.timers.mu.Lock()
+	delete(e.timers.armed, at)
+	e.timers.mu.Unlock()
+}
+
+// ArmedTimers reports how many AfterFunc callbacks are currently armed —
+// an observability gauge used by shutdown tests and debugging.
+func (e *Executor) ArmedTimers() int {
+	e.timers.mu.Lock()
+	defer e.timers.mu.Unlock()
+	return len(e.timers.armed)
+}
+
+// fireArmedTimers resolves every armed timer during Shutdown: the
+// wall-clock side is stopped and the callback runs now, exactly once
+// (the claim CAS arbitrates against a concurrently firing timer). Called
+// with e.stop already true, so a callback's Submit sees ErrShutdown.
+func (e *Executor) fireArmedTimers() {
+	e.timers.mu.Lock()
+	armed := e.timers.armed
+	e.timers.armed = nil
+	e.timers.mu.Unlock()
+	for at := range armed {
+		at.t.Stop()
+		if at.claim() {
+			at.fn()
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package sim_test
+
+// Schedule fuzzing: the fuzz input is an interleaving seed plus
+// graph-shape and fault-plan parameters, so the mutator explores the
+// cross product of graph topologies, injected faults and scheduler
+// interleavings. Every failure is replayable: the fuzz case fails with a
+// one-line SIM_REPLAY recipe, and TestReplaySchedule re-runs exactly
+// that schedule from the environment variable.
+//
+// Run with `make fuzz`, or directly:
+//
+//	go test ./internal/sim -fuzz '^FuzzSchedule$' -fuzztime 30s
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"gotaskflow/internal/chaos"
+	"gotaskflow/internal/core"
+	"gotaskflow/internal/graphgen"
+	"gotaskflow/internal/sim"
+)
+
+// replayEnv carries one schedule's parameters into TestReplaySchedule:
+// five integers — schedSeed graphSeed workers n fault.
+const replayEnv = "SIM_REPLAY"
+
+// schedParams is one fuzz case after normalization.
+type schedParams struct {
+	schedSeed, graphSeed int64
+	workers, n, fault    int
+}
+
+func normalize(schedSeed, graphSeed, workersRaw, nRaw, faultRaw int64) schedParams {
+	abs := func(v int64) int64 {
+		if v < 0 {
+			v = -v
+		}
+		if v < 0 { // MinInt64
+			v = 0
+		}
+		return v
+	}
+	return schedParams{
+		schedSeed: schedSeed,
+		graphSeed: graphSeed,
+		workers:   1 + int(abs(workersRaw)%8),
+		n:         1 + int(abs(nRaw)%64),
+		fault:     int(abs(faultRaw) % 4),
+	}
+}
+
+func (p schedParams) recipe() string {
+	return fmt.Sprintf(
+		"replay: %s='%d %d %d %d %d' go test ./internal/sim -run '^TestReplaySchedule$' -v",
+		replayEnv, p.schedSeed, p.graphSeed, p.workers-1, p.n-1, p.fault)
+}
+
+// retryBudget is the retry count given to the tasks the plan marks
+// retryable.
+const retryBudget = 2
+
+// schedResult captures everything two runs of the same schedule must
+// agree on.
+type schedResult struct {
+	hash       uint64
+	errText    string
+	attempts   []int32
+	bodies     []int32
+	stats      sim.Stats
+	hardFaults int // planned Panic+Fail faults
+}
+
+// runSchedule executes one simulated schedule under p: a graphgen DAG
+// with chaos faults injected per p.fault, retries sprinkled from the
+// graph seed, all scheduling choices permuted by the schedule seed.
+func runSchedule(t *testing.T, p schedParams) schedResult {
+	t.Helper()
+	s := sim.New(p.workers, sim.WithSeed(p.schedSeed))
+	tf := core.NewShared(s)
+
+	var in *chaos.Injector
+	switch p.fault {
+	case 1: // errors only
+		in = chaos.New(chaos.Config{Seed: p.schedSeed ^ p.graphSeed*31, PFail: 0.15})
+	case 2: // errors + panics
+		in = chaos.New(chaos.Config{Seed: p.schedSeed ^ p.graphSeed*31, PFail: 0.08, PPanic: 0.07})
+	case 3: // errors + virtual-clock delays
+		in = chaos.New(chaos.Config{
+			Seed: p.schedSeed ^ p.graphSeed*31, PFail: 0.05, PDelay: 0.25,
+			MaxDelay: 2 * time.Millisecond, Sleep: s.AdvanceBy,
+		})
+	}
+
+	d := graphgen.Random(p.n, graphgen.Config{Seed: p.graphSeed})
+	attempts := make([]int32, p.n)
+	bodies := make([]int32, p.n)
+	retryPick := rand.New(rand.NewSource(p.graphSeed + 1))
+	tasks := make([]core.Task, p.n)
+	for i := 0; i < p.n; i++ {
+		i := i
+		inner := func() { bodies[i]++ }
+		var body func() error
+		if in != nil {
+			body = in.Wrap(fmt.Sprintf("t%d", i), inner)
+		} else {
+			body = func() error { inner(); return nil }
+		}
+		tasks[i] = tf.EmplaceErr(func() error { attempts[i]++; return body() })
+		if p.fault > 0 && retryPick.Float64() < 0.2 {
+			// Microsecond backoff: real time on the real pool, a virtual
+			// timer here — it fires instantly in seed-chosen order.
+			tasks[i] = tasks[i].Retry(retryBudget, time.Microsecond)
+		}
+	}
+	for u := 0; u < p.n; u++ {
+		d.Successors(u, func(v int) { tasks[u].Precede(tasks[v]) })
+	}
+
+	// Watchdog: the simulation is deterministic, so a hang would also be
+	// deterministic — convert it into a failure carrying the recipe
+	// instead of a silent fuzz timeout.
+	done := make(chan error, 1)
+	go func() { done <- tf.Run() }()
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("schedule did not quiesce in 60s\n%s", p.recipe())
+	}
+
+	res := schedResult{
+		hash:     s.ScheduleHash(),
+		attempts: attempts,
+		bodies:   bodies,
+		stats:    s.Stats(),
+	}
+	if err != nil {
+		res.errText = err.Error()
+	}
+	if in != nil {
+		res.hardFaults = in.CountPlanned(chaos.Panic) + in.CountPlanned(chaos.Fail)
+	}
+
+	// Invariants of any schedule, faulted or not.
+	if lerr := s.Failure(); lerr != nil {
+		t.Fatalf("liveness failure: %v\n%s", lerr, p.recipe())
+	}
+	if cerr := res.stats.Check(); cerr != nil {
+		t.Fatalf("%v\n%s", cerr, p.recipe())
+	}
+	for i, a := range attempts {
+		if a > 1+retryBudget {
+			t.Fatalf("task %d attempted %d times, budget %d\n%s", i, a, 1+retryBudget, p.recipe())
+		}
+	}
+	if res.hardFaults == 0 {
+		// No panic/fail faults planned: the run must succeed and every
+		// task body must run exactly once.
+		if err != nil {
+			t.Fatalf("fault-free schedule failed: %v\n%s", err, p.recipe())
+		}
+		for i, b := range bodies {
+			if b != 1 {
+				t.Fatalf("task %d body ran %d times, want 1\n%s", i, b, p.recipe())
+			}
+		}
+	} else if err == nil {
+		// Success despite planned hard faults: legal only if none
+		// actually fired (fail-fast cancellation can skip them) — but a
+		// fired Fail/Panic fault must surface in the run error.
+		for _, f := range in.Triggered() {
+			if f.Mode == chaos.Fail || f.Mode == chaos.Panic {
+				t.Fatalf("fault %v fired but run succeeded\n%s", f, p.recipe())
+			}
+		}
+	}
+	return res
+}
+
+func FuzzSchedule(f *testing.F) {
+	f.Add(int64(1), int64(7), int64(4), int64(40), int64(0))
+	f.Add(int64(2), int64(11), int64(1), int64(12), int64(1))
+	f.Add(int64(3), int64(13), int64(7), int64(63), int64(2))
+	f.Add(int64(4), int64(17), int64(2), int64(33), int64(3))
+	f.Add(int64(99), int64(0), int64(0), int64(0), int64(1))
+	f.Fuzz(func(t *testing.T, schedSeed, graphSeed, workersRaw, nRaw, faultRaw int64) {
+		p := normalize(schedSeed, graphSeed, workersRaw, nRaw, faultRaw)
+		a := runSchedule(t, p)
+		b := runSchedule(t, p)
+		// The replay guarantee under fuzz: an identical case re-executes
+		// the identical schedule with the identical outcome.
+		if a.hash != b.hash {
+			t.Fatalf("schedule hashes differ across identical runs: %#x vs %#x\n%s",
+				a.hash, b.hash, p.recipe())
+		}
+		if a.errText != b.errText {
+			t.Fatalf("run errors differ across identical runs:\n%q\nvs\n%q\n%s",
+				a.errText, b.errText, p.recipe())
+		}
+		for i := range a.attempts {
+			if a.attempts[i] != b.attempts[i] {
+				t.Fatalf("task %d attempts differ across identical runs: %d vs %d\n%s",
+					i, a.attempts[i], b.attempts[i], p.recipe())
+			}
+		}
+	})
+}
+
+// TestReplaySchedule re-runs one schedule from the SIM_REPLAY
+// environment variable (five integers: schedSeed graphSeed workers n
+// fault — the exact line a failing fuzz case or sweep prints). With the
+// variable unset the test skips.
+func TestReplaySchedule(t *testing.T) {
+	v := os.Getenv(replayEnv)
+	if v == "" {
+		t.Skipf("%s not set; set it to the five integers from a failure recipe", replayEnv)
+	}
+	fields := strings.Fields(v)
+	if len(fields) != 5 {
+		t.Fatalf("%s=%q: want 5 integers (schedSeed graphSeed workers n fault)", replayEnv, v)
+	}
+	nums := make([]int64, 5)
+	for i, f := range fields {
+		n, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			t.Fatalf("%s field %d (%q): %v", replayEnv, i, f, err)
+		}
+		nums[i] = n
+	}
+	p := normalize(nums[0], nums[1], nums[2], nums[3], nums[4])
+	res := runSchedule(t, p)
+	t.Logf("replayed schedule: workers=%d n=%d fault=%d hash=%#x steps=%d executed=%d err=%q",
+		p.workers, p.n, p.fault, res.hash, res.stats.Steps, res.stats.Executed, res.errText)
+}

@@ -1,0 +1,728 @@
+// Package sim is a deterministic simulation executor for the taskflow
+// scheduler: a single-threaded, virtual-time implementation of the
+// executor.Scheduler and executor.Context seams that runs the same task
+// graphs as the real work-stealing pool while a single seeded PRNG
+// permutes every scheduling choice the real executor makes
+// nondeterministically — ready-queue pop order, steal-victim selection,
+// batch-steal sizes, injection-shard targeting and drain order,
+// retry-timer firing order, and park/wake interleavings.
+//
+// The point is replay. The chaos harness (internal/chaos) can inject
+// faults deterministically, but on the real pool the *interleaving* that
+// exposes a bug is gone the moment the run ends. Under simulation the
+// whole schedule is a pure function of the seed: a failing property run
+// or fuzz case prints its seed, and one `go test -run` invocation with
+// that seed replays the identical schedule, fault plan and failure.
+//
+// # Model
+//
+// The simulation executes every task inline on the driving goroutine.
+// Modeled state mirrors the real executor one level up from its lock-free
+// machinery: per-worker deques and speculative cache slots, sharded
+// injection queues, and a banked-signal park/wake protocol shaped like
+// the eventcount notifier (prewait → re-check → park, with notify
+// banking a signal for workers inside the prewait window). Each step the
+// PRNG picks one enabled action:
+//
+//   - an active worker runs its cached task, pops a task from its deque
+//     (any position — a superset of the owner-LIFO/thief-FIFO orders
+//     reachable on the real pool), or steals a batch of seed-chosen size
+//     from a seed-chosen victim deque or injection shard;
+//   - a worker with nothing visible announces intent to park (prewait);
+//     on a later step it re-checks — consuming a banked signal or
+//     observing published work cancels the park, otherwise it parks;
+//   - an armed virtual timer fires (any armed timer, in seed-chosen
+//     order — real retry backoffs carry jitter, so their relative firing
+//     order is genuinely unconstrained).
+//
+// Virtual time never sleeps: Task.Retry backoff and similar waits fire
+// instantly once chosen, and the virtual clock only advances.
+//
+// # Liveness detection
+//
+// If no action is enabled while queued work remains — every worker
+// parked, no timer armed, tasks sitting in a queue — the model has lost
+// a wakeup. The simulation records the failure (see Failure) and
+// recovers by unparking every worker so the graph still drains and
+// waiters unblock; tests then fail with a one-line seed recipe. This is
+// exactly how a re-introduced notifier protocol bug (e.g. the pre-PR 6
+// re-check-before-announce ordering) surfaces: as a deterministic,
+// seed-replayable deadlock report instead of a hung -race run.
+//
+// # What is and is not modeled
+//
+// The simulation explores scheduling orders, not memory-model behavior:
+// everything runs on one goroutine, so torn reads, missing
+// happens-before edges and other data races are invisible here — the
+// race detector on the real pool still owns those. Wall-clock context
+// deadlines (RunContext with a deadline) are also not virtualized; they
+// fire from their own goroutines and belong to real-executor tests.
+// A SimExecutor must be driven from a single goroutine; determinism is
+// only guaranteed when task bodies are themselves deterministic and
+// spawn no goroutines of their own.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gotaskflow/internal/executor"
+)
+
+// maxStealBatch caps how many tasks one steal or drain moves, matching
+// wsq.MaxStealBatch on the real pool.
+const maxStealBatch = 16
+
+// maxRecordedPanics bounds the contained-panic log, matching the real
+// executor.
+const maxRecordedPanics = 64
+
+// maxRecoveries bounds lost-wakeup recoveries before the simulation
+// gives up; a correct model never recovers even once.
+const maxRecoveries = 100
+
+// wstate is a modeled worker's park-protocol state.
+type wstate uint8
+
+const (
+	wActive  wstate = iota // looking for or executing work
+	wPrewait               // announced intent to park, re-check pending
+	wParked                // blocked; only a wake makes it runnable
+)
+
+// actionKind enumerates the schedulable step types.
+type actionKind uint8
+
+const (
+	aRunCache actionKind = iota
+	aPop
+	aSteal
+	aPrewait
+	aCommit
+	aTimer
+)
+
+type action struct {
+	kind actionKind
+	w    int
+}
+
+// simTimer is one armed virtual-clock callback.
+type simTimer struct {
+	s  *SimExecutor
+	at time.Duration
+	fn func()
+}
+
+// Stop implements executor.Timer.
+func (t *simTimer) Stop() bool { return t.s.stopTimer(t) }
+
+// Stats is a snapshot of the simulation's scheduling counters.
+type Stats struct {
+	// Steps counts scheduling decisions; Executed counts task-body
+	// invocations; Enqueued counts tasks accepted into any queue or
+	// cache slot (external submissions and worker-context submissions).
+	Steps, Executed, Enqueued uint64
+	// Steals/StolenTasks and Drains/DrainedTasks split operations from
+	// tasks moved, mirroring the real executor's metrics.
+	Steals, StolenTasks, Drains, DrainedTasks uint64
+	// Prewaits, WaitCancels, Parks and Wakes count park-protocol steps.
+	Prewaits, WaitCancels, Parks, Wakes uint64
+	// TimersFired counts virtual-clock callbacks.
+	TimersFired uint64
+	// Recoveries counts lost-wakeup recoveries — nonzero only when the
+	// model (or an injected model bug) dropped a wake; see Failure.
+	Recoveries int
+}
+
+// Check verifies the conservation law at quiescence before Shutdown:
+// every task accepted into the simulation was executed exactly once.
+func (st Stats) Check() error {
+	if st.Enqueued != st.Executed {
+		return fmt.Errorf("sim: enqueued %d tasks but executed %d", st.Enqueued, st.Executed)
+	}
+	return nil
+}
+
+// SimExecutor is the deterministic simulation scheduler. Create with New,
+// hand to core.NewShared, and drive Run/Dispatch from one goroutine.
+type SimExecutor struct {
+	workers int
+	nshards int
+	seed    int64
+	rng     *rand.Rand
+
+	deques [][]*executor.Runnable // per-worker, newest at the end
+	caches []*executor.Runnable   // per-worker speculative slot
+	shards [][]*executor.Runnable // external injection, FIFO per shard
+	state  []wstate
+	signal int // banked wake signals for prewaiting workers
+
+	timers []*simTimer
+	now    time.Duration
+
+	running  bool
+	cur      int // worker executing the current task
+	stopped  bool
+	maxSteps uint64
+
+	// lostWakeBug re-introduces the pre-eventcount notifier ordering
+	// (re-check before announce, no signal banking) in the model, for
+	// tests that validate the liveness detector. See sim_internal_test.go.
+	lostWakeBug bool
+
+	st       Stats
+	hash     uint64 // FNV-1a over every PRNG decision: the schedule fingerprint
+	failures []error
+	panics   []error
+
+	scratch []action
+}
+
+// Option configures a SimExecutor.
+type Option func(*SimExecutor)
+
+// WithSeed sets the schedule seed. The default is 1 — unlike the real
+// executor, the simulation favors reproducibility over per-instance
+// variation, so unseeded runs are already replayable.
+func WithSeed(seed int64) Option {
+	return func(s *SimExecutor) { s.seed = seed }
+}
+
+// WithMaxSteps overrides the scheduling-step budget (default 5,000,000)
+// after which the simulation panics, converting a livelocked graph
+// (e.g. a condition-task loop that never exits) into a visible failure.
+func WithMaxSteps(n uint64) Option {
+	return func(s *SimExecutor) { s.maxSteps = n }
+}
+
+// withLostWakeupBug re-introduces the seed notifier's lost-wakeup
+// ordering in the park/wake model: workers check for work before
+// announcing intent to park, commit blindly, and wakes are not banked
+// for workers inside the prewait window. Unexported — it exists so the
+// liveness detector itself is testable.
+func withLostWakeupBug() Option {
+	return func(s *SimExecutor) { s.lostWakeBug = true }
+}
+
+// New creates a simulation executor modeling n workers (n <= 0 means 1;
+// the simulation never spawns goroutines regardless).
+func New(n int, opts ...Option) *SimExecutor {
+	if n <= 0 {
+		n = 1
+	}
+	s := &SimExecutor{
+		workers:  n,
+		seed:     1,
+		maxSteps: 5_000_000,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	// Shard count mirrors the real pool's one-shard-per-four-workers
+	// grouping (power of two, capped at 16).
+	s.nshards = 1
+	for s.nshards < (n+3)/4 && s.nshards < 16 {
+		s.nshards <<= 1
+	}
+	s.rng = rand.New(rand.NewSource(s.seed))
+	s.deques = make([][]*executor.Runnable, n)
+	s.caches = make([]*executor.Runnable, n)
+	s.shards = make([][]*executor.Runnable, s.nshards)
+	s.state = make([]wstate, n)
+	for i := range s.state {
+		s.state[i] = wParked // an idle pool: everyone parked until work arrives
+	}
+	s.hash = 14695981039346656037 // FNV-1a offset basis
+	return s
+}
+
+var _ executor.Scheduler = (*SimExecutor)(nil)
+
+// Seed returns the schedule seed, for replay recipes.
+func (s *SimExecutor) Seed() int64 { return s.seed }
+
+// NumWorkers implements executor.Scheduler.
+func (s *SimExecutor) NumWorkers() int { return s.workers }
+
+// Stopped implements executor.Scheduler.
+func (s *SimExecutor) Stopped() bool { return s.stopped }
+
+// TraceExternal implements executor.Scheduler; the simulation records no
+// traces.
+func (s *SimExecutor) TraceExternal(executor.EventKind, executor.TaskMeta, uint64) {}
+
+// Now returns the virtual clock.
+func (s *SimExecutor) Now() time.Duration { return s.now }
+
+// AdvanceBy moves the virtual clock forward — the hook for simulated
+// sleeps (e.g. chaos delay faults) that must cost no wall time.
+func (s *SimExecutor) AdvanceBy(d time.Duration) {
+	if d > 0 {
+		s.now += d
+	}
+}
+
+// Stats returns the scheduling counters so far.
+func (s *SimExecutor) Stats() Stats {
+	st := s.st
+	st.Recoveries = len(s.failures)
+	return st
+}
+
+// ScheduleHash returns the FNV-1a fingerprint of every scheduling
+// decision taken so far. Two runs of the same workload with the same
+// seed produce identical hashes; tests use it to prove replay.
+func (s *SimExecutor) ScheduleHash() uint64 { return s.hash }
+
+// Failure joins the liveness failures detected so far (lost wakeups the
+// model had to recover from). Nil means every schedule step was live.
+func (s *SimExecutor) Failure() error { return errors.Join(s.failures...) }
+
+// PanicError joins panics contained at the simulated-worker level,
+// mirroring the real executor's PanicError.
+func (s *SimExecutor) PanicError() error { return errors.Join(s.panics...) }
+
+// pick draws a uniform choice in [0, n) and mixes it into the schedule
+// fingerprint. Every scheduling decision goes through here.
+func (s *SimExecutor) pick(n int) int {
+	v := s.rng.Intn(n)
+	s.hash = (s.hash ^ uint64(v)) * 1099511628211
+	return v
+}
+
+// mix folds a non-PRNG event into the fingerprint (submissions, timer
+// arms) so the hash covers the full interaction sequence.
+func (s *SimExecutor) mix(v uint64) {
+	s.hash = (s.hash ^ v) * 1099511628211
+}
+
+// Submit implements executor.Scheduler: enqueue on a seed-chosen
+// injection shard, wake, and — when called from outside a running step —
+// drive the simulation to quiescence before returning.
+func (s *SimExecutor) Submit(r *executor.Runnable) error {
+	if s.stopped {
+		return executor.ErrShutdown
+	}
+	idx := s.pick(s.nshards)
+	s.shards[idx] = append(s.shards[idx], r)
+	s.st.Enqueued++
+	s.wakeOne()
+	s.drive()
+	return nil
+}
+
+// SubmitBatch implements executor.Scheduler: the whole batch lands on
+// one seed-chosen shard in order, like the real pool's one-lock batch
+// submit; drains and steals spread it.
+func (s *SimExecutor) SubmitBatch(rs []*executor.Runnable) error {
+	if len(rs) == 0 {
+		return nil
+	}
+	if s.stopped {
+		return executor.ErrShutdown
+	}
+	idx := s.pick(s.nshards)
+	s.shards[idx] = append(s.shards[idx], rs...)
+	s.st.Enqueued += uint64(len(rs))
+	s.wakeUpTo(len(rs))
+	s.drive()
+	return nil
+}
+
+// AfterFunc implements executor.Scheduler: arm a virtual-clock timer.
+// Armed timers fire in seed-chosen order whenever the scheduler chooses
+// a timer step — retry backoffs cost no wall time. After Shutdown, fn
+// runs immediately, matching the real executor's bounded-lifetime
+// contract.
+func (s *SimExecutor) AfterFunc(d time.Duration, fn func()) executor.Timer {
+	t := &simTimer{s: s, at: s.now + d, fn: fn}
+	if s.stopped {
+		fn()
+		return t
+	}
+	s.mix(uint64(len(s.timers)) | 1<<63)
+	s.timers = append(s.timers, t)
+	s.drive()
+	return t
+}
+
+// stopTimer disarms t; reports whether it was still armed.
+func (s *SimExecutor) stopTimer(t *simTimer) bool {
+	for i, a := range s.timers {
+		if a == t {
+			s.timers = append(s.timers[:i], s.timers[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Shutdown implements executor.Scheduler: refuse further submissions and
+// resolve every armed timer now (their callbacks observe ErrShutdown on
+// submission, exactly like the real executor's shutdown path). Pending
+// queued tasks are discarded, as on the real pool.
+func (s *SimExecutor) Shutdown() {
+	if s.stopped {
+		return
+	}
+	s.stopped = true
+	for len(s.timers) > 0 {
+		t := s.timers[0]
+		s.timers = s.timers[1:]
+		t.fn()
+	}
+}
+
+// drive runs scheduling steps until no action is enabled. Reentrant
+// calls (submissions made by a running task or firing timer) return
+// immediately; the outermost frame keeps stepping until quiescence.
+func (s *SimExecutor) drive() {
+	if s.running || s.stopped {
+		return
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	for s.step() {
+	}
+}
+
+// anyWork reports whether any deque or injection shard holds a task —
+// the published-work predicate park re-checks use (cache slots are
+// worker-private and excluded, as on the real pool).
+func (s *SimExecutor) anyWork() bool {
+	for _, dq := range s.deques {
+		if len(dq) > 0 {
+			return true
+		}
+	}
+	for _, sh := range s.shards {
+		if len(sh) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// stealable reports whether worker w could steal from anywhere: another
+// worker's deque or an injection shard.
+func (s *SimExecutor) stealable(w int) bool {
+	for v, dq := range s.deques {
+		if v != w && len(dq) > 0 {
+			return true
+		}
+	}
+	for _, sh := range s.shards {
+		if len(sh) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// step performs one seed-chosen scheduling action. It returns false at
+// quiescence: no worker can act and no timer is armed.
+func (s *SimExecutor) step() bool {
+	if s.stopped {
+		return false // Shutdown mid-drive: queued work is discarded, as on the real pool
+	}
+	cands := s.scratch[:0]
+	for w := 0; w < s.workers; w++ {
+		switch s.state[w] {
+		case wActive:
+			switch {
+			case s.caches[w] != nil:
+				// The speculative cache is not a choice point: the real
+				// worker always runs it next, with nothing in between on
+				// that worker (other workers still interleave freely).
+				cands = append(cands, action{aRunCache, w})
+			case len(s.deques[w]) > 0:
+				cands = append(cands, action{aPop, w})
+			default:
+				if s.stealable(w) {
+					cands = append(cands, action{aSteal, w})
+				}
+				if !s.lostWakeBug || !s.anyWork() {
+					// Correct protocol: announcing intent to park is always
+					// allowed; the commit step re-checks. Buggy protocol:
+					// the worker checks first and announces blindly.
+					cands = append(cands, action{aPrewait, w})
+				}
+			}
+		case wPrewait:
+			cands = append(cands, action{aCommit, w})
+		}
+	}
+	if len(s.timers) > 0 {
+		cands = append(cands, action{kind: aTimer})
+	}
+	s.scratch = cands[:0] // retain capacity
+
+	if len(cands) == 0 {
+		if s.anyWork() {
+			s.recoverLostWakeup()
+			return true
+		}
+		return false // quiescent
+	}
+
+	c := cands[s.pick(len(cands))]
+	s.st.Steps++
+	if s.st.Steps > s.maxSteps {
+		panic(fmt.Sprintf(
+			"sim: exceeded %d scheduling steps (livelocked graph?) — seed %d",
+			s.maxSteps, s.seed))
+	}
+	s.perform(c)
+	return true
+}
+
+// recoverLostWakeup records a liveness failure — queued work with every
+// worker parked and no timer armed — and unparks everyone so the graph
+// still drains and waiters can observe the recorded failure instead of
+// hanging.
+func (s *SimExecutor) recoverLostWakeup() {
+	queued := 0
+	for _, dq := range s.deques {
+		queued += len(dq)
+	}
+	for _, sh := range s.shards {
+		queued += len(sh)
+	}
+	s.failures = append(s.failures, fmt.Errorf(
+		"sim: lost wakeup at step %d: %d queued tasks with all %d workers parked (seed %d)",
+		s.st.Steps, queued, s.workers, s.seed))
+	if len(s.failures) > maxRecoveries {
+		panic(fmt.Sprintf("sim: %d lost-wakeup recoveries — model is not live (seed %d)",
+			len(s.failures), s.seed))
+	}
+	for w := range s.state {
+		s.state[w] = wActive
+	}
+	s.signal = 0
+}
+
+// perform executes one chosen action.
+func (s *SimExecutor) perform(c action) {
+	switch c.kind {
+	case aRunCache:
+		r := s.caches[c.w]
+		s.caches[c.w] = nil
+		s.runTask(c.w, r)
+	case aPop:
+		dq := s.deques[c.w]
+		i := s.pick(len(dq))
+		r := dq[i]
+		s.deques[c.w] = append(dq[:i], dq[i+1:]...)
+		s.runTask(c.w, r)
+	case aSteal:
+		s.steal(c.w)
+	case aPrewait:
+		s.state[c.w] = wPrewait
+		s.st.Prewaits++
+	case aCommit:
+		s.commitPark(c.w)
+	case aTimer:
+		i := s.pick(len(s.timers))
+		t := s.timers[i]
+		s.timers = append(s.timers[:i], s.timers[i+1:]...)
+		if t.at > s.now {
+			s.now = t.at
+		}
+		s.st.TimersFired++
+		t.fn()
+	}
+}
+
+// steal moves a seed-chosen batch from a seed-chosen victim deque or
+// injection shard to worker w: the first task runs, the rest land on w's
+// deque — the half-backlog batch policy of the real pool with the batch
+// size itself under seed control.
+func (s *SimExecutor) steal(w int) {
+	// Enumerate sources deterministically: worker deques then shards.
+	var victims []int // worker index, or s.workers+shard index
+	for v, dq := range s.deques {
+		if v != w && len(dq) > 0 {
+			victims = append(victims, v)
+		}
+	}
+	for i, sh := range s.shards {
+		if len(sh) > 0 {
+			victims = append(victims, s.workers+i)
+		}
+	}
+	if len(victims) == 0 {
+		return
+	}
+	src := victims[s.pick(len(victims))]
+	var q *[]*executor.Runnable
+	if src < s.workers {
+		q = &s.deques[src]
+	} else {
+		q = &s.shards[src-s.workers]
+	}
+	max := (len(*q) + 1) / 2
+	if max > maxStealBatch {
+		max = maxStealBatch
+	}
+	k := 1 + s.pick(max)
+	grabbed := make([]*executor.Runnable, k)
+	copy(grabbed, (*q)[:k])
+	*q = append((*q)[:0], (*q)[k:]...)
+	if src < s.workers {
+		s.st.Steals++
+		s.st.StolenTasks += uint64(k)
+	} else {
+		s.st.Drains++
+		s.st.DrainedTasks += uint64(k)
+	}
+	if k > 1 {
+		s.deques[w] = append(s.deques[w], grabbed[1:]...)
+	}
+	s.runTask(w, grabbed[0])
+}
+
+// commitPark is the second phase of the park protocol for worker w:
+// consume a banked signal or observe published work (cancel), else park.
+// Under the injected bug the worker parks blindly.
+func (s *SimExecutor) commitPark(w int) {
+	if s.lostWakeBug {
+		s.state[w] = wParked
+		s.st.Parks++
+		return
+	}
+	if s.signal > 0 {
+		s.signal--
+		s.state[w] = wActive
+		s.st.WaitCancels++
+		return
+	}
+	if s.anyWork() {
+		s.state[w] = wActive
+		s.st.WaitCancels++
+		return
+	}
+	s.state[w] = wParked
+	s.st.Parks++
+}
+
+// wakeOne delivers one wake: bank a signal for a prewaiting worker
+// (eventcount semantics — it cancels at commit), else unpark a
+// seed-chosen parked worker, else no-op (everyone is active and will
+// find the work). Reports whether a wake was delivered.
+func (s *SimExecutor) wakeOne() bool {
+	if !s.lostWakeBug {
+		prewaiters := 0
+		for _, st := range s.state {
+			if st == wPrewait {
+				prewaiters++
+			}
+		}
+		if s.signal < prewaiters {
+			s.signal++
+			s.st.Wakes++
+			return true
+		}
+	}
+	var parked []int
+	for w, st := range s.state {
+		if st == wParked {
+			parked = append(parked, w)
+		}
+	}
+	if len(parked) == 0 {
+		return false
+	}
+	w := parked[s.pick(len(parked))]
+	s.state[w] = wActive
+	s.st.Wakes++
+	return true
+}
+
+// wakeUpTo delivers at most n wakes, stopping at the first failure.
+func (s *SimExecutor) wakeUpTo(n int) int {
+	woke := 0
+	for ; woke < n; woke++ {
+		if !s.wakeOne() {
+			break
+		}
+	}
+	return woke
+}
+
+// runTask executes one task inline on modeled worker w under panic
+// containment mirroring the real executor's safeRun.
+func (s *SimExecutor) runTask(w int, r *executor.Runnable) {
+	prev := s.cur
+	s.cur = w
+	s.st.Executed++
+	s.safeRun(w, r)
+	s.cur = prev
+}
+
+func (s *SimExecutor) safeRun(w int, r *executor.Runnable) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if len(s.panics) < maxRecordedPanics {
+				s.panics = append(s.panics,
+					fmt.Errorf("sim: task panicked on worker %d: %v", w, rec))
+			}
+		}
+	}()
+	(*r).Run(simCtx{s: s, w: w})
+}
+
+// simCtx implements executor.Context for tasks running under simulation.
+type simCtx struct {
+	s *SimExecutor
+	w int
+}
+
+var _ executor.Context = simCtx{}
+
+func (c simCtx) WorkerID() int                                       { return c.w }
+func (c simCtx) Executor() executor.Scheduler                        { return c.s }
+func (c simCtx) Tracing() bool                                       { return false }
+func (c simCtx) Trace(executor.EventKind, executor.TaskMeta, uint64) {}
+
+// Submit pushes onto this worker's deque and wakes one idler, like the
+// real worker context.
+func (c simCtx) Submit(r *executor.Runnable) {
+	c.s.deques[c.w] = append(c.s.deques[c.w], r)
+	c.s.st.Enqueued++
+	c.s.wakeOne()
+}
+
+// SubmitNoWake pushes without waking; the producer issues one Wake for
+// the whole batch.
+func (c simCtx) SubmitNoWake(r *executor.Runnable) {
+	c.s.deques[c.w] = append(c.s.deques[c.w], r)
+	c.s.st.Enqueued++
+}
+
+// SubmitBatch pushes the batch and wakes up to len(rs) idlers.
+func (c simCtx) SubmitBatch(rs []*executor.Runnable) {
+	if len(rs) == 0 {
+		return
+	}
+	c.s.deques[c.w] = append(c.s.deques[c.w], rs...)
+	c.s.st.Enqueued += uint64(len(rs))
+	c.s.wakeUpTo(len(rs))
+}
+
+// SubmitCached places the task in this worker's cache slot (it runs next
+// on this worker, queues bypassed) or falls back to Submit when the slot
+// is taken.
+func (c simCtx) SubmitCached(r *executor.Runnable) {
+	if c.s.caches[c.w] == nil {
+		c.s.caches[c.w] = r
+		c.s.st.Enqueued++
+		return
+	}
+	c.Submit(r)
+}
+
+// Wake wakes up to n parked workers.
+func (c simCtx) Wake(n int) { c.s.wakeUpTo(n) }

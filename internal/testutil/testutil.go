@@ -1,0 +1,76 @@
+// Package testutil holds assertions shared across the test suites.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// leakSettle is how long NoLeaks waits for goroutine counts to drain
+// back to the baseline before failing. Executor shutdown is synchronous,
+// but runtime bookkeeping (timer goroutines, finished workers not yet
+// reaped by the scheduler) can lag a few milliseconds behind.
+const leakSettle = 2 * time.Second
+
+// NoLeaks snapshots the goroutine count now and registers a cleanup that
+// fails the test if the count has not returned to the baseline by the
+// end of the test (allowing leakSettle for stragglers to exit). On
+// failure it dumps all goroutine stacks, so the leaked goroutine is
+// identified, not just counted. Call it first in any test that creates
+// executors, taskflows or timers:
+//
+//	func TestLifecycle(t *testing.T) {
+//		testutil.NoLeaks(t)
+//		e := executor.New(4)
+//		...
+//	}
+//
+// Subtests sharing one executor should call NoLeaks in the parent test
+// only — the cleanup runs after the subtests' own cleanups, so the
+// executor's Shutdown (deferred in the parent) is still observed.
+func NoLeaks(t testing.TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(leakSettle)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d goroutines at test end, baseline %d\n%s",
+			n, base, indent(string(buf)))
+	})
+}
+
+func indent(s string) string {
+	return "\t" + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n\t")
+}
+
+// Eventually polls cond every tick until it returns true or the deadline
+// passes, then fails the test with msg. It is the shared shape of the
+// "wait for counter to settle" loops in the executor and chaos suites.
+func Eventually(t testing.TB, d time.Duration, cond func() bool, format string, args ...any) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for {
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("condition not reached within %v: %s", d, fmt.Sprintf(format, args...))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
