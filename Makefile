@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race chaos bench bench-contention cover fuzz trace
+.PHONY: all build test vet race chaos bench bench-contention cover fuzz trace fairness
 
 all: vet build test
 
@@ -45,6 +45,17 @@ bench-contention:
 		-benchmem -benchtime 1s -count 5 ./internal/executor/ \
 		| tee /tmp/bench_contention.txt
 	@echo "raw output in /tmp/bench_contention.txt; curate BENCH_scheduler.json (contention section) from it"
+
+# fairness runs the multi-tenant suite: the sim fairness property sweep,
+# the injected-starvation detector, the real-executor admission and
+# -race mirror tests, then the fairness tail benchmarks (interactive p99
+# under batch saturation). Medians feed the "fairness" section of
+# BENCH_scheduler.json.
+fairness:
+	$(GO) test -run 'Fairness|StrictDrain|WeightedDrain|ServiceGap|TestFlow' -v ./internal/sim/ ./internal/core/ ./internal/executor/
+	$(GO) test -run '^$$' -bench 'BenchmarkFairness' \
+		-benchmem -benchtime 1s -count 3 . | tee /tmp/bench_fairness.txt
+	@echo "raw output in /tmp/bench_fairness.txt; curate BENCH_scheduler.json (fairness section) from it"
 
 # trace is the tracing smoke: capture an event trace from an instrumented
 # wavefront and traversal run via the drivers' -trace flags, then validate

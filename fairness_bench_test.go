@@ -1,0 +1,147 @@
+// Fairness benchmarks for the multi-tenant flow layer: a thousand small
+// interactive flows share one executor with a few huge batch flows that
+// keep the pool saturated. The interactive completion-latency tail is
+// the figure of merit — the priority-class drain order plus the weighted
+// wheel must keep p99 bounded while the batch backlog is effectively
+// infinite. Run with `make fairness`; curated medians live in
+// BENCH_scheduler.json (fairness section).
+package gotaskflow_test
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"gotaskflow/internal/core"
+	"gotaskflow/internal/executor"
+)
+
+const (
+	fairInteractiveFlows = 1000 // distinct high-priority tenants
+	fairChainLen         = 4    // nodes per interactive job
+	fairBatchFlows       = 3    // saturating low-priority tenants
+	fairBatchWidth       = 1024 // independent tasks per batch wave
+)
+
+// interactiveTenants builds one small chain taskflow per interactive
+// flow, pre-run once so steady-state measurements exclude construction.
+func interactiveTenants(b *testing.B, e *executor.Executor) []*core.Taskflow {
+	b.Helper()
+	tfs := make([]*core.Taskflow, fairInteractiveFlows)
+	for i := range tfs {
+		f := e.NewFlow("ia", executor.FlowConfig{Class: executor.Interactive})
+		tf := core.NewShared(e).SetFlow(f)
+		var prev core.Task
+		for k := 0; k < fairChainLen; k++ {
+			c := tf.Emplace1(func() {})
+			if k > 0 {
+				prev.Precede(c)
+			}
+			prev = c
+		}
+		if err := tf.Run(); err != nil {
+			b.Fatal(err)
+		}
+		tfs[i] = tf
+	}
+	return tfs
+}
+
+// batchPressure floods the executor with huge flat batch-class graphs
+// until stop is closed, keeping every worker's steal loop saturated with
+// low-priority backlog.
+func batchPressure(b *testing.B, e *executor.Executor, stop chan struct{}) *sync.WaitGroup {
+	b.Helper()
+	var wg sync.WaitGroup
+	for i := 0; i < fairBatchFlows; i++ {
+		f := e.NewFlow("batch", executor.FlowConfig{Class: executor.Batch})
+		tf := core.NewShared(e).SetFlow(f)
+		for k := 0; k < fairBatchWidth; k++ {
+			tf.Emplace1(func() {})
+		}
+		wg.Add(1)
+		go func(tf *core.Taskflow) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := tf.Run(); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(tf)
+	}
+	return &wg
+}
+
+// reportTail attaches the latency distribution to the benchmark output.
+func reportTail(b *testing.B, lat []time.Duration) {
+	b.Helper()
+	if len(lat) == 0 {
+		return
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) time.Duration { return lat[int(p*float64(len(lat)-1))] }
+	b.ReportMetric(float64(pct(0.50).Nanoseconds()), "p50-ns")
+	b.ReportMetric(float64(pct(0.99).Nanoseconds()), "p99-ns")
+	b.ReportMetric(float64(lat[len(lat)-1].Nanoseconds()), "max-ns")
+}
+
+// BenchmarkFairnessInteractiveP99 measures interactive job completion
+// latency while the batch tenants keep the pool saturated. The paper's
+// claim under test: strict class drains plus the WRR wheel bound the
+// high-priority tail regardless of the standing batch backlog.
+func BenchmarkFairnessInteractiveP99(b *testing.B) {
+	e := executor.New(workers())
+	defer e.Shutdown()
+	tfs := interactiveTenants(b, e)
+
+	stop := make(chan struct{})
+	wg := batchPressure(b, e, stop)
+	time.Sleep(10 * time.Millisecond) // let the batch backlog build
+
+	lat := make([]time.Duration, 0, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tf := tfs[i%len(tfs)]
+		t0 := time.Now()
+		if err := tf.Run(); err != nil {
+			b.Fatal(err)
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	reportTail(b, lat)
+}
+
+// BenchmarkFairnessInteractiveIsolated is the control: the same
+// interactive jobs with no batch pressure. The gap to
+// BenchmarkFairnessInteractiveP99's tail is the total priority-inversion
+// cost the multi-tenant scheduler admits.
+func BenchmarkFairnessInteractiveIsolated(b *testing.B) {
+	e := executor.New(workers())
+	defer e.Shutdown()
+	tfs := interactiveTenants(b, e)
+
+	lat := make([]time.Duration, 0, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tf := tfs[i%len(tfs)]
+		t0 := time.Now()
+		if err := tf.Run(); err != nil {
+			b.Fatal(err)
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	b.StopTimer()
+	reportTail(b, lat)
+}

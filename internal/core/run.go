@@ -61,6 +61,16 @@ func (tf *Taskflow) run(ctx context.Context) error {
 		}
 	}
 
+	// Admission control: a flow-bound run reserves the graph's task count
+	// for the duration of this run; finish returns it before signalling
+	// done. A refused run (quota, watermark, shutdown) charged nothing and
+	// executed nothing — the caller owns the retry/backoff policy.
+	if f := t.flow; f != nil {
+		if err := f.Admit(t.flowReserved); err != nil {
+			return err
+		}
+	}
+
 	// Per-run reset. The run generation advances so a deadline callback
 	// left over from a previous run cannot cancel this one, and a fresh
 	// derived context is materialized when ctx tasks or a caller context
@@ -107,7 +117,7 @@ func (tf *Taskflow) run(ctx context.Context) error {
 	// path); the rest start as one batch.
 	for _, n := range tf.runSemSources {
 		if t.admit(t.sub, n) {
-			if err := tf.exec.Submit(n.ref()); err != nil {
+			if err := t.submitOne(n.ref()); err != nil {
 				t.setErr(err)
 				if t.pending.Add(-1) == 0 {
 					t.finish()
@@ -115,7 +125,7 @@ func (tf *Taskflow) run(ctx context.Context) error {
 			}
 		}
 	}
-	if err := tf.exec.SubmitBatch(tf.runSources); err != nil {
+	if err := t.submitBatch(tf.runSources); err != nil {
 		// The executor was already shut down: the batch was rejected
 		// whole. Undo its pending charge so the run completes with the
 		// error instead of hanging.
@@ -151,6 +161,11 @@ func (tf *Taskflow) prepareRun() (*topology, error) {
 		pprofLabels: tf.pprofLabels,
 	}
 	t.sub = execSubmitter{tf.exec}
+	if f := tf.flow; f != nil {
+		t.flow = f
+		t.flowReserved = g.len()
+		t.sub = flowSubmitter{f}
+	}
 	if tf.statsEnabled {
 		t.stats = &topoStats{timing: tf.statsTiming}
 	}

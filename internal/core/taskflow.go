@@ -79,6 +79,10 @@ type Taskflow struct {
 	// pprofLabels configures runtime/pprof label propagation around task
 	// bodies for subsequently created topologies; see pprof.go.
 	pprofLabels bool
+
+	// flow is the multi-tenant flow subsequently dispatched/run topologies
+	// bind to (nil = unbound); see SetFlow.
+	flow executor.Flow
 }
 
 var _ FlowBuilder = (*Taskflow)(nil)
@@ -121,6 +125,26 @@ func (tf *Taskflow) workerCount() int { return tf.exec.NumWorkers() }
 // SetName names the taskflow for DOT dumps. Returns tf for chaining.
 func (tf *Taskflow) SetName(name string) *Taskflow {
 	tf.name = name
+	return tf
+}
+
+// SetFlow binds subsequently dispatched or run topologies to a
+// multi-tenant flow (executor.Flow, created by Executor.NewFlow or
+// sim.SimExecutor.NewFlow on a shared scheduler). A bound topology:
+//
+//   - reserves its task count against the flow's in-flight quota at
+//     dispatch/run time — Dispatch's Future resolves immediately with
+//     executor.ErrAdmission / executor.ErrOverloaded (and Run returns it)
+//     when the flow refuses the reservation, charging nothing;
+//   - submits its sources, retries and semaphore hand-offs through the
+//     flow's priority queue, so the executor drains them in class
+//     priority and weighted round-robin order;
+//   - returns the reservation exactly once when the topology finishes.
+//
+// nil unbinds. Returns tf for chaining.
+func (tf *Taskflow) SetFlow(f executor.Flow) *Taskflow {
+	tf.flow = f
+	tf.invalidateRun()
 	return tf
 }
 
@@ -247,6 +271,20 @@ func (tf *Taskflow) dispatch(ctx context.Context) *topology {
 		close(t.done)
 		return t
 	}
+	// Admission control: a flow-bound topology reserves its task count
+	// before anything is submitted. Admit is all-or-nothing, so a refused
+	// dispatch charged nothing and finish (never reached on this path —
+	// done closes here) has nothing to release.
+	if f := tf.flow; f != nil {
+		if err := f.Admit(g.len()); err != nil {
+			t.setErr(err)
+			close(t.done)
+			return t
+		}
+		t.flow = f
+		t.flowReserved = g.len()
+		t.sub = flowSubmitter{f}
+	}
 	if ctx != nil || hasCtx {
 		t.ensureCtx(ctx)
 	}
@@ -272,10 +310,11 @@ func (tf *Taskflow) dispatch(ctx context.Context) *topology {
 		}
 		runnable = append(runnable, n.ref())
 	}
-	if err := tf.exec.SubmitBatch(runnable); err != nil {
+	if err := t.submitBatch(runnable); err != nil {
 		// The executor was already shut down: nothing was accepted. Undo
 		// the batch's pending charge so the topology can complete and
-		// waiters observe the error instead of hanging.
+		// waiters observe the error instead of hanging (finish also
+		// returns the flow reservation, exactly once).
 		t.setErr(err)
 		if t.pending.Add(-int64(len(runnable))) == 0 {
 			t.finish()

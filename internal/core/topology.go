@@ -38,6 +38,14 @@ type topology struct {
 	// keeps the steady-state Run path allocation-free.
 	sub submitter
 
+	// flow is the multi-tenant flow this topology is bound to (nil for
+	// unbound topologies — the pre-multi-tenancy behavior). flowReserved
+	// is the number of in-flight task units Admit charged at dispatch/run
+	// time; finish returns them through Release exactly once (including
+	// the failed-submission undo paths, which drain through finish).
+	flow         executor.Flow
+	flowReserved int
+
 	// reusable marks a topology driven by Taskflow.Run: completion is
 	// signalled with a token on the (buffered) done channel instead of a
 	// close, so the same topology object serves many runs without
@@ -88,6 +96,12 @@ func (t *topology) finish() {
 		st.wall = time.Since(st.start)
 	}
 	t.cancelDerivedCtx()
+	if f := t.flow; f != nil && t.flowReserved > 0 {
+		// Release the admission reservation BEFORE the done signal: a
+		// waiter that re-runs the moment done fires must find its units
+		// returned, not race a stale reservation into ErrAdmission.
+		f.Release(t.flowReserved)
+	}
 	if t.reusable {
 		t.done <- struct{}{}
 	} else {
@@ -562,6 +576,9 @@ func (t *topology) notifySucc(ctx executor.Context, src, s *node, cached bool, e
 // subflow parent and decrement the outstanding-execution count, closing
 // the topology at quiescence.
 func (t *topology) retire(ctx executor.Context, n *node) {
+	if f := t.flow; f != nil {
+		f.NoteExecuted(1)
+	}
 	if p := n.parent; p != nil {
 		if p.children.Add(-1) == 0 {
 			if ctx.Tracing() {

@@ -4,6 +4,7 @@
 //
 //	/debug/taskflow/            index: endpoints and registered taskflows
 //	/debug/taskflow/metrics     scheduler counters, Prometheus text format
+//	/debug/taskflow/flows       multi-tenant flow stats (always-on counters)
 //	/debug/taskflow/trace/start begin an event-trace capture
 //	/debug/taskflow/trace/stop  end it and stream Chrome trace-event JSON
 //	/debug/taskflow/dot         annotated DOT of a registered taskflow
@@ -94,6 +95,7 @@ func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(Prefix, r.index)
 	mux.HandleFunc(Prefix+"metrics", r.serveMetrics)
+	mux.HandleFunc(Prefix+"flows", r.serveFlows)
 	mux.HandleFunc(Prefix+"trace/start", r.traceStart)
 	mux.HandleFunc(Prefix+"trace/stop", r.traceStop)
 	mux.HandleFunc(Prefix+"dot", r.dot)
@@ -122,6 +124,7 @@ func (r *Registry) index(w http.ResponseWriter, req *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "gotaskflow debug endpoints (%d workers)\n\n", r.exec.NumWorkers())
 	fmt.Fprintf(w, "%smetrics      scheduler counters (Prometheus text; enabled=%v)\n", Prefix, r.exec.MetricsEnabled())
+	fmt.Fprintf(w, "%sflows        multi-tenant flow stats (%d flows registered)\n", Prefix, len(r.exec.FlowStats()))
 	fmt.Fprintf(w, "%strace/start  begin an event-trace capture (enabled=%v, active=%v)\n", Prefix, r.exec.TracingEnabled(), r.exec.TraceActive())
 	fmt.Fprintf(w, "%strace/stop   end the capture, respond with Chrome trace-event JSON\n", Prefix)
 	fmt.Fprintf(w, "%sdot?flow=NAME  annotated DOT dump of a registered taskflow\n\n", Prefix)
@@ -140,6 +143,34 @@ func (r *Registry) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	if err := metrics.WritePrometheus(w, r.exec); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// serveFlows renders the multi-tenant flow table. Flow counters are
+// always-on atomics, so this endpoint works on executors built without
+// WithMetrics.
+func (r *Registry) serveFlows(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	stats := r.exec.FlowStats()
+	fmt.Fprintf(w, "multi-tenant flows: %d\n", len(stats))
+	if len(stats) == 0 {
+		fmt.Fprintln(w, "no flows registered: create them with Executor.NewFlow")
+		return
+	}
+	for _, st := range stats {
+		quota, wm := "-", "-"
+		if st.MaxInFlight > 0 {
+			quota = fmt.Sprint(st.MaxInFlight)
+		}
+		if st.MaxBacklog > 0 {
+			wm = fmt.Sprint(st.MaxBacklog)
+		}
+		fmt.Fprintf(w,
+			"%-16s class=%-11s weight=%-2d quota=%-4s watermark=%-4s backlog=%-5d in-flight=%d/%d-peak "+
+				"admitted=%d released=%d rejects=%d sheds=%d pushes=%d drained=%d/%d-drains executed=%d\n",
+			st.Name, st.Class, st.Weight, quota, wm, st.Backlog, st.InFlight, st.PeakInFlight,
+			st.AdmittedTasks, st.ReleasedTasks, st.AdmissionRejects, st.OverloadSheds,
+			st.Pushes, st.DrainedTasks, st.DrainOps, st.Executed)
 	}
 }
 

@@ -168,3 +168,53 @@ func TestListenAndServe(t *testing.T) {
 		t.Fatalf("debug listener: status %d body %q", resp.StatusCode, body)
 	}
 }
+
+// TestFlowsEndpoint: the multi-tenant flow table serves with and without
+// registered flows, on a metrics-disabled executor (flow counters are
+// always on).
+func TestFlowsEndpoint(t *testing.T) {
+	e := executor.New(1)
+	defer e.Shutdown()
+	reg := New(e)
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	status, body := get(t, srv, "/debug/taskflow/flows")
+	if status != http.StatusOK {
+		t.Fatalf("flows status %d", status)
+	}
+	if !strings.Contains(body, "no flows registered") {
+		t.Fatalf("empty flow table unexpected:\n%s", body)
+	}
+
+	f := e.NewFlow("tenant-a", executor.FlowConfig{Class: executor.Interactive, Weight: 2, MaxInFlight: 8})
+	tf := core.NewShared(e).SetFlow(f)
+	tf.Emplace1(func() {})
+	tf.Emplace1(func() {})
+	if err := tf.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	status, body = get(t, srv, "/debug/taskflow/flows")
+	if status != http.StatusOK {
+		t.Fatalf("flows status %d", status)
+	}
+	for _, want := range []string{
+		"multi-tenant flows: 1",
+		"tenant-a",
+		"class=interactive",
+		"weight=2",
+		"quota=8",
+		"admitted=2 released=2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("flow table lacks %q:\n%s", want, body)
+		}
+	}
+
+	// The index advertises the endpoint.
+	_, index := get(t, srv, "/debug/taskflow/")
+	if !strings.Contains(index, "flows") || !strings.Contains(index, "1 flows registered") {
+		t.Fatalf("index page lacks flows endpoint line:\n%s", index)
+	}
+}

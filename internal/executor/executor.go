@@ -218,6 +218,11 @@ type Executor struct {
 	injShards []paddedInjShard
 	injMask   int
 
+	// mt is the multi-tenancy state (flow.go), allocated lazily by the
+	// first NewFlow call. Pools that never register a flow pay one nil
+	// pointer load per steal sweep and per anyWork re-check.
+	mt atomic.Pointer[mtState]
+
 	// no is the eventcount notifier parked workers wait on (notifier.go).
 	// idlerCount is a derived gauge of workers currently inside the park
 	// protocol (between prewait and unpark) — it plays no role in wakeup
@@ -568,10 +573,20 @@ func (e *Executor) injDepth() int {
 // anyWork reports whether any queue appears non-empty. Parking workers call
 // it between prewait and commitWait: the eventcount's ordering guarantees
 // that work published before a missed notify is visible to this re-check.
+// Flow backlogs participate for the same reason the shard lengths do: a
+// Flow.Submit publishes the backlog gauge before its wake, so a parking
+// worker that misses the notify sees the count here.
 func (e *Executor) anyWork() bool {
 	for i := range e.injShards {
 		if e.injShards[i].len.Load() > 0 {
 			return true
+		}
+	}
+	if mt := e.mt.Load(); mt != nil {
+		for c := range mt.classes {
+			if mt.classes[c].backlog.Load() > 0 {
+				return true
+			}
 		}
 	}
 	for _, w := range e.workers {
@@ -627,17 +642,30 @@ func (e *Executor) wakeAll() {
 // steal tries the last victim first, then sweeps the other workers and the
 // injection queue (Algorithm 1 line 3). One call is one steal attempt in
 // the metrics; a hit is counted against the source it came from (a victim
-// deque or the injection queue).
+// deque, the injection queue, or a flow queue).
 //
-// Both sources are robbed in batch: a hit moves up to half of the source's
+// All sources are robbed in batch: a hit moves up to half of the source's
 // visible backlog (capped at wsq.MaxStealBatch), executing the first task
 // and parking the extras on this worker's own deque, so one victim
 // selection and one sweep pay for several tasks on wide fan-outs.
+//
+// Multi-tenant drain order (flow.go): Interactive flow backlog outranks
+// everything — it is checked before deque stealing, so request-shaped work
+// preempts in-flight graph expansion at the next steal point. Batch flows
+// rank below the deques and the plain injection shards (active graphs keep
+// priority over new bulk admissions), and Background flows come last.
+// Within a class, drainFlows walks the weighted round-robin wheel.
 func (w *worker) steal() (*Runnable, bool) {
 	e := w.exec
 	m := w.metrics
 	if m != nil {
 		m.stealAttempts.Add(1)
+	}
+	mt := e.mt.Load()
+	if mt != nil {
+		if r, ok := w.drainFlows(&mt.classes[Interactive]); ok {
+			return r, true
+		}
 	}
 	n := len(e.workers)
 	if n > 1 {
@@ -675,6 +703,14 @@ func (w *worker) steal() (*Runnable, bool) {
 		}
 		w.traceEvent(EvInjectDrain, InjectArg(shard, uint64(k)))
 		return scratch[0], true
+	}
+	if mt != nil {
+		if r, ok := w.drainFlows(&mt.classes[Batch]); ok {
+			return r, true
+		}
+		if r, ok := w.drainFlows(&mt.classes[Background]); ok {
+			return r, true
+		}
 	}
 	return nil, false
 }

@@ -79,6 +79,13 @@ type workerMetrics struct {
 	probWakes atomic.Uint64
 	// executed counts tasks this worker invoked.
 	executed atomic.Uint64
+	// flowDrains counts drain operations on multi-tenant flow queues
+	// (flow.go): sweeps of a priority class that came back with at least
+	// one task.
+	flowDrains atomic.Uint64
+	// flowDrainedTasks counts tasks this worker took from flow queues,
+	// including the extras of batch drains re-pushed onto its own deque.
+	flowDrainedTasks atomic.Uint64
 }
 
 // metricsPad pads the per-worker counter blocks to 128 bytes (two cache
@@ -164,6 +171,8 @@ type WorkerStats struct {
 	StealBatches          uint64 // steal operations that moved more than one task
 	InjectionDrains       uint64 // successful injection-queue drain operations
 	InjectionDrainedTasks uint64 // tasks taken from the injection queue (incl. batch extras)
+	FlowDrains            uint64 // successful multi-tenant flow-queue drain operations
+	FlowDrainedTasks      uint64 // tasks taken from flow queues (incl. batch extras)
 	CacheHits             uint64 // tasks run through the speculative cache slot
 	Prewaits              uint64 // entries into the eventcount wait protocol
 	WaitCancels           uint64 // prewaits retracted because the re-check found work
@@ -204,6 +213,13 @@ type Snapshot struct {
 	// 1/wakeDen load-balancing wakeups (lines 26-28).
 	PreciseWakes       uint64
 	ProbabilisticWakes uint64
+
+	// Flows carries per-flow multi-tenancy counters (flow.go), in flow
+	// registration order; empty when no flow was registered. The flow
+	// counters are always on (they double as admission-control state), so
+	// this section is populated even though the snapshot itself requires
+	// WithMetrics.
+	Flows []FlowStats
 }
 
 // Total aggregates the per-worker counters.
@@ -225,6 +241,8 @@ func (s *Snapshot) Total() WorkerStats {
 		t.StealBatches += w.StealBatches
 		t.InjectionDrains += w.InjectionDrains
 		t.InjectionDrainedTasks += w.InjectionDrainedTasks
+		t.FlowDrains += w.FlowDrains
+		t.FlowDrainedTasks += w.FlowDrainedTasks
 		t.CacheHits += w.CacheHits
 		t.Prewaits += w.Prewaits
 		t.WaitCancels += w.WaitCancels
@@ -241,11 +259,20 @@ func (s *Snapshot) Total() WorkerStats {
 //	deque pushes            == deque pops + deque steals
 //	stolen tasks (thieves)  == deque steals (victims)
 //	injection pushes        == injection drained tasks
-//	executed                == pops + steal ops + injection drain ops + cache hits
+//	executed                == pops + steal ops + injection drain ops + flow drain ops + cache hits
 //	Σ shard pushes          == injection pushes
 //	Σ shard drained tasks   == Σ worker injection drained tasks
 //	Σ shard drain ops       == Σ worker injection drain ops
 //	parks + wait cancels    ≤ prewaits ≤ parks + wait cancels + workers
+//
+// and, per multi-tenant flow (flow.go):
+//
+//	flow pushes             == flow drained tasks  (each flow's queue drains)
+//	Σ flow drain ops        == Σ worker flow drain ops
+//	Σ flow drained tasks    == Σ worker flow drained tasks
+//	admitted tasks          == released tasks      (no leaked reservation)
+//	in-flight gauge         == 0
+//	peak in-flight          ≤ MaxInFlight when a quota is set
 //
 // The executed law counts operations, not tasks: each successful steal or
 // drain operation hands exactly one task straight to the thief for
@@ -294,9 +321,13 @@ func (s *Snapshot) Reconcile() error {
 		return fmt.Errorf("executor metrics: snapshot injection drains %d != per-worker drained-task sum %d",
 			s.InjectionDrains, t.InjectionDrainedTasks)
 	}
-	if t.Executed != t.Pops+t.Steals+t.InjectionDrains+t.CacheHits {
-		return fmt.Errorf("executor metrics: executed %d != pops %d + steal ops %d + injection drain ops %d + cache hits %d",
-			t.Executed, t.Pops, t.Steals, t.InjectionDrains, t.CacheHits)
+	if t.Executed != t.Pops+t.Steals+t.InjectionDrains+t.FlowDrains+t.CacheHits {
+		return fmt.Errorf("executor metrics: executed %d != pops %d + steal ops %d + injection drain ops %d + flow drain ops %d + cache hits %d",
+			t.Executed, t.Pops, t.Steals, t.InjectionDrains, t.FlowDrains, t.CacheHits)
+	}
+	if t.FlowDrainedTasks < t.FlowDrains {
+		return fmt.Errorf("executor metrics: flow drained tasks %d < flow drain operations %d",
+			t.FlowDrainedTasks, t.FlowDrains)
 	}
 	var shardPushes, shardDrains, shardDrained uint64
 	for i := range s.Shards {
@@ -320,6 +351,36 @@ func (s *Snapshot) Reconcile() error {
 	if t.Prewaits < resolved || t.Prewaits > resolved+uint64(len(s.Workers)) {
 		return fmt.Errorf("executor metrics: prewaits %d outside [parks %d + cancels %d, +%d workers]",
 			t.Prewaits, t.Parks, t.WaitCancels, len(s.Workers))
+	}
+	var flowDrainOps, flowDrained uint64
+	for i := range s.Flows {
+		f := &s.Flows[i]
+		if f.Pushes != f.DrainedTasks {
+			return fmt.Errorf("executor metrics: flow %q pushes %d != drained tasks %d",
+				f.Name, f.Pushes, f.DrainedTasks)
+		}
+		if f.AdmittedTasks != f.ReleasedTasks {
+			return fmt.Errorf("executor metrics: flow %q admitted %d != released %d (leaked reservation)",
+				f.Name, f.AdmittedTasks, f.ReleasedTasks)
+		}
+		if f.InFlight != 0 {
+			return fmt.Errorf("executor metrics: flow %q in-flight gauge %d != 0 at quiescence",
+				f.Name, f.InFlight)
+		}
+		if f.MaxInFlight > 0 && f.PeakInFlight > int64(f.MaxInFlight) {
+			return fmt.Errorf("executor metrics: flow %q peak in-flight %d > quota %d",
+				f.Name, f.PeakInFlight, f.MaxInFlight)
+		}
+		flowDrainOps += f.DrainOps
+		flowDrained += f.DrainedTasks
+	}
+	if flowDrainOps != t.FlowDrains {
+		return fmt.Errorf("executor metrics: flow drain ops %d != per-worker flow drain ops %d",
+			flowDrainOps, t.FlowDrains)
+	}
+	if flowDrained != t.FlowDrainedTasks {
+		return fmt.Errorf("executor metrics: flow drained tasks %d != per-worker flow drained tasks %d",
+			flowDrained, t.FlowDrainedTasks)
 	}
 	return nil
 }
@@ -351,6 +412,8 @@ func (e *Executor) MetricsSnapshot() (Snapshot, bool) {
 		ws.StealBatches = wm.stealBatches.Load()
 		ws.InjectionDrains = wm.injectionDrains.Load()
 		ws.InjectionDrainedTasks = wm.injectionDrainedTasks.Load()
+		ws.FlowDrains = wm.flowDrains.Load()
+		ws.FlowDrainedTasks = wm.flowDrainedTasks.Load()
 		ws.CacheHits = wm.cacheHits.Load()
 		// Load the wait-resolution counters before prewaits: a worker
 		// cycling the park protocol between the loads then inflates
@@ -379,6 +442,7 @@ func (e *Executor) MetricsSnapshot() (Snapshot, bool) {
 	}
 	s.InjectionPushes = m.injectionPushes.Load()
 	s.InjectionDepth = e.injDepth()
+	s.Flows = e.FlowStats()
 	wakes := m.wakes.Load()
 	s.ProbabilisticWakes = probTotal
 	if wakes >= probTotal {

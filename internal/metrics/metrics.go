@@ -35,65 +35,92 @@ type series struct {
 	typ      string // "counter" or "gauge"
 	per      func(*executor.WorkerStats) float64
 	perShard func(*executor.ShardStats) float64
+	perFlow  func(*executor.FlowStats) float64
 	total    func(*executor.Snapshot) float64
 }
 
 // exported is the schema of the Prometheus export: per-worker series carry
-// a worker="<i>" label, per-injection-shard series a shard="<i>" label;
+// a worker="<i>" label, per-injection-shard series a shard="<i>" label,
+// per-flow series flow="<name>" and class="<class>" labels;
 // executor-wide series carry none.
 var exported = []series{
 	{"gotaskflow_deque_pushes_total", "Tasks pushed to the worker's deque", "counter",
-		func(w *executor.WorkerStats) float64 { return float64(w.Pushes) }, nil, nil},
+		func(w *executor.WorkerStats) float64 { return float64(w.Pushes) }, nil, nil, nil},
 	{"gotaskflow_deque_pops_total", "Tasks the owner popped back out", "counter",
-		func(w *executor.WorkerStats) float64 { return float64(w.Pops) }, nil, nil},
+		func(w *executor.WorkerStats) float64 { return float64(w.Pops) }, nil, nil, nil},
 	{"gotaskflow_deque_stolen_from_total", "Tasks thieves stole out of the deque", "counter",
-		func(w *executor.WorkerStats) float64 { return float64(w.StolenFrom) }, nil, nil},
+		func(w *executor.WorkerStats) float64 { return float64(w.StolenFrom) }, nil, nil, nil},
 	{"gotaskflow_deque_grows_total", "Deque ring reallocations", "counter",
-		func(w *executor.WorkerStats) float64 { return float64(w.QueueGrows) }, nil, nil},
+		func(w *executor.WorkerStats) float64 { return float64(w.QueueGrows) }, nil, nil, nil},
 	{"gotaskflow_deque_max_depth", "Push-time high watermark of resident tasks", "gauge",
-		func(w *executor.WorkerStats) float64 { return float64(w.MaxQueueDepth) }, nil, nil},
+		func(w *executor.WorkerStats) float64 { return float64(w.MaxQueueDepth) }, nil, nil, nil},
 	{"gotaskflow_deque_depth", "Resident tasks at scrape time", "gauge",
-		func(w *executor.WorkerStats) float64 { return float64(w.QueueDepth) }, nil, nil},
+		func(w *executor.WorkerStats) float64 { return float64(w.QueueDepth) }, nil, nil, nil},
 	{"gotaskflow_steal_attempts_total", "Steal sweeps over victims and the injection queue", "counter",
-		func(w *executor.WorkerStats) float64 { return float64(w.StealAttempts) }, nil, nil},
+		func(w *executor.WorkerStats) float64 { return float64(w.StealAttempts) }, nil, nil, nil},
 	{"gotaskflow_steals_total", "Successful steal operations by the worker", "counter",
-		func(w *executor.WorkerStats) float64 { return float64(w.Steals) }, nil, nil},
+		func(w *executor.WorkerStats) float64 { return float64(w.Steals) }, nil, nil, nil},
 	{"gotaskflow_stolen_tasks_total", "Tasks moved out of other deques, incl. batch extras", "counter",
-		func(w *executor.WorkerStats) float64 { return float64(w.StolenTasks) }, nil, nil},
+		func(w *executor.WorkerStats) float64 { return float64(w.StolenTasks) }, nil, nil, nil},
 	{"gotaskflow_steal_batches_total", "Steal operations that moved more than one task", "counter",
-		func(w *executor.WorkerStats) float64 { return float64(w.StealBatches) }, nil, nil},
+		func(w *executor.WorkerStats) float64 { return float64(w.StealBatches) }, nil, nil, nil},
 	{"gotaskflow_injection_drains_total", "Drain operations on the external injection queue", "counter",
-		func(w *executor.WorkerStats) float64 { return float64(w.InjectionDrains) }, nil, nil},
+		func(w *executor.WorkerStats) float64 { return float64(w.InjectionDrains) }, nil, nil, nil},
 	{"gotaskflow_injection_drained_tasks_total", "Tasks taken from the injection queue, incl. batch extras", "counter",
-		func(w *executor.WorkerStats) float64 { return float64(w.InjectionDrainedTasks) }, nil, nil},
+		func(w *executor.WorkerStats) float64 { return float64(w.InjectionDrainedTasks) }, nil, nil, nil},
 	{"gotaskflow_cache_hits_total", "Tasks run through the speculative cache slot", "counter",
-		func(w *executor.WorkerStats) float64 { return float64(w.CacheHits) }, nil, nil},
+		func(w *executor.WorkerStats) float64 { return float64(w.CacheHits) }, nil, nil, nil},
 	{"gotaskflow_prewaits_total", "Park announcements on the eventcount (prewait)", "counter",
-		func(w *executor.WorkerStats) float64 { return float64(w.Prewaits) }, nil, nil},
+		func(w *executor.WorkerStats) float64 { return float64(w.Prewaits) }, nil, nil, nil},
 	{"gotaskflow_wait_cancels_total", "Prewaits cancelled because the re-check found work", "counter",
-		func(w *executor.WorkerStats) float64 { return float64(w.WaitCancels) }, nil, nil},
+		func(w *executor.WorkerStats) float64 { return float64(w.WaitCancels) }, nil, nil, nil},
 	{"gotaskflow_parks_total", "Committed parks on the eventcount", "counter",
-		func(w *executor.WorkerStats) float64 { return float64(w.Parks) }, nil, nil},
+		func(w *executor.WorkerStats) float64 { return float64(w.Parks) }, nil, nil, nil},
 	{"gotaskflow_executed_total", "Tasks invoked by the worker", "counter",
-		func(w *executor.WorkerStats) float64 { return float64(w.Executed) }, nil, nil},
+		func(w *executor.WorkerStats) float64 { return float64(w.Executed) }, nil, nil, nil},
 
 	{"gotaskflow_injection_shard_pushes_total", "Tasks hashed onto the injection shard", "counter",
-		nil, func(sh *executor.ShardStats) float64 { return float64(sh.Pushes) }, nil},
+		nil, func(sh *executor.ShardStats) float64 { return float64(sh.Pushes) }, nil, nil},
 	{"gotaskflow_injection_shard_drains_total", "Drain operations on the injection shard", "counter",
-		nil, func(sh *executor.ShardStats) float64 { return float64(sh.Drains) }, nil},
+		nil, func(sh *executor.ShardStats) float64 { return float64(sh.Drains) }, nil, nil},
 	{"gotaskflow_injection_shard_drained_tasks_total", "Tasks taken from the injection shard", "counter",
-		nil, func(sh *executor.ShardStats) float64 { return float64(sh.DrainedTasks) }, nil},
+		nil, func(sh *executor.ShardStats) float64 { return float64(sh.DrainedTasks) }, nil, nil},
 	{"gotaskflow_injection_shard_depth", "Injection shard residents at scrape time", "gauge",
-		nil, func(sh *executor.ShardStats) float64 { return float64(sh.Depth) }, nil},
+		nil, func(sh *executor.ShardStats) float64 { return float64(sh.Depth) }, nil, nil},
+
+	{"gotaskflow_flow_pushes_total", "Tasks pushed onto the flow's priority queue", "counter",
+		nil, nil, func(f *executor.FlowStats) float64 { return float64(f.Pushes) }, nil},
+	{"gotaskflow_flow_drains_total", "Drain operations on the flow's queue", "counter",
+		nil, nil, func(f *executor.FlowStats) float64 { return float64(f.DrainOps) }, nil},
+	{"gotaskflow_flow_drained_tasks_total", "Tasks taken from the flow's queue, incl. batch extras", "counter",
+		nil, nil, func(f *executor.FlowStats) float64 { return float64(f.DrainedTasks) }, nil},
+	{"gotaskflow_flow_executed_total", "Flow-bound task executions retired", "counter",
+		nil, nil, func(f *executor.FlowStats) float64 { return float64(f.Executed) }, nil},
+	{"gotaskflow_flow_admitted_total", "Executions charged against the flow's in-flight quota", "counter",
+		nil, nil, func(f *executor.FlowStats) float64 { return float64(f.AdmittedTasks) }, nil},
+	{"gotaskflow_flow_released_total", "Quota charges returned at topology completion", "counter",
+		nil, nil, func(f *executor.FlowStats) float64 { return float64(f.ReleasedTasks) }, nil},
+	{"gotaskflow_flow_admission_rejects_total", "Executions refused by the in-flight quota", "counter",
+		nil, nil, func(f *executor.FlowStats) float64 { return float64(f.AdmissionRejects) }, nil},
+	{"gotaskflow_flow_overload_sheds_total", "Executions shed at the backlog watermark", "counter",
+		nil, nil, func(f *executor.FlowStats) float64 { return float64(f.OverloadSheds) }, nil},
+	{"gotaskflow_flow_in_flight", "Admitted executions not yet released", "gauge",
+		nil, nil, func(f *executor.FlowStats) float64 { return float64(f.InFlight) }, nil},
+	{"gotaskflow_flow_peak_in_flight", "High watermark of admitted executions", "gauge",
+		nil, nil, func(f *executor.FlowStats) float64 { return float64(f.PeakInFlight) }, nil},
+	{"gotaskflow_flow_backlog", "Flow queue residents at scrape time", "gauge",
+		nil, nil, func(f *executor.FlowStats) float64 { return float64(f.Backlog) }, nil},
+	{"gotaskflow_flow_weight", "Weighted-round-robin share within the class", "gauge",
+		nil, nil, func(f *executor.FlowStats) float64 { return float64(f.Weight) }, nil},
 
 	{"gotaskflow_injection_pushes_total", "Tasks submitted from outside the pool", "counter",
-		nil, nil, func(s *executor.Snapshot) float64 { return float64(s.InjectionPushes) }},
+		nil, nil, nil, func(s *executor.Snapshot) float64 { return float64(s.InjectionPushes) }},
 	{"gotaskflow_injection_depth", "Injection queue residents at scrape time", "gauge",
-		nil, nil, func(s *executor.Snapshot) float64 { return float64(s.InjectionDepth) }},
+		nil, nil, nil, func(s *executor.Snapshot) float64 { return float64(s.InjectionDepth) }},
 	{"gotaskflow_wakes_precise_total", "Wakeups issued because new work arrived", "counter",
-		nil, nil, func(s *executor.Snapshot) float64 { return float64(s.PreciseWakes) }},
+		nil, nil, nil, func(s *executor.Snapshot) float64 { return float64(s.PreciseWakes) }},
 	{"gotaskflow_wakes_probabilistic_total", "1/wakeDen load-balancing wakeups", "counter",
-		nil, nil, func(s *executor.Snapshot) float64 { return float64(s.ProbabilisticWakes) }},
+		nil, nil, nil, func(s *executor.Snapshot) float64 { return float64(s.ProbabilisticWakes) }},
 }
 
 // WritePrometheus writes the source's current counters in the Prometheus
@@ -115,6 +142,11 @@ func WritePrometheus(w io.Writer, src Source) error {
 		case s.perShard != nil:
 			for i := range snap.Shards {
 				fmt.Fprintf(&b, "%s{shard=\"%d\"} %g\n", s.name, i, s.perShard(&snap.Shards[i]))
+			}
+		case s.perFlow != nil:
+			for i := range snap.Flows {
+				f := &snap.Flows[i]
+				fmt.Fprintf(&b, "%s{flow=%q,class=%q} %g\n", s.name, f.Name, f.Class.String(), s.perFlow(f))
 			}
 		default:
 			fmt.Fprintf(&b, "%s %g\n", s.name, s.total(&snap))

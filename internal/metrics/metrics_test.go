@@ -144,3 +144,43 @@ func TestScrapeWhileRunning(t *testing.T) {
 	close(stop)
 	rg.Wait()
 }
+
+// TestWritePrometheusFlowSeries: per-flow series carry flow and class
+// labels and reflect the flow's always-on counters.
+func TestWritePrometheusFlowSeries(t *testing.T) {
+	e := executor.New(2, executor.WithMetrics())
+	defer e.Shutdown()
+	f := e.NewFlow("tenant-a", executor.FlowConfig{Class: executor.Batch, Weight: 3, MaxInFlight: 4})
+	if err := f.Admit(2); err != nil {
+		t.Fatal(err)
+	}
+	var done sync.WaitGroup
+	done.Add(2)
+	for i := 0; i < 2; i++ {
+		if err := f.Submit(executor.NewTask(func(executor.Context) { done.Done() })); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done.Wait()
+	f.Release(2)
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, e); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE gotaskflow_flow_pushes_total counter",
+		`gotaskflow_flow_pushes_total{flow="tenant-a",class="batch"} 2`,
+		`gotaskflow_flow_admitted_total{flow="tenant-a",class="batch"} 2`,
+		`gotaskflow_flow_released_total{flow="tenant-a",class="batch"} 2`,
+		`gotaskflow_flow_in_flight{flow="tenant-a",class="batch"} 0`,
+		`gotaskflow_flow_peak_in_flight{flow="tenant-a",class="batch"} 2`,
+		`gotaskflow_flow_weight{flow="tenant-a",class="batch"} 3`,
+		`gotaskflow_flow_drained_tasks_total{flow="tenant-a",class="batch"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}

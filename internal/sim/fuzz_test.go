@@ -72,9 +72,29 @@ type schedResult struct {
 	errText    string
 	attempts   []int32
 	bodies     []int32
+	childRuns  int32
 	stats      sim.Stats
 	hardFaults int // planned Panic+Fail faults
 }
+
+// subflowShape derives the dynamic-tasking shape of a case from its graph
+// seed: 0 = static graph only, 1 = every fourth task spawns independent
+// children, 2 = spawned children are chained and some subflows detach.
+// Shapes 1 and 2 turn spawn points into the scheduling choice steps the
+// sweep explores (simCtx.target places each spawned child).
+func subflowShape(graphSeed int64) int {
+	shape := int(graphSeed % 3)
+	if shape < 0 {
+		shape += 3
+	}
+	return shape
+}
+
+// isSpawner reports whether task i is a subflow spawner under shape.
+func isSpawner(shape, i int) bool { return shape > 0 && i%4 == 2 }
+
+// spawnKids is the child count of spawner i.
+func spawnKids(i int) int { return 2 + i%3 }
 
 // runSchedule executes one simulated schedule under p: a graphgen DAG
 // with chaos faults injected per p.fault, retries sprinkled from the
@@ -98,24 +118,48 @@ func runSchedule(t *testing.T, p schedParams) schedResult {
 	}
 
 	d := graphgen.Random(p.n, graphgen.Config{Seed: p.graphSeed})
+	shape := subflowShape(p.graphSeed)
 	attempts := make([]int32, p.n)
 	bodies := make([]int32, p.n)
+	var childRuns int32
 	retryPick := rand.New(rand.NewSource(p.graphSeed + 1))
 	tasks := make([]core.Task, p.n)
 	for i := 0; i < p.n; i++ {
 		i := i
-		inner := func() { bodies[i]++ }
-		var body func() error
-		if in != nil {
-			body = in.Wrap(fmt.Sprintf("t%d", i), inner)
+		if isSpawner(shape, i) {
+			// Dynamic task: the body spawns a child graph at runtime. Kept
+			// chaos-free so the fault-free child-count invariant below stays
+			// exact; the spawn placement itself is a seed choice step.
+			kids := spawnKids(i)
+			tasks[i] = tf.EmplaceSubflow(func(sf *core.Subflow) {
+				attempts[i]++
+				bodies[i]++
+				var prev core.Task
+				for k := 0; k < kids; k++ {
+					c := sf.Emplace1(func() { childRuns++ })
+					if shape == 2 && k > 0 {
+						prev.Precede(c) // chained children: join order matters
+					}
+					prev = c
+				}
+				if shape == 2 && i%8 == 6 {
+					sf.Detach() // detached: drains independently, holds the topology open
+				}
+			})
 		} else {
-			body = func() error { inner(); return nil }
-		}
-		tasks[i] = tf.EmplaceErr(func() error { attempts[i]++; return body() })
-		if p.fault > 0 && retryPick.Float64() < 0.2 {
-			// Microsecond backoff: real time on the real pool, a virtual
-			// timer here — it fires instantly in seed-chosen order.
-			tasks[i] = tasks[i].Retry(retryBudget, time.Microsecond)
+			inner := func() { bodies[i]++ }
+			var body func() error
+			if in != nil {
+				body = in.Wrap(fmt.Sprintf("t%d", i), inner)
+			} else {
+				body = func() error { inner(); return nil }
+			}
+			tasks[i] = tf.EmplaceErr(func() error { attempts[i]++; return body() })
+			if p.fault > 0 && retryPick.Float64() < 0.2 {
+				// Microsecond backoff: real time on the real pool, a virtual
+				// timer here — it fires instantly in seed-chosen order.
+				tasks[i] = tasks[i].Retry(retryBudget, time.Microsecond)
+			}
 		}
 	}
 	for u := 0; u < p.n; u++ {
@@ -135,10 +179,11 @@ func runSchedule(t *testing.T, p schedParams) schedResult {
 	}
 
 	res := schedResult{
-		hash:     s.ScheduleHash(),
-		attempts: attempts,
-		bodies:   bodies,
-		stats:    s.Stats(),
+		hash:      s.ScheduleHash(),
+		attempts:  attempts,
+		bodies:    bodies,
+		childRuns: childRuns,
+		stats:     s.Stats(),
 	}
 	if err != nil {
 		res.errText = err.Error()
@@ -170,6 +215,15 @@ func runSchedule(t *testing.T, p schedParams) schedResult {
 				t.Fatalf("task %d body ran %d times, want 1\n%s", i, b, p.recipe())
 			}
 		}
+		wantKids := int32(0)
+		for i := 0; i < p.n; i++ {
+			if isSpawner(shape, i) {
+				wantKids += int32(spawnKids(i))
+			}
+		}
+		if childRuns != wantKids {
+			t.Fatalf("subflow children ran %d times, want %d\n%s", childRuns, wantKids, p.recipe())
+		}
 	} else if err == nil {
 		// Success despite planned hard faults: legal only if none
 		// actually fired (fail-fast cancellation can skip them) — but a
@@ -189,6 +243,8 @@ func FuzzSchedule(f *testing.F) {
 	f.Add(int64(3), int64(13), int64(7), int64(63), int64(2))
 	f.Add(int64(4), int64(17), int64(2), int64(33), int64(3))
 	f.Add(int64(99), int64(0), int64(0), int64(0), int64(1))
+	f.Add(int64(5), int64(14), int64(3), int64(24), int64(0)) // shape 2: chained + detached subflows
+	f.Add(int64(6), int64(19), int64(2), int64(30), int64(1)) // shape 1: independent spawns under faults
 	f.Fuzz(func(t *testing.T, schedSeed, graphSeed, workersRaw, nRaw, faultRaw int64) {
 		p := normalize(schedSeed, graphSeed, workersRaw, nRaw, faultRaw)
 		a := runSchedule(t, p)
@@ -202,6 +258,10 @@ func FuzzSchedule(f *testing.F) {
 		if a.errText != b.errText {
 			t.Fatalf("run errors differ across identical runs:\n%q\nvs\n%q\n%s",
 				a.errText, b.errText, p.recipe())
+		}
+		if a.childRuns != b.childRuns {
+			t.Fatalf("subflow child runs differ across identical runs: %d vs %d\n%s",
+				a.childRuns, b.childRuns, p.recipe())
 		}
 		for i := range a.attempts {
 			if a.attempts[i] != b.attempts[i] {

@@ -28,9 +28,16 @@
 //     (any position — a superset of the owner-LIFO/thief-FIFO orders
 //     reachable on the real pool), or steals a batch of seed-chosen size
 //     from a seed-chosen victim deque or injection shard;
+//
+//   - a task that makes successors ready or spawns a subflow places them
+//     on a seed-chosen deque (simCtx.target): spawn and successor-release
+//     points are explicit choice steps, so the sweep explores spawn/join
+//     interleavings directly instead of only via later steals;
+//
 //   - a worker with nothing visible announces intent to park (prewait);
 //     on a later step it re-checks — consuming a banked signal or
 //     observing published work cancels the park, otherwise it parks;
+//
 //   - an armed virtual timer fires (any armed timer, in seed-chosen
 //     order — real retry backoffs carry jitter, so their relative firing
 //     order is genuinely unconstrained).
@@ -132,6 +139,9 @@ type Stats struct {
 	Prewaits, WaitCancels, Parks, Wakes uint64
 	// TimersFired counts virtual-clock callbacks.
 	TimersFired uint64
+	// FlowDrains/FlowDrainedTasks count multi-tenant flow-queue drains,
+	// mirroring the real executor's per-worker flow counters.
+	FlowDrains, FlowDrainedTasks uint64
 	// Recoveries counts lost-wakeup recoveries — nonzero only when the
 	// model (or an injected model bug) dropped a wake; see Failure.
 	Recoveries int
@@ -173,6 +183,17 @@ type SimExecutor struct {
 	// tests that validate the liveness detector. See sim_internal_test.go.
 	lostWakeBug bool
 
+	// Multi-tenant flow model (flow.go): registered flows, per-class
+	// wheel state, and the optional per-drain service log the fairness
+	// property tests analyze. strictDrainBug replaces the weighted
+	// round-robin wheel with a registration-order scan — the injected
+	// starvation bug the fairness sweep must catch.
+	flows          []*simFlow
+	classes        [executor.NumPriorityClasses]simClass
+	strictDrainBug bool
+	logServices    bool
+	services       []FlowService
+
 	st       Stats
 	hash     uint64 // FNV-1a over every PRNG decision: the schedule fingerprint
 	failures []error
@@ -205,6 +226,22 @@ func WithMaxSteps(n uint64) Option {
 // liveness detector itself is testable.
 func withLostWakeupBug() Option {
 	return func(s *SimExecutor) { s.lostWakeBug = true }
+}
+
+// withStrictDrainBug replaces the weighted-round-robin flow wheel with a
+// strict registration-order scan: the first backlogged flow of a class
+// always wins, so later flows starve behind a standing backlog.
+// Unexported — it exists so the fairness sweep's detection power is
+// itself testable (see fairness_internal_test.go).
+func withStrictDrainBug() Option {
+	return func(s *SimExecutor) { s.strictDrainBug = true }
+}
+
+// WithServiceLog records one FlowService entry per flow-queue drain so
+// tests can analyze service order and gaps (see MaxServiceGap). Costs
+// memory proportional to drain count; off by default.
+func WithServiceLog() Option {
+	return func(s *SimExecutor) { s.logServices = true }
 }
 
 // New creates a simulation executor modeling n workers (n <= 0 means 1;
@@ -389,9 +426,13 @@ func (s *SimExecutor) drive() {
 	}
 }
 
-// anyWork reports whether any deque or injection shard holds a task —
-// the published-work predicate park re-checks use (cache slots are
-// worker-private and excluded, as on the real pool).
+// anyWork reports whether any deque, injection shard or flow queue holds
+// a task — the published-work predicate park re-checks use (cache slots
+// are worker-private and excluded, as on the real pool). Flow queues
+// participate for the same reason they do in the real anyWork: a flow
+// submission publishes its backlog before waking, so a parking worker
+// that misses the notify must see the count here — excluding them would
+// make the liveness detector report false lost wakeups.
 func (s *SimExecutor) anyWork() bool {
 	for _, dq := range s.deques {
 		if len(dq) > 0 {
@@ -403,11 +444,11 @@ func (s *SimExecutor) anyWork() bool {
 			return true
 		}
 	}
-	return false
+	return s.flowBacklog() > 0
 }
 
 // stealable reports whether worker w could steal from anywhere: another
-// worker's deque or an injection shard.
+// worker's deque, an injection shard, or a flow queue.
 func (s *SimExecutor) stealable(w int) bool {
 	for v, dq := range s.deques {
 		if v != w && len(dq) > 0 {
@@ -419,7 +460,7 @@ func (s *SimExecutor) stealable(w int) bool {
 			return true
 		}
 	}
-	return false
+	return s.flowBacklog() > 0
 }
 
 // step performs one seed-chosen scheduling action. It returns false at
@@ -484,7 +525,7 @@ func (s *SimExecutor) step() bool {
 // still drains and waiters can observe the recorded failure instead of
 // hanging.
 func (s *SimExecutor) recoverLostWakeup() {
-	queued := 0
+	queued := s.flowBacklog()
 	for _, dq := range s.deques {
 		queued += len(dq)
 	}
@@ -540,7 +581,14 @@ func (s *SimExecutor) perform(c action) {
 // injection shard to worker w: the first task runs, the rest land on w's
 // deque — the half-backlog batch policy of the real pool with the batch
 // size itself under seed control.
+//
+// The multi-tenant drain order mirrors the real worker.steal exactly:
+// Interactive flow backlog outranks deques and shards; Batch and then
+// Background flows are tried only when no deque or shard has work.
 func (s *SimExecutor) steal(w int) {
+	if s.classBacklog(executor.Interactive) > 0 && s.drainFlows(w, executor.Interactive) {
+		return
+	}
 	// Enumerate sources deterministically: worker deques then shards.
 	var victims []int // worker index, or s.workers+shard index
 	for v, dq := range s.deques {
@@ -554,6 +602,10 @@ func (s *SimExecutor) steal(w int) {
 		}
 	}
 	if len(victims) == 0 {
+		if s.drainFlows(w, executor.Batch) {
+			return
+		}
+		s.drainFlows(w, executor.Background)
 		return
 	}
 	src := victims[s.pick(len(victims))]
@@ -687,10 +739,24 @@ func (c simCtx) Executor() executor.Scheduler                        { return c.
 func (c simCtx) Tracing() bool                                       { return false }
 func (c simCtx) Trace(executor.EventKind, executor.TaskMeta, uint64) {}
 
-// Submit pushes onto this worker's deque and wakes one idler, like the
-// real worker context.
+// target picks the deque a worker-context submission lands on. On the
+// real pool a task submitted from a worker always enters that worker's
+// own deque, but which worker ultimately *executes* it is decided later
+// by stealing; the simulation collapses that two-step placement into one
+// explicit seed choice, so successor-release and subflow-spawn points
+// become choice steps the seed sweep explores directly (a superset of
+// the real pool's reachable placements, like the any-position pop).
+func (c simCtx) target() int {
+	if c.s.workers == 1 {
+		return c.w
+	}
+	return c.s.pick(c.s.workers)
+}
+
+// Submit pushes onto a seed-chosen deque and wakes one idler.
 func (c simCtx) Submit(r *executor.Runnable) {
-	c.s.deques[c.w] = append(c.s.deques[c.w], r)
+	w := c.target()
+	c.s.deques[w] = append(c.s.deques[w], r)
 	c.s.st.Enqueued++
 	c.s.wakeOne()
 }
@@ -698,16 +764,20 @@ func (c simCtx) Submit(r *executor.Runnable) {
 // SubmitNoWake pushes without waking; the producer issues one Wake for
 // the whole batch.
 func (c simCtx) SubmitNoWake(r *executor.Runnable) {
-	c.s.deques[c.w] = append(c.s.deques[c.w], r)
+	w := c.target()
+	c.s.deques[w] = append(c.s.deques[w], r)
 	c.s.st.Enqueued++
 }
 
-// SubmitBatch pushes the batch and wakes up to len(rs) idlers.
+// SubmitBatch pushes the batch onto one seed-chosen deque (one placement
+// choice per batch, like the real pool's one-publication batch push) and
+// wakes up to len(rs) idlers.
 func (c simCtx) SubmitBatch(rs []*executor.Runnable) {
 	if len(rs) == 0 {
 		return
 	}
-	c.s.deques[c.w] = append(c.s.deques[c.w], rs...)
+	w := c.target()
+	c.s.deques[w] = append(c.s.deques[w], rs...)
 	c.s.st.Enqueued += uint64(len(rs))
 	c.s.wakeUpTo(len(rs))
 }

@@ -111,7 +111,12 @@ func TestProfilerRegisterAndReadWhileRunning(t *testing.T) {
 	e := executor.New(4)
 	defer e.Shutdown()
 
-	// Keep a steady stream of tasks flowing while we register and read.
+	// Keep a steady stream of tasks flowing while we register and read,
+	// pausing once the profiler has recorded plenty: an unthrottled feeder
+	// grows the event list without bound while every reader iteration
+	// copies it, which livelocks the race-instrumented single-CPU CI runs.
+	const maxRecorded = 10_000
+	p := NewProfiler()
 	stop := make(chan struct{})
 	var feeders sync.WaitGroup
 	feeders.Add(1)
@@ -126,6 +131,10 @@ func TestProfilerRegisterAndReadWhileRunning(t *testing.T) {
 				return
 			default:
 			}
+			if p.NumEvents() >= maxRecorded {
+				time.Sleep(100 * time.Microsecond)
+				continue
+			}
 			inflight.Add(1)
 			submitted.Add(1)
 			if err := e.SubmitFunc(func(executor.Context) {
@@ -137,7 +146,6 @@ func TestProfilerRegisterAndReadWhileRunning(t *testing.T) {
 		}
 	}()
 
-	p := NewProfiler()
 	e.AddObserver(p) // mid-run registration
 
 	// Concurrent snapshot readers.
