@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race chaos bench bench-contention cover fuzz trace fairness
+.PHONY: all build test vet race chaos bench bench-contention cover fuzz trace fairness latency-smoke
 
 all: vet build test
 
@@ -65,6 +65,17 @@ trace:
 	$(GO) run ./cmd/wavefront -metrics -size 64 -workers 4 -trace /tmp/wavefront_trace.json
 	$(GO) run ./cmd/traversal -metrics -size 5000 -workers 4 -trace /tmp/traversal_trace.json
 	$(GO) run ./cmd/tracecheck /tmp/wavefront_trace.json /tmp/traversal_trace.json
+
+# latency-smoke drives the always-on observability surface end to end:
+# cmd/latencysmoke runs a mixed interactive/batch workload with latency
+# histograms, the flight recorder and the stall watchdog all armed,
+# self-checks the per-flow quantiles (including a Prometheus-text
+# round-trip of p99) and that the watchdog stays quiet, dumps the flight
+# window, and cmd/tracecheck -flight validates the dump's structure and
+# drop accounting.
+latency-smoke:
+	$(GO) run ./cmd/latencysmoke -workers 4 -dur 1s -flight /tmp/flight_smoke.json
+	$(GO) run ./cmd/tracecheck -flight /tmp/flight_smoke.json
 
 # cover runs the full suite with atomic-mode coverage and prints the
 # per-function summary; coverage.out feeds `go tool cover -html`.

@@ -1,0 +1,228 @@
+// Command latencysmoke is the CI gate for the always-on observability
+// stack: latency histograms, the flight recorder and the stall watchdog,
+// all armed at once on a fairness-shaped workload (an interactive flow
+// pinging through a standing batch flood). The run is self-checking and
+// exits non-zero unless:
+//
+//   - the watchdog stays quiet on the healthy path (zero firings);
+//   - per-flow latency histograms populate and a p99 is computable for
+//     the interactive flow from LatencyStats;
+//   - the same p99 parses back out of the Prometheus text exposition's
+//     cumulative _bucket series;
+//   - a flight-recorder snapshot taken after the run holds events.
+//
+// Usage:
+//
+//	latencysmoke -workers 4 -dur 1s [-flight flight.json]
+//
+// With -flight the snapshot is written as Chrome trace-event JSON, which
+// `tracecheck -flight` validates structurally (and Perfetto opens).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"gotaskflow/internal/core"
+	"gotaskflow/internal/executor"
+	"gotaskflow/internal/metrics"
+	"gotaskflow/internal/tracing"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("latencysmoke: ")
+	var (
+		workers   = flag.Int("workers", 4, "worker count")
+		dur       = flag.Duration("dur", time.Second, "how long to run the workload")
+		flightOut = flag.String("flight", "", "write the post-run flight-recorder snapshot (Chrome trace JSON) to this file")
+	)
+	flag.Parse()
+
+	e := executor.New(*workers,
+		executor.WithMetrics(),
+		executor.WithLatencyHistograms(),
+		executor.WithFlightRecorder(0))
+	defer e.Shutdown()
+
+	wd, err := e.StartWatchdog(executor.WatchdogConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	inter := e.NewFlow("interactive", executor.FlowConfig{Class: executor.Interactive, Weight: 4})
+	batch := e.NewFlow("batch", executor.FlowConfig{Class: executor.Batch, Weight: 1})
+
+	// Fairness-shaped workload: a wide batch flood keeps every worker busy
+	// while a small interactive chain runs end-to-end over and over — the
+	// interactive tasks real queue-wait under contention, which is what the
+	// queue-wait and end-to-end histograms must capture.
+	start := time.Now()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		btf := core.NewShared(e).SetName("batch_flood").SetFlow(batch)
+		bodies := make([]func(), 64)
+		for i := range bodies {
+			bodies[i] = func() { spin(20 * time.Microsecond) }
+		}
+		btf.Emplace(bodies...)
+		for time.Since(start) < *dur {
+			if err := btf.Run(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}()
+
+	itf := core.NewShared(e).SetName("interactive_ping").SetFlow(inter)
+	chain := itf.Emplace(
+		func() { spin(50 * time.Microsecond) },
+		func() { spin(50 * time.Microsecond) },
+		func() { spin(50 * time.Microsecond) },
+		func() { spin(50 * time.Microsecond) },
+	)
+	for i := 1; i < len(chain); i++ {
+		chain[i-1].Precede(chain[i])
+	}
+	pings := 0
+	for time.Since(start) < *dur {
+		if err := itf.Run(); err != nil {
+			log.Fatal(err)
+		}
+		pings++
+	}
+	<-done
+	wd.Stop()
+
+	// 1. Healthy path: the watchdog must not have fired.
+	if n := wd.Firings(); n != 0 {
+		rep := wd.LastReport()
+		log.Fatalf("watchdog fired %d times on the healthy path (last: %s %s)", n, rep.Reason, rep.Detail)
+	}
+
+	// 2. Histograms populated; interactive p99 computable from LatencyStats.
+	flows, ok := e.LatencyStats()
+	if !ok {
+		log.Fatal("LatencyStats reports histograms disabled despite WithLatencyHistograms")
+	}
+	var interStats *executor.FlowLatencySummary
+	for i := range flows {
+		if flows[i].Flow == "interactive" {
+			interStats = &flows[i]
+		}
+	}
+	if interStats == nil {
+		log.Fatalf("no latency summary for the interactive flow (got %d summaries)", len(flows))
+	}
+	if interStats.EndToEnd.Count == 0 {
+		log.Fatal("interactive end-to-end histogram recorded zero samples")
+	}
+	p99 := interStats.EndToEnd.Quantile(0.99)
+	if p99 <= 0 {
+		log.Fatalf("interactive end-to-end p99 = %v, want > 0", p99)
+	}
+
+	// 3. The same p99 must parse back out of the Prometheus exposition.
+	var b strings.Builder
+	if err := metrics.WritePrometheus(&b, e); err != nil {
+		log.Fatal(err)
+	}
+	promP99, err := promQuantile(b.String(),
+		`gotaskflow_flow_latency_e2e_seconds_bucket{flow="interactive"`, 0.99)
+	if err != nil {
+		log.Fatalf("parsing p99 from Prometheus text: %v", err)
+	}
+
+	// 4. Flight recorder holds the recent past.
+	tr, ok := e.FlightSnapshot()
+	if !ok {
+		log.Fatal("FlightSnapshot reports recorder disabled despite WithFlightRecorder")
+	}
+	if len(tr.Events) == 0 {
+		log.Fatal("flight snapshot holds zero events after the workload")
+	}
+	if *flightOut != "" {
+		f, err := os.Create(*flightOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tracing.WriteTrace(f, tr); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("ok — %d interactive runs, e2e p50=%v p99=%v (prometheus p99<=%v), %d flight events (dropped %d), watchdog quiet\n",
+		pings, interStats.EndToEnd.Quantile(0.50), p99, promP99, len(tr.Events), tr.Dropped)
+}
+
+// spin busy-waits for d, the portable stand-in for CPU-bound task work.
+func spin(d time.Duration) {
+	for s := time.Now(); time.Since(s) < d; {
+	}
+}
+
+// promQuantile recomputes a quantile from a Prometheus cumulative
+// histogram: the smallest bucket upper bound (le, seconds) whose
+// cumulative count reaches q of the +Inf total, over every series line
+// starting with prefix.
+func promQuantile(text, prefix string, q float64) (time.Duration, error) {
+	type bucket struct {
+		le    float64
+		count uint64
+	}
+	var buckets []bucket
+	var total uint64
+	haveInf := false
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		leStart := strings.Index(line, `le="`)
+		if leStart < 0 {
+			return 0, fmt.Errorf("bucket line without le label: %s", line)
+		}
+		rest := line[leStart+4:]
+		leEnd := strings.Index(rest, `"`)
+		leStr := rest[:leEnd]
+		sp := strings.LastIndex(line, " ")
+		count, err := strconv.ParseUint(line[sp+1:], 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bucket count in %q: %w", line, err)
+		}
+		if leStr == "+Inf" {
+			total = count
+			haveInf = true
+			continue
+		}
+		le, err := strconv.ParseFloat(leStr, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bucket bound in %q: %w", line, err)
+		}
+		buckets = append(buckets, bucket{le, count})
+	}
+	if !haveInf {
+		return 0, fmt.Errorf("no le=\"+Inf\" bucket for prefix %s", prefix)
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("+Inf bucket reports zero samples for prefix %s", prefix)
+	}
+	rank := uint64(q * float64(total))
+	for _, b := range buckets {
+		if b.count >= rank {
+			return time.Duration(b.le * 1e9), nil
+		}
+	}
+	// Quantile lands in the overflow bucket; report the largest finite bound.
+	return time.Duration(buckets[len(buckets)-1].le * 1e9), nil
+}

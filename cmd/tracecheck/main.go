@@ -5,13 +5,26 @@
 // Perfetto fields on every event, contains named task spans, matched flow
 // arrows, and scheduler instants.
 //
+// With -flight it validates flight-recorder dumps (Executor.FlightSnapshot,
+// the /debug/taskflow/flight endpoint) instead. A flight dump comes from
+// continuously-armed wrapped rings rather than a bracketed capture
+// session, so the structural promises differ: droppedEvents metadata must
+// be present and numeric even when zero (wrapped rings legitimately
+// report large drop counts, and absence must be distinguishable from
+// zero), totalEvents must account for every rendered event, scheduler
+// instants must be in non-decreasing timestamp order (the snapshot merges
+// per-worker rings into one sorted stream), and the span/arrow minimums
+// are relaxed — a ring that wrapped mid-task can lose the start of a
+// span or the release side of an arrow.
+//
 // Usage:
 //
-//	tracecheck trace1.json [trace2.json ...]
+//	tracecheck [-flight] trace1.json [trace2.json ...]
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -25,17 +38,20 @@ type traceDoc struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tracecheck: ")
-	if len(os.Args) < 2 {
-		log.Fatal("usage: tracecheck trace.json [more.json ...]")
+	flight := flag.Bool("flight", false,
+		"validate flight-recorder dumps: require droppedEvents/totalEvents accounting and merged-stream timestamp order, relax span/arrow minimums")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		log.Fatal("usage: tracecheck [-flight] trace.json [more.json ...]")
 	}
-	for _, path := range os.Args[1:] {
-		if err := check(path); err != nil {
+	for _, path := range flag.Args() {
+		if err := check(path, *flight); err != nil {
 			log.Fatalf("%s: %v", path, err)
 		}
 	}
 }
 
-func check(path string) error {
+func check(path string, flight bool) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -51,6 +67,7 @@ func check(path string) error {
 	var spans, flowStarts, flowEnds int
 	instantKinds := map[string]bool{}
 	flowIDs := map[float64]int{} // id -> starts minus finishes
+	lastInstantTs := -1.0
 	for i, ev := range doc.TraceEvents {
 		for _, field := range []string{"name", "ph", "ts", "pid", "tid"} {
 			if _, ok := ev[field]; !ok {
@@ -61,6 +78,9 @@ func check(path string) error {
 		case "X":
 			if ev["cat"] == "task" {
 				spans++
+				if dur, ok := ev["dur"].(float64); ok && dur < 0 {
+					return fmt.Errorf("event %d: task span with negative duration %v", i, dur)
+				}
 			}
 		case "i":
 			if ev["s"] != "t" {
@@ -69,6 +89,16 @@ func check(path string) error {
 			if ev["cat"] == "sched" {
 				name := ev["name"].(string)
 				instantKinds[name] = true
+				// The exporter renders instants in source-event order; for a
+				// flight dump that order is the merged, timestamp-sorted
+				// stream of every per-worker ring, so any regression in the
+				// snapshot merge shows up as out-of-order instants here.
+				ts := ev["ts"].(float64)
+				if flight && ts < lastInstantTs {
+					return fmt.Errorf("event %d: instant ts %v before predecessor %v — flight merge not sorted",
+						i, ts, lastInstantTs)
+				}
+				lastInstantTs = ts
 				// steal_batch instants promise a batch size of at least 2
 				// in args.arg: single-task steals emit only "steal".
 				if name == "steal_batch" {
@@ -119,10 +149,7 @@ func check(path string) error {
 			flowIDs[ev["id"].(float64)]--
 		}
 	}
-	if spans == 0 {
-		return fmt.Errorf("no task spans (ph=X, cat=task)")
-	}
-	if flowStarts == 0 || flowStarts != flowEnds {
+	if flowStarts != flowEnds {
 		return fmt.Errorf("unmatched flow arrows: %d starts, %d finishes", flowStarts, flowEnds)
 	}
 	for id, balance := range flowIDs {
@@ -130,13 +157,60 @@ func check(path string) error {
 			return fmt.Errorf("flow id %v has unbalanced start/finish", id)
 		}
 	}
-	if len(instantKinds) < 2 {
-		return fmt.Errorf("only %d scheduler event kinds: %v", len(instantKinds), instantKinds)
+
+	if flight {
+		if err := checkFlightAccounting(&doc, spans, len(instantKinds), flowStarts); err != nil {
+			return err
+		}
+	} else {
+		if spans == 0 {
+			return fmt.Errorf("no task spans (ph=X, cat=task)")
+		}
+		if flowStarts == 0 {
+			return fmt.Errorf("no flow arrows")
+		}
+		if len(instantKinds) < 2 {
+			return fmt.Errorf("only %d scheduler event kinds: %v", len(instantKinds), instantKinds)
+		}
+		if d, ok := doc.OtherData["droppedEvents"]; ok {
+			if n, isNum := d.(float64); isNum && n > 0 {
+				fmt.Fprintf(os.Stderr, "tracecheck: warning: %s dropped %v events\n", path, d)
+			}
+		}
 	}
-	if d, ok := doc.OtherData["droppedEvents"]; ok {
-		fmt.Fprintf(os.Stderr, "tracecheck: warning: %s dropped %v events\n", path, d)
+
+	mode := "ok"
+	if flight {
+		mode = "ok (flight)"
 	}
-	fmt.Printf("%s: ok — %d events, %d task spans, %d flow arrows, %d scheduler event kinds\n",
-		path, len(doc.TraceEvents), spans, flowStarts, len(instantKinds))
+	fmt.Printf("%s: %s — %d events, %d task spans, %d flow arrows, %d scheduler event kinds, dropped %v\n",
+		path, mode, len(doc.TraceEvents), spans, flowStarts, len(instantKinds), doc.OtherData["droppedEvents"])
+	return nil
+}
+
+// checkFlightAccounting enforces the flight-dump metadata contract: both
+// counters present and numeric, and totalEvents at least covering every
+// rendered event — each task span consumed an EvTaskStart/EvTaskEnd pair,
+// each scheduler instant one source event, each flow arrow one
+// EvDepRelease.
+func checkFlightAccounting(doc *traceDoc, spans, instantKinds, arrows int) error {
+	dropped, ok := doc.OtherData["droppedEvents"].(float64)
+	if !ok {
+		return fmt.Errorf("flight dump without numeric droppedEvents metadata: %v", doc.OtherData)
+	}
+	if dropped < 0 {
+		return fmt.Errorf("flight dump with negative droppedEvents %v", dropped)
+	}
+	total, ok := doc.OtherData["totalEvents"].(float64)
+	if !ok {
+		return fmt.Errorf("flight dump without numeric totalEvents metadata: %v", doc.OtherData)
+	}
+	if instantKinds == 0 {
+		return fmt.Errorf("flight dump with no scheduler instants — recorder not armed?")
+	}
+	if min := float64(2*spans + arrows); total < min {
+		return fmt.Errorf("totalEvents %v cannot account for %d task spans and %d flow arrows (need >= %v)",
+			total, spans, arrows, min)
+	}
 	return nil
 }

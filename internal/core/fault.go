@@ -170,6 +170,12 @@ func (t *topology) resubmitAfter(d time.Duration, n *node) {
 			}
 			return
 		}
+		// The retry's end-to-end window starts at this resubmission, not at
+		// the original submission: the backoff sleep is policy, not queue
+		// wait (latency.go).
+		if t.lat != nil {
+			n.readyAtNs = nowNanos()
+		}
 		if n.hasAcquires() && !t.admit(t.sub, n) {
 			return // parked; a semaphore release will submit it
 		}

@@ -69,6 +69,14 @@ type node struct {
 	execCount atomic.Uint64
 	execDurNs atomic.Int64
 
+	// readyAtNs is the monotonic instant (nowNanos, latency.go) the
+	// node's current execution became ready, i.e. was queued. Written by
+	// whichever goroutine queues the execution and read by the worker
+	// that runs it; the queue publication provides the happens-before
+	// edge, so a plain field suffices. Stamped only when the topology
+	// records latency histograms (topology.lat non-nil).
+	readyAtNs int64
+
 	// parent is the spawning node for joined-subflow members, nil for
 	// top-level and detached nodes.
 	parent *node

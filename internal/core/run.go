@@ -10,7 +10,11 @@ package core
 // no context/deadline features, which by nature materialize a fresh
 // context per run.
 
-import "context"
+import (
+	"context"
+
+	"gotaskflow/internal/executor"
+)
 
 // Run executes the present graph once and blocks until it finishes,
 // returning every captured task error joined (panics are converted). The
@@ -99,10 +103,20 @@ func (tf *Taskflow) run(ctx context.Context) error {
 	// condition branch retains a partial count. The per-node stat counters
 	// reset in the same O(n) sweep when stats are on.
 	statsOn := t.stats != nil
+	latOn := t.lat != nil
+	var readyNs int64
+	if latOn {
+		// One clock read stamps every node: sources are genuinely ready
+		// now, and non-sources are restamped at dependency release.
+		readyNs = nowNanos()
+	}
 	for _, n := range g.nodes {
 		n.topo = t
 		n.parent = nil
 		n.join.Store(int32(n.numDependents))
+		if latOn {
+			n.readyAtNs = readyNs
+		}
 		if statsOn {
 			n.execCount.Store(0)
 			n.execDurNs.Store(0)
@@ -165,6 +179,9 @@ func (tf *Taskflow) prepareRun() (*topology, error) {
 		t.flow = f
 		t.flowReserved = g.len()
 		t.sub = flowSubmitter{f}
+	}
+	if lp, ok := tf.exec.(executor.LatencyProvider); ok {
+		t.lat = lp.LatencySink(tf.flow)
 	}
 	if tf.statsEnabled {
 		t.stats = &topoStats{timing: tf.statsTiming}

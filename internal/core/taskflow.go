@@ -285,6 +285,9 @@ func (tf *Taskflow) dispatch(ctx context.Context) *topology {
 		t.flowReserved = g.len()
 		t.sub = flowSubmitter{f}
 	}
+	if lp, ok := tf.exec.(executor.LatencyProvider); ok {
+		t.lat = lp.LatencySink(tf.flow)
+	}
 	if ctx != nil || hasCtx {
 		t.ensureCtx(ctx)
 	}
@@ -300,10 +303,17 @@ func (tf *Taskflow) dispatch(ctx context.Context) *topology {
 	t.pending.Store(int64(numSources))
 	// Sources guarded by semaphores are admitted or parked; the rest
 	// start as a batch.
+	var readyNs int64
+	if t.lat != nil {
+		readyNs = nowNanos()
+	}
 	runnable := make([]*executor.Runnable, 0, numSources)
 	for _, n := range g.nodes {
 		if !n.isSource() {
 			continue
+		}
+		if t.lat != nil {
+			n.readyAtNs = readyNs
 		}
 		if n.hasAcquires() && !t.admit(t.sub, n) {
 			continue

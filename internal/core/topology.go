@@ -84,6 +84,11 @@ type topology struct {
 	// stats is the per-run counter block, non-nil only when the owning
 	// Taskflow enabled CollectRunStats. Reset per run, never reallocated.
 	stats *topoStats
+
+	// lat is the executor's latency histogram sink for this topology's
+	// flow, non-nil only when the scheduler implements
+	// executor.LatencyProvider with histograms enabled (see latency.go).
+	lat executor.LatencySink
 }
 
 // finish signals quiescence: close for one-shot (dispatched) topologies,
@@ -269,6 +274,9 @@ func (t *topology) schedule(ctx executor.Context, s *node, cached bool) {
 		s.parent.children.Add(1)
 	}
 	t.pending.Add(1)
+	if t.lat != nil {
+		s.readyAtNs = nowNanos()
+	}
 	if s.hasAcquires() && !t.admit(ctx, s) {
 		return // parked on a semaphore; a release will submit it
 	}
@@ -309,10 +317,17 @@ func (t *topology) runNode(ctx executor.Context, n *node) {
 		st.tasks.Add(1)
 		n.execCount.Add(1)
 	}
+	var lstart int64
+	if t.lat != nil {
+		lstart = nowNanos()
+	}
 	switch {
 	case n.condWork != nil:
 		idx := -1
 		t.invoke(n, func() { idx = n.condWork() })
+		if t.lat != nil {
+			t.noteLatency(ctx, n, lstart)
+		}
 		t.releaseSems(ctx, n)
 		// Signal exactly the chosen successor; an out-of-range index
 		// (including the -1 left by a panic) signals nothing, which is
@@ -333,6 +348,9 @@ func (t *topology) runNode(ctx executor.Context, n *node) {
 		sf.g = &graph{}
 		n.extra().subgraph = sf.g
 		t.invoke(n, func() { n.subflowWork(sf) })
+		if t.lat != nil {
+			t.noteLatency(ctx, n, lstart)
+		}
 		t.releaseSems(ctx, n)
 		if sf.g.len() > 0 && ctx.Tracing() {
 			ctx.Trace(executor.EvSubflowSpawn, n.Describe(), uint64(sf.g.len()))
@@ -356,10 +374,21 @@ func (t *topology) runNode(ctx executor.Context, n *node) {
 		if !t.runFallible(ctx, n) {
 			return // retry scheduled; the execution is still outstanding
 		}
+		// Resolved (success or final failure): the end-to-end timing spans
+		// from the last (re)submission, not the first — see latency.go.
+		if t.lat != nil {
+			t.noteLatency(ctx, n, lstart)
+		}
 	case n.work != nil:
 		t.invoke(n, n.work)
+		if t.lat != nil {
+			t.noteLatency(ctx, n, lstart)
+		}
 		t.releaseSems(ctx, n)
 	default:
+		if t.lat != nil {
+			t.noteLatency(ctx, n, lstart)
+		}
 		t.releaseSems(ctx, n)
 	}
 	t.finishNode(ctx, n)
@@ -468,6 +497,10 @@ func (t *topology) invoke(n *node, fn func()) {
 func (t *topology) spawn(ctx executor.Context, g *graph, parent *node) bool {
 	nsrc := 0
 	needCtx := false
+	var readyNs int64
+	if t.lat != nil {
+		readyNs = nowNanos()
+	}
 	for _, c := range g.nodes {
 		c.topo = t
 		c.parent = parent
@@ -477,6 +510,9 @@ func (t *topology) spawn(ctx executor.Context, g *graph, parent *node) bool {
 		}
 		if c.isSource() {
 			nsrc++
+			if t.lat != nil {
+				c.readyAtNs = readyNs
+			}
 		}
 	}
 	if nsrc == 0 {
@@ -561,6 +597,9 @@ func (t *topology) notifySucc(ctx executor.Context, src, s *node, cached bool, e
 		s.parent.children.Add(1)
 	}
 	t.pending.Add(1)
+	if t.lat != nil {
+		s.readyAtNs = nowNanos()
+	}
 	if s.hasAcquires() && !t.admit(ctx, s) {
 		return cached, extra // parked on a semaphore; a release will submit it
 	}

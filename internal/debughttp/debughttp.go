@@ -5,8 +5,10 @@
 //	/debug/taskflow/            index: endpoints and registered taskflows
 //	/debug/taskflow/metrics     scheduler counters, Prometheus text format
 //	/debug/taskflow/flows       multi-tenant flow stats (always-on counters)
+//	/debug/taskflow/latency     per-flow latency quantile table (p50/p90/p99/p999)
 //	/debug/taskflow/trace/start begin an event-trace capture
 //	/debug/taskflow/trace/stop  end it and stream Chrome trace-event JSON
+//	/debug/taskflow/flight      snapshot the flight recorder as Chrome trace JSON
 //	/debug/taskflow/dot         annotated DOT of a registered taskflow
 //
 // Mount Registry.Handler on any mux, or call ListenAndServe for a
@@ -96,8 +98,10 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc(Prefix, r.index)
 	mux.HandleFunc(Prefix+"metrics", r.serveMetrics)
 	mux.HandleFunc(Prefix+"flows", r.serveFlows)
+	mux.HandleFunc(Prefix+"latency", r.serveLatency)
 	mux.HandleFunc(Prefix+"trace/start", r.traceStart)
 	mux.HandleFunc(Prefix+"trace/stop", r.traceStop)
+	mux.HandleFunc(Prefix+"flight", r.serveFlight)
 	mux.HandleFunc(Prefix+"dot", r.dot)
 	return mux
 }
@@ -125,8 +129,10 @@ func (r *Registry) index(w http.ResponseWriter, req *http.Request) {
 	fmt.Fprintf(w, "gotaskflow debug endpoints (%d workers)\n\n", r.exec.NumWorkers())
 	fmt.Fprintf(w, "%smetrics      scheduler counters (Prometheus text; enabled=%v)\n", Prefix, r.exec.MetricsEnabled())
 	fmt.Fprintf(w, "%sflows        multi-tenant flow stats (%d flows registered)\n", Prefix, len(r.exec.FlowStats()))
+	fmt.Fprintf(w, "%slatency      per-flow latency quantiles (enabled=%v)\n", Prefix, r.exec.LatencyEnabled())
 	fmt.Fprintf(w, "%strace/start  begin an event-trace capture (enabled=%v, active=%v)\n", Prefix, r.exec.TracingEnabled(), r.exec.TraceActive())
 	fmt.Fprintf(w, "%strace/stop   end the capture, respond with Chrome trace-event JSON\n", Prefix)
+	fmt.Fprintf(w, "%sflight       flight-recorder snapshot, Chrome trace-event JSON (enabled=%v)\n", Prefix, r.exec.FlightEnabled())
 	fmt.Fprintf(w, "%sdot?flow=NAME  annotated DOT dump of a registered taskflow\n\n", Prefix)
 	names := r.flowNames()
 	fmt.Fprintf(w, "registered taskflows: %d\n", len(names))
@@ -171,6 +177,52 @@ func (r *Registry) serveFlows(w http.ResponseWriter, _ *http.Request) {
 			st.Name, st.Class, st.Weight, quota, wm, st.Backlog, st.InFlight, st.PeakInFlight,
 			st.AdmittedTasks, st.ReleasedTasks, st.AdmissionRejects, st.OverloadSheds,
 			st.Pushes, st.DrainedTasks, st.DrainOps, st.Executed)
+	}
+}
+
+// serveLatency renders the per-flow latency quantile table from the
+// always-on histograms (executor.WithLatencyHistograms).
+func (r *Registry) serveLatency(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	flows, ok := r.exec.LatencyStats()
+	if !ok {
+		fmt.Fprintln(w, "latency histograms disabled: build the executor with executor.WithLatencyHistograms()")
+		return
+	}
+	digests := metrics.Digest(flows)
+	fmt.Fprintf(w, "per-flow latency (histogram quantiles, linear interpolation): %d sinks\n\n", len(digests))
+	fmt.Fprintf(w, "%-16s %-11s %-10s %10s %10s %10s %10s %10s %10s\n",
+		"flow", "class", "dimension", "count", "mean", "p50", "p90", "p99", "p999")
+	for _, d := range digests {
+		for _, row := range []struct {
+			dim string
+			q   metrics.QuantileDigest
+		}{
+			{"queue-wait", d.QueueWait},
+			{"exec", d.Exec},
+			{"end-to-end", d.EndToEnd},
+		} {
+			fmt.Fprintf(w, "%-16s %-11s %-10s %10d %10v %10v %10v %10v %10v\n",
+				d.Flow, d.Class, row.dim, row.q.Count, row.q.Mean, row.q.P50, row.q.P90, row.q.P99, row.q.P999)
+		}
+	}
+}
+
+// serveFlight snapshots the always-armed flight recorder and streams it
+// as Chrome trace-event JSON — the on-demand "what just happened" dump,
+// with no capture session required.
+func (r *Registry) serveFlight(w http.ResponseWriter, _ *http.Request) {
+	tr, ok := r.exec.FlightSnapshot()
+	if !ok {
+		http.Error(w, "flight recorder disabled: build the executor with executor.WithFlightRecorder(0)", http.StatusConflict)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="taskflow_flight.json"`)
+	if err := tracing.WriteTrace(w, tr); err != nil {
+		// Headers are gone; the truncated body fails JSON parsing, which
+		// is the strongest signal still available to the client.
+		return
 	}
 }
 

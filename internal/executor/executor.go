@@ -265,6 +265,17 @@ type Executor struct {
 	// one atomic flag load while armed.
 	tracer *tracerState
 
+	// flight is the always-armed flight recorder (see flight.go), non-nil
+	// only when built WithFlightRecorder. It shares the trace
+	// instrumentation points with tracer but never stops recording.
+	flightCap int
+	flight    *flightState
+
+	// lat is the per-flow latency histogram state (see histogram.go),
+	// non-nil only when built WithLatencyHistograms.
+	latencyOn bool
+	lat       *latencyState
+
 	// Ablation knobs for the Algorithm-1 heuristics (defaults match the
 	// paper's scheduler; see the ablation benchmarks in bench_test.go).
 	noCache bool
@@ -382,6 +393,12 @@ func New(n int, opts ...Option) *Executor {
 	if e.metricsOn {
 		e.metrics = newMetricsState(n, shards)
 	}
+	if e.latencyOn {
+		e.lat = &latencyState{workers: n, def: newFlowLatency(n)}
+	}
+	if e.flightCap > 0 {
+		e.flight = newFlightState(n, e.flightCap)
+	}
 	e.workers = make([]*worker, n)
 	for i := 0; i < n; i++ {
 		w := &worker{
@@ -395,7 +412,7 @@ func New(n int, opts ...Option) *Executor {
 			w.queue.SetCounters(&e.metrics.deques[i].Counters)
 			w.metrics = &e.metrics.workers[i].workerMetrics
 		}
-		if e.tracer != nil {
+		if e.tracer != nil || e.flight != nil {
 			// Ring reallocations on the push path are a latency smell worth a
 			// timeline mark; the hook runs on the owner, so it records into
 			// the owner's ring.

@@ -1,0 +1,162 @@
+package executor
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFlightWrapAroundAccounting pins the drop-oldest snapshot protocol:
+// a ring that recorded more events than its capacity yields the newest
+// window, and everything older is counted as dropped — kept + dropped
+// equals everything ever recorded.
+func TestFlightWrapAroundAccounting(t *testing.T) {
+	e := New(1, WithFlightRecorder(8))
+	defer e.Shutdown()
+	const total = 20
+	for i := 0; i < total; i++ {
+		e.flight.record(0, EvTaskStart, TaskMeta{ID: uint64(i) + 1}, 0)
+	}
+	tr, ok := e.FlightSnapshot()
+	if !ok {
+		t.Fatal("FlightSnapshot not ok")
+	}
+	if uint64(len(tr.Events))+tr.Dropped != total {
+		t.Fatalf("kept %d + dropped %d != recorded %d", len(tr.Events), tr.Dropped, total)
+	}
+	// The snapshot keeps the full capacity window, and it must be the
+	// newest one.
+	if len(tr.Events) != 8 {
+		t.Fatalf("kept %d events from an 8-slot ring, want 8", len(tr.Events))
+	}
+	for i, ev := range tr.Events {
+		if want := uint64(total - 8 + i + 1); ev.Meta.ID != want {
+			t.Fatalf("event %d has ID %d, want %d (newest window)", i, ev.Meta.ID, want)
+		}
+	}
+}
+
+// TestFlightSnapshotSortedAndContinuous runs real work with no capture
+// session: the armed recorder alone must hold task events, and the merged
+// snapshot must be time-ordered.
+func TestFlightSnapshotSortedAndContinuous(t *testing.T) {
+	e := New(2, WithFlightRecorder(0))
+	defer e.Shutdown()
+	if !e.FlightEnabled() {
+		t.Fatal("FlightEnabled = false")
+	}
+	drain(t, e, 200)
+	tr, ok := e.FlightSnapshot()
+	if !ok || len(tr.Events) == 0 {
+		t.Fatalf("snapshot empty (ok=%v) after 200 tasks", ok)
+	}
+	starts := 0
+	var last time.Duration = -1
+	for i, ev := range tr.Events {
+		if ev.Ts < last {
+			t.Fatalf("event %d out of order: %v after %v", i, ev.Ts, last)
+		}
+		last = ev.Ts
+		if ev.Kind == EvTaskStart {
+			starts++
+		}
+	}
+	if starts == 0 {
+		t.Fatal("no task-start events in the flight window")
+	}
+	// Snapshot does not stop recording: more work keeps landing.
+	drain(t, e, 50)
+	tr2, _ := e.FlightSnapshot()
+	if uint64(len(tr2.Events))+tr2.Dropped <= uint64(len(tr.Events))+tr.Dropped {
+		t.Fatal("recorder stopped accumulating after a snapshot")
+	}
+}
+
+// TestFlightComposesWithTraceCapture proves the black box and a capture
+// session record independently from the shared instrumentation points.
+func TestFlightComposesWithTraceCapture(t *testing.T) {
+	e := New(1, WithFlightRecorder(0), WithTracing(0))
+	defer e.Shutdown()
+	if !e.StartTrace() {
+		t.Fatal("StartTrace failed")
+	}
+	drain(t, e, 100)
+	cap, ok := e.StopTrace()
+	if !ok || len(cap.Events) == 0 {
+		t.Fatal("capture session recorded nothing")
+	}
+	fl, ok := e.FlightSnapshot()
+	if !ok || len(fl.Events) == 0 {
+		t.Fatal("flight recorder recorded nothing alongside the capture")
+	}
+	// After the capture stops, the flight recorder keeps going.
+	drain(t, e, 20)
+	fl2, _ := e.FlightSnapshot()
+	if uint64(len(fl2.Events))+fl2.Dropped <= uint64(len(fl.Events))+fl.Dropped {
+		t.Fatal("flight recorder stopped with the capture session")
+	}
+}
+
+// TestFlightSnapshotWhileRecording races snapshots against a live
+// workload (run under -race): snapshots never block writers and always
+// return a sorted, internally consistent window.
+func TestFlightSnapshotWhileRecording(t *testing.T) {
+	e := New(2, WithFlightRecorder(64))
+	defer e.Shutdown()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			drain(t, e, 20)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		tr, ok := e.FlightSnapshot()
+		if !ok {
+			t.Error("snapshot not ok mid-run")
+			break
+		}
+		var last time.Duration = -1
+		for j, ev := range tr.Events {
+			if ev.Ts < last {
+				t.Errorf("snapshot %d: event %d out of order", i, j)
+				break
+			}
+			last = ev.Ts
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestFlightDisabledByDefault(t *testing.T) {
+	e := New(1)
+	defer e.Shutdown()
+	if e.FlightEnabled() {
+		t.Fatal("FlightEnabled without the option")
+	}
+	if _, ok := e.FlightSnapshot(); ok {
+		t.Fatal("FlightSnapshot ok when disabled")
+	}
+}
+
+// TestFlightRecordZeroAlloc gates the armed record path: one slot write
+// and one atomic publication, no allocation. Runs under the CI alloc-gate
+// job.
+func TestFlightRecordZeroAlloc(t *testing.T) {
+	e := New(1, WithFlightRecorder(256))
+	defer e.Shutdown()
+	meta := TaskMeta{ID: 7, Name: "gate"}
+	if allocs := testing.AllocsPerRun(100, func() {
+		e.flight.record(0, EvTaskStart, meta, 0)
+	}); allocs != 0 {
+		t.Fatalf("flight record allocates %v per op, want 0", allocs)
+	}
+}

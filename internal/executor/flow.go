@@ -149,6 +149,10 @@ type FlowStats struct {
 	// Config echoes, so exported snapshots are self-describing.
 	MaxInFlight int
 	MaxBacklog  int
+
+	// Latency is the flow's merged latency histogram triple, non-nil only
+	// when the executor was built WithLatencyHistograms (histogram.go).
+	Latency *FlowLatencyStats
 }
 
 // Flow is a multi-tenant submission handle. Implemented by the real
@@ -231,6 +235,10 @@ type execFlow struct {
 	drains       atomic.Uint64
 	drainedTasks atomic.Uint64
 	executed     atomic.Uint64
+
+	// lat is the flow's latency histogram set, non-nil only when the
+	// executor was built WithLatencyHistograms (histogram.go).
+	lat *flowLatency
 }
 
 var _ Flow = (*execFlow)(nil)
@@ -283,6 +291,9 @@ func (e *Executor) NewFlow(name string, cfg FlowConfig) Flow {
 	}
 	f := &execFlow{e: e, name: name, cfg: cfg}
 	f.ring.init(injInitialCap)
+	if e.lat != nil {
+		f.lat = newFlowLatency(e.lat.workers)
+	}
 	mt.mu.Lock()
 	f.idx = len(mt.all)
 	mt.all = append(mt.all, f)
@@ -429,6 +440,10 @@ func (f *execFlow) Stats() FlowStats {
 	if backlog < 0 {
 		backlog = 0
 	}
+	var lat *FlowLatencyStats
+	if f.lat != nil {
+		lat = f.lat.stats()
+	}
 	return FlowStats{
 		Name:             f.name,
 		Class:            f.cfg.Class,
@@ -446,6 +461,7 @@ func (f *execFlow) Stats() FlowStats {
 		Backlog:          int(backlog),
 		MaxInFlight:      f.cfg.MaxInFlight,
 		MaxBacklog:       f.cfg.MaxBacklog,
+		Latency:          lat,
 	}
 }
 

@@ -342,39 +342,50 @@ func (t *tracerState) record(worker int32, kind EventKind, meta TaskMeta, arg ui
 }
 
 // TraceExternal records an event from outside the worker pool (retry
-// timers, cancellation, submission goroutines). No-op unless a capture is
-// active.
+// timers, cancellation, submission goroutines). It feeds both recorders:
+// the capture tracer when one is active, and the flight recorder
+// (flight.go) whenever it is armed.
 func (e *Executor) TraceExternal(kind EventKind, meta TaskMeta, arg uint64) {
-	t := e.tracer
-	if t == nil || !t.active.Load() {
-		return
+	if t := e.tracer; t != nil && t.active.Load() {
+		t.record(ExternalWorker, kind, meta, arg)
 	}
-	t.record(ExternalWorker, kind, meta, arg)
+	if f := e.flight; f != nil {
+		f.record(ExternalWorker, kind, meta, arg)
+	}
 }
 
-// Tracing implements Context: it reports whether a capture is active, the
-// cheap guard tasks use before building a TaskMeta for Trace.
+// Tracing implements Context: it reports whether any recorder wants
+// events — a capture is active, or the flight recorder is armed (it
+// always is, when built in). This is the cheap guard tasks use before
+// building a TaskMeta for Trace.
 func (w *worker) Tracing() bool {
+	if w.exec.flight != nil {
+		return true
+	}
 	t := w.exec.tracer
 	return t != nil && t.active.Load()
 }
 
-// Trace implements Context: record an event attributed to this worker.
-// No-op unless a capture is active.
+// Trace implements Context: record an event attributed to this worker
+// into every recorder that wants it.
 func (w *worker) Trace(kind EventKind, meta TaskMeta, arg uint64) {
-	t := w.exec.tracer
-	if t == nil || !t.active.Load() {
-		return
+	e := w.exec
+	if t := e.tracer; t != nil && t.active.Load() {
+		t.record(int32(w.id), kind, meta, arg)
 	}
-	t.record(int32(w.id), kind, meta, arg)
+	if f := e.flight; f != nil {
+		f.record(int32(w.id), kind, meta, arg)
+	}
 }
 
 // traceEvent is the executor-internal emission helper for events with no
 // task identity (scheduler lifecycle).
 func (w *worker) traceEvent(kind EventKind, arg uint64) {
-	t := w.exec.tracer
-	if t == nil || !t.active.Load() {
-		return
+	e := w.exec
+	if t := e.tracer; t != nil && t.active.Load() {
+		t.record(int32(w.id), kind, TaskMeta{}, arg)
 	}
-	t.record(int32(w.id), kind, TaskMeta{}, arg)
+	if f := e.flight; f != nil {
+		f.record(int32(w.id), kind, TaskMeta{}, arg)
+	}
 }

@@ -28,6 +28,22 @@ type Source interface {
 	MetricsSnapshot() (executor.Snapshot, bool)
 }
 
+// LatencySource provides the per-flow latency histograms —
+// *executor.Executor implements it (WithLatencyHistograms). Sources that
+// also implement it get gotaskflow_flow_latency_* histogram series in the
+// Prometheus export and latency digests in the flow expvar, even when the
+// scheduler counters (WithMetrics) are off.
+type LatencySource interface {
+	LatencyStats() ([]executor.FlowLatencySummary, bool)
+}
+
+// FlowSource provides the always-on per-flow counters —
+// *executor.Executor implements it. Unlike Source it needs no option: the
+// flow counters double as admission-control state.
+type FlowSource interface {
+	FlowStats() []executor.FlowStats
+}
+
 // promCounter and promGauge describe one exported series.
 type series struct {
 	name     string
@@ -124,36 +140,94 @@ var exported = []series{
 }
 
 // WritePrometheus writes the source's current counters in the Prometheus
-// text exposition format (version 0.0.4). It writes nothing and returns
-// nil when the source was built without metrics.
+// text exposition format (version 0.0.4). Counter series require the
+// source to have been built with metrics; latency histogram series
+// (LatencySource) render independently, so a histogram-only executor
+// still exports them. A source with neither writes nothing and returns
+// nil.
 func WritePrometheus(w io.Writer, src Source) error {
-	snap, ok := src.MetricsSnapshot()
-	if !ok {
-		return nil
-	}
 	var b strings.Builder
-	for _, s := range exported {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", s.name, s.help, s.name, s.typ)
-		switch {
-		case s.per != nil:
-			for i := range snap.Workers {
-				fmt.Fprintf(&b, "%s{worker=\"%d\"} %g\n", s.name, i, s.per(&snap.Workers[i]))
+	if snap, ok := src.MetricsSnapshot(); ok {
+		for _, s := range exported {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", s.name, s.help, s.name, s.typ)
+			switch {
+			case s.per != nil:
+				for i := range snap.Workers {
+					fmt.Fprintf(&b, "%s{worker=\"%d\"} %g\n", s.name, i, s.per(&snap.Workers[i]))
+				}
+			case s.perShard != nil:
+				for i := range snap.Shards {
+					fmt.Fprintf(&b, "%s{shard=\"%d\"} %g\n", s.name, i, s.perShard(&snap.Shards[i]))
+				}
+			case s.perFlow != nil:
+				for i := range snap.Flows {
+					f := &snap.Flows[i]
+					fmt.Fprintf(&b, "%s{flow=%q,class=%q} %g\n", s.name, f.Name, f.Class.String(), s.perFlow(f))
+				}
+			default:
+				fmt.Fprintf(&b, "%s %g\n", s.name, s.total(&snap))
 			}
-		case s.perShard != nil:
-			for i := range snap.Shards {
-				fmt.Fprintf(&b, "%s{shard=\"%d\"} %g\n", s.name, i, s.perShard(&snap.Shards[i]))
-			}
-		case s.perFlow != nil:
-			for i := range snap.Flows {
-				f := &snap.Flows[i]
-				fmt.Fprintf(&b, "%s{flow=%q,class=%q} %g\n", s.name, f.Name, f.Class.String(), s.perFlow(f))
-			}
-		default:
-			fmt.Fprintf(&b, "%s %g\n", s.name, s.total(&snap))
 		}
+	}
+	if ls, ok := src.(LatencySource); ok {
+		writeLatencySeries(&b, ls)
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// latencySeries maps the three histogram dimensions to their exported
+// names. Durations are exported in seconds per Prometheus convention.
+var latencySeries = []struct {
+	name string
+	help string
+	pick func(*executor.FlowLatencySummary) *executor.LatencySnapshot
+}{
+	{"gotaskflow_flow_latency_queue_wait_seconds", "Task wait from ready (queued) to body start",
+		func(f *executor.FlowLatencySummary) *executor.LatencySnapshot { return &f.QueueWait }},
+	{"gotaskflow_flow_latency_exec_seconds", "Task body execution time",
+		func(f *executor.FlowLatencySummary) *executor.LatencySnapshot { return &f.Exec }},
+	{"gotaskflow_flow_latency_e2e_seconds", "Task latency from ready to body end",
+		func(f *executor.FlowLatencySummary) *executor.LatencySnapshot { return &f.EndToEnd }},
+}
+
+// unboundFlowLabel is the flow label of the default sink shared by
+// topologies bound to no flow.
+const unboundFlowLabel = "_unbound"
+
+// flowLabels renders the {flow=...,class=...} label pair of one summary.
+func flowLabels(f *executor.FlowLatencySummary) string {
+	if f.Unbound {
+		return fmt.Sprintf("flow=%q,class=%q", unboundFlowLabel, "none")
+	}
+	return fmt.Sprintf("flow=%q,class=%q", f.Flow, f.Class.String())
+}
+
+// writeLatencySeries renders the per-flow latency histograms as
+// Prometheus histogram series: cumulative _bucket counts with le bounds
+// in seconds, plus _sum (seconds) and _count.
+func writeLatencySeries(b *strings.Builder, ls LatencySource) {
+	flows, ok := ls.LatencyStats()
+	if !ok {
+		return
+	}
+	bounds := executor.LatencyBucketBounds()
+	for _, s := range latencySeries {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", s.name, s.help, s.name)
+		for i := range flows {
+			f := &flows[i]
+			labels := flowLabels(f)
+			h := s.pick(f)
+			var cum uint64
+			for bi, bound := range bounds {
+				cum += h.Counts[bi]
+				fmt.Fprintf(b, "%s_bucket{%s,le=\"%g\"} %d\n", s.name, labels, bound.Seconds(), cum)
+			}
+			fmt.Fprintf(b, "%s_bucket{%s,le=\"+Inf\"} %d\n", s.name, labels, h.Count)
+			fmt.Fprintf(b, "%s_sum{%s} %g\n", s.name, labels, float64(h.Sum)/1e9)
+			fmt.Fprintf(b, "%s_count{%s} %d\n", s.name, labels, h.Count)
+		}
+	}
 }
 
 // Handler returns an http.Handler serving the Prometheus text format —
@@ -218,5 +292,78 @@ func Publish(name string, src Source) {
 			return nil
 		}
 		return snap
+	}))
+}
+
+// LatencyDigest is the compact per-flow latency summary published to
+// expvar (and rendered by /debug/taskflow/latency): quantiles
+// interpolated from the histogram rather than the raw bucket arrays.
+type LatencyDigest struct {
+	Flow    string
+	Class   string
+	Unbound bool `json:",omitempty"`
+
+	QueueWait QuantileDigest
+	Exec      QuantileDigest
+	EndToEnd  QuantileDigest
+}
+
+// QuantileDigest summarizes one histogram. Durations are nanoseconds in
+// the JSON form (time.Duration's native marshalling).
+type QuantileDigest struct {
+	Count uint64
+	Mean  time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	P999  time.Duration
+}
+
+func digestOf(s *executor.LatencySnapshot) QuantileDigest {
+	return QuantileDigest{
+		Count: s.Count,
+		Mean:  s.Mean(),
+		P50:   s.Quantile(0.50),
+		P90:   s.Quantile(0.90),
+		P99:   s.Quantile(0.99),
+		P999:  s.Quantile(0.999),
+	}
+}
+
+// Digest reduces the raw latency summaries to quantile digests, one per
+// flow (the unbound sink first, when present).
+func Digest(flows []executor.FlowLatencySummary) []LatencyDigest {
+	out := make([]LatencyDigest, len(flows))
+	for i := range flows {
+		f := &flows[i]
+		d := LatencyDigest{Flow: f.Flow, Class: f.Class.String(), Unbound: f.Unbound}
+		if f.Unbound {
+			d.Flow, d.Class = unboundFlowLabel, "none"
+		}
+		d.QueueWait = digestOf(&f.QueueWait)
+		d.Exec = digestOf(&f.Exec)
+		d.EndToEnd = digestOf(&f.EndToEnd)
+		out[i] = d
+	}
+	return out
+}
+
+// PublishFlows registers the per-flow counters (and, when the source
+// collects them, the latency digests) under name as an expvar variable —
+// the flow-level complement of Publish, which exports only the scheduler
+// counters. The flow counters are always on, so this works without
+// WithMetrics.
+func PublishFlows(name string, src FlowSource) {
+	expvar.Publish(name, expvar.Func(func() any {
+		v := struct {
+			Flows   []executor.FlowStats
+			Latency []LatencyDigest `json:",omitempty"`
+		}{Flows: src.FlowStats()}
+		if ls, ok := src.(LatencySource); ok {
+			if lat, lok := ls.LatencyStats(); lok {
+				v.Latency = Digest(lat)
+			}
+		}
+		return v
 	}))
 }

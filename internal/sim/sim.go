@@ -56,6 +56,13 @@
 // re-check-before-announce ordering) surfaces: as a deterministic,
 // seed-replayable deadlock report instead of a hung -race run.
 //
+// Deadlock is not the only way to lose progress: a scheduler can also
+// livelock, burning steps without ever executing a task. WithStallDetector
+// (stall.go) arms the deterministic counterpart of the real executor's
+// stall watchdog — every N steps it requires the executed counter to have
+// moved whenever queued work is visible, and reports a seed-replayable
+// stall failure otherwise.
+//
 // # What is and is not modeled
 //
 // The simulation explores scheduling orders, not memory-model behavior:
@@ -193,6 +200,15 @@ type SimExecutor struct {
 	strictDrainBug bool
 	logServices    bool
 	services       []FlowService
+
+	// Stall watchdog model (stall.go): an optional executed-progress
+	// check every stallWindow steps, mirroring the real
+	// executor.Watchdog's no-progress detector, plus the injected
+	// injection-stall bug used to validate its detection power.
+	stallWindow uint64
+	stallMark   uint64
+	stallArmed  bool
+	injStallBug bool
 
 	st       Stats
 	hash     uint64 // FNV-1a over every PRNG decision: the schedule fingerprint
@@ -455,9 +471,11 @@ func (s *SimExecutor) stealable(w int) bool {
 			return true
 		}
 	}
-	for _, sh := range s.shards {
-		if len(sh) > 0 {
-			return true
+	if !s.injStallBug {
+		for _, sh := range s.shards {
+			if len(sh) > 0 {
+				return true
+			}
 		}
 	}
 	return s.flowBacklog() > 0
@@ -515,6 +533,9 @@ func (s *SimExecutor) step() bool {
 		panic(fmt.Sprintf(
 			"sim: exceeded %d scheduling steps (livelocked graph?) — seed %d",
 			s.maxSteps, s.seed))
+	}
+	if s.stallWindow > 0 && s.st.Steps%s.stallWindow == 0 {
+		s.checkStall()
 	}
 	s.perform(c)
 	return true
@@ -596,9 +617,11 @@ func (s *SimExecutor) steal(w int) {
 			victims = append(victims, v)
 		}
 	}
-	for i, sh := range s.shards {
-		if len(sh) > 0 {
-			victims = append(victims, s.workers+i)
+	if !s.injStallBug {
+		for i, sh := range s.shards {
+			if len(sh) > 0 {
+				victims = append(victims, s.workers+i)
+			}
 		}
 	}
 	if len(victims) == 0 {

@@ -209,10 +209,14 @@ func WriteTrace(w io.Writer, tr executor.Trace) error {
 		}
 	}
 
-	doc := chromeTrace{TraceEvents: out}
-	if tr.Dropped > 0 {
-		doc.Metadata = map[string]any{"droppedEvents": tr.Dropped}
-	}
+	// droppedEvents and totalEvents are always present so dump validators
+	// (cmd/tracecheck -flight) can check the accounting: a wrapped flight
+	// ring legitimately reports large drop counts, and their absence is
+	// indistinguishable from zero otherwise.
+	doc := chromeTrace{TraceEvents: out, Metadata: map[string]any{
+		"droppedEvents": tr.Dropped,
+		"totalEvents":   len(tr.Events),
+	}}
 	enc := json.NewEncoder(w)
 	return enc.Encode(doc)
 }

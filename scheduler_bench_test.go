@@ -109,6 +109,76 @@ func BenchmarkSchedLinearChainTracingOn(b *testing.B) {
 	}
 }
 
+// BenchmarkSchedLinearChainHistogramsOn is BenchmarkSchedLinearChain with
+// per-flow latency histograms armed (WithLatencyHistograms): every task
+// execution stamps a ready time in core, reads the clock twice and records
+// queue-wait, execution and end-to-end into worker-sharded histograms. It
+// is the histogram enabled-path allocation gate: -benchmem must report
+// 0 allocs/op — the record path is three shard-local atomic adds per
+// dimension — and the ns/op delta against the plain benchmark is the whole
+// cost of always-on latency accounting.
+func BenchmarkSchedLinearChainHistogramsOn(b *testing.B) {
+	e := executor.New(workers(), executor.WithLatencyHistograms())
+	defer e.Shutdown()
+	tf := core.NewShared(e)
+	var n int64
+	prev := tf.Emplace1(func() { n++ })
+	for i := 1; i < 256; i++ {
+		next := tf.Emplace1(func() { n++ })
+		prev.Precede(next)
+		prev = next
+	}
+	if err := tf.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tf.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	flows, ok := e.LatencyStats()
+	if !ok || len(flows) == 0 || flows[0].EndToEnd.Count == 0 {
+		b.Fatal("latency histograms recorded nothing during the benchmark")
+	}
+}
+
+// BenchmarkSchedLinearChainFlightOn is BenchmarkSchedLinearChain with the
+// always-armed flight recorder (WithFlightRecorder): every task span and
+// scheduler lifecycle event is continuously written into the per-worker
+// wrap-around rings, oldest events overwritten in place. It is the flight
+// enabled-path allocation gate: -benchmem must report 0 allocs/op — ring
+// slots are rewritten, never grown — and the ns/op delta against the plain
+// benchmark is the steady-state cost of the black box.
+func BenchmarkSchedLinearChainFlightOn(b *testing.B) {
+	e := executor.New(workers(), executor.WithFlightRecorder(1<<12))
+	defer e.Shutdown()
+	tf := core.NewShared(e)
+	var n int64
+	prev := tf.Emplace1(func() { n++ })
+	for i := 1; i < 256; i++ {
+		next := tf.Emplace1(func() { n++ })
+		prev.Precede(next)
+		prev = next
+	}
+	if err := tf.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tf.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if tr, ok := e.FlightSnapshot(); !ok || len(tr.Events) == 0 {
+		b.Fatal("no flight events were recorded during the benchmark")
+	}
+}
+
 // BenchmarkSchedDiamondRerun re-runs a 1→64→1 diamond: exercises batch
 // successor submission (one Wake per fan-out) and fan-in join counters.
 func BenchmarkSchedDiamondRerun(b *testing.B) {
