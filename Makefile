@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race chaos bench bench-contention cover fuzz trace fairness latency-smoke
+.PHONY: all build test vet race chaos bench bench-contention cover fuzz trace fairness latency-smoke pipeline-bench
 
 all: vet build test
 
@@ -77,6 +77,19 @@ latency-smoke:
 	$(GO) run ./cmd/latencysmoke -workers 4 -dur 1s -flight /tmp/flight_smoke.json
 	$(GO) run ./cmd/tracecheck -flight /tmp/flight_smoke.json
 
+# pipeline-bench is the pipeline throughput smoke: the zero-alloc
+# steady-state gate, a short benchmark pass over the stages × lines
+# matrix (tokens/sec must be reported; medians feed the "pipeline"
+# section of BENCH_scheduler.json), and a cmd/pipestream run that
+# self-checks token counts, positive throughput, the per-line trace and
+# the Prometheus export.
+pipeline-bench:
+	$(GO) test -run 'TestPipelineRunNZeroAlloc' -v ./internal/pipeline/
+	$(GO) test -run '^$$' -bench 'BenchmarkPipeline' \
+		-benchmem -benchtime 200ms ./internal/pipeline/ | tee /tmp/bench_pipeline.txt
+	$(GO) run ./cmd/pipestream -workers 4 -lines 8 -stages 6 -tokens 5000 -runs 2 \
+		-trace /tmp/pipestream_lines.json -prom /tmp/pipestream.prom -latency
+
 # cover runs the full suite with atomic-mode coverage and prints the
 # per-function summary; coverage.out feeds `go tool cover -html`.
 cover:
@@ -85,10 +98,13 @@ cover:
 
 # fuzz runs the fuzzers on top of their committed corpora: the
 # work-stealing deque fuzzer (sequential model check + concurrent
-# exactly-once) and the schedule fuzzer (random graph × fault plan ×
+# exactly-once), the schedule fuzzer (random graph × fault plan ×
 # seed-permuted interleaving under the deterministic simulation
-# executor, internal/sim). Override FUZZTIME for longer campaigns.
+# executor, internal/sim) and the pipeline schedule fuzzer (pipe row
+# shape × lines × deferral pattern × interleaving). Override FUZZTIME
+# for longer campaigns.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDeque$$' -fuzztime $(FUZZTIME) ./internal/wsq/
 	$(GO) test -run '^$$' -fuzz '^FuzzSchedule$$' -fuzztime $(FUZZTIME) ./internal/sim/
+	$(GO) test -run '^$$' -fuzz '^FuzzPipelineSchedule$$' -fuzztime $(FUZZTIME) ./internal/sim/

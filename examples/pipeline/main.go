@@ -1,9 +1,18 @@
-// Pipeline demonstrates the task-parallel pipeline framework: a
-// three-stage text-processing pipeline (parse → hash → fold) where the
-// middle stage is Parallel so multiple tokens are in flight while the
-// serial stages preserve strict token order.
+// Pipeline demonstrates the v2 token-throughput pipeline engine on a
+// streaming text-processing shape:
 //
-//	go run ./examples/pipeline -tokens 1000 -lines 8
+//	parse (Serial) → transform (data-parallel ForEach) →
+//	enrich (Parallel, with token deferral) → fold (Serial)
+//
+// Stage 1 generates records in order; stage 2 fans each token's record
+// block across the executor with a guided partitioner and joins before
+// the token advances; stage 3 runs tokens concurrently but defers every
+// 16th token until its predecessor checkpoint token has completed the
+// stage (a cross-token dependency, tf::Pipeflow-style); stage 4 folds in
+// strict token order. The pre-built pipeline is re-run in batches with
+// RunN — state resets in place, steady-state reruns allocate nothing.
+//
+//	go run ./examples/pipeline -tokens 1000 -lines 8 -runs 3
 package main
 
 import (
@@ -15,18 +24,26 @@ import (
 	"gotaskflow/internal/pipeline"
 )
 
+const blockSize = 512 // indexes fanned out per token in the ForEach stage
+
 func main() {
-	tokens := flag.Int64("tokens", 1000, "tokens to stream")
+	tokens := flag.Int64("tokens", 1000, "tokens to stream per run")
 	lines := flag.Int("lines", 8, "pipeline lines (tokens in flight)")
 	workers := flag.Int("workers", 0, "executor workers (0 = GOMAXPROCS)")
+	runs := flag.Int("runs", 3, "batches to pump through the one pre-built pipeline")
 	flag.Parse()
 
 	e := executor.New(*workers)
 	defer e.Shutdown()
 
-	// Per-line slots carry data between stages, as in tf::Pipeline usage.
+	// Per-line slots carry data between stages, as in tf::Pipeline usage;
+	// one block per line for the data-parallel stage.
 	parsed := make([]uint64, *lines)
-	hashed := make([]uint64, *lines)
+	blocks := make([][]uint64, *lines)
+	for i := range blocks {
+		blocks[i] = make([]uint64, blockSize)
+	}
+	enriched := make([]uint64, *lines)
 	var folded uint64
 
 	p := pipeline.New(e, *lines,
@@ -38,27 +55,60 @@ func main() {
 			// Stage 1 (serial): "read" the next record in order.
 			parsed[pf.Line()] = uint64(pf.Token())*2654435761 + 1
 		}},
+		// Stage 2 (data-parallel): one token's block fans out across the
+		// executor; the join barrier holds the token until the whole
+		// range is transformed.
+		pipeline.ForEach(pipeline.Parallel,
+			func(*pipeline.Pipeflow) int { return blockSize },
+			32, pipeline.Guided,
+			func(pf *pipeline.Pipeflow, begin, end int) {
+				b := blocks[pf.Line()]
+				seed := parsed[pf.Line()]
+				for i := begin; i < end; i++ {
+					x := seed + uint64(i)
+					for k := 0; k < 40; k++ {
+						x = x*6364136223846793005 + 1442695040888963407
+					}
+					b[i] = x
+				}
+			}),
 		pipeline.Pipe{Type: pipeline.Parallel, Fn: func(pf *pipeline.Pipeflow) {
-			// Stage 2 (parallel): expensive per-record transform.
-			x := parsed[pf.Line()]
-			for i := 0; i < 2000; i++ {
-				x = x*6364136223846793005 + 1442695040888963407
+			// Stage 3 (parallel + deferral): every 16th token is a
+			// checkpoint that must not complete this stage before the
+			// record just ahead of it has. Defer is a no-op when the
+			// target already completed; otherwise the token parks after
+			// this callable returns and the callable re-runs once the
+			// target is done.
+			tok := pf.Token()
+			if tok%16 == 0 && tok > 0 {
+				pf.Defer(tok - 1)
 			}
-			hashed[pf.Line()] = x
+			// Odd records are ~30× heavier here, so light checkpoint
+			// tokens overtake them across lines and the Defer above
+			// really parks.
+			iters := len(blocks[pf.Line()]) * (1 + int(tok%2)*30)
+			var sum uint64
+			b := blocks[pf.Line()]
+			for i := 0; i < iters; i++ {
+				sum += b[i%len(b)]
+			}
+			enriched[pf.Line()] = sum
 		}},
 		pipeline.Pipe{Type: pipeline.Serial, Fn: func(pf *pipeline.Pipeflow) {
-			// Stage 3 (serial): fold results in token order.
-			folded = folded*31 + hashed[pf.Line()]
+			// Stage 4 (serial): fold results in token order.
+			folded = folded*31 + enriched[pf.Line()]
 		}},
-	)
+	).Named("example-stream")
 
 	start := time.Now()
-	n := p.Run()
+	n := p.RunN(*runs)
 	elapsed := time.Since(start)
 	if err := p.Err(); err != nil {
 		panic(err)
 	}
-	fmt.Printf("pipeline processed %d tokens over %d lines in %v (%.1f tokens/ms)\n",
-		n, *lines, elapsed, float64(n)/float64(elapsed.Milliseconds()+1))
+	st := p.Stats()
+	fmt.Printf("pipeline processed %d tokens (%d runs × %d) over %d lines in %v (%.0f tokens/sec)\n",
+		n, st.Runs, *tokens, *lines, elapsed, float64(n)/elapsed.Seconds())
+	fmt.Printf("checkpoint deferrals: %d, per-line tokens: %v\n", st.Deferrals, st.PerLine)
 	fmt.Printf("ordered fold checksum: %#x\n", folded)
 }

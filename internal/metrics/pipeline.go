@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"strings"
+
+	"gotaskflow/internal/pipeline"
+)
+
+// WritePipeline renders one or more pipelines' cumulative counters in the
+// Prometheus text exposition format, alongside the executor series from
+// WritePrometheus:
+//
+//	gotaskflow_pipeline_runs_total{pipeline="..."}
+//	gotaskflow_pipeline_tokens_total{pipeline="..."}
+//	gotaskflow_pipeline_deferrals_total{pipeline="..."}
+//	gotaskflow_pipeline_dropped_errors{pipeline="..."}
+//	gotaskflow_pipeline_line_tokens_total{pipeline="...",line="N"}
+//
+// Safe while the pipelines run: Stats is a monotone snapshot.
+func WritePipeline(w io.Writer, ps ...*pipeline.Pipeline) error {
+	var b strings.Builder
+	writeHeader := func(name, help, typ string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+	writeHeader("gotaskflow_pipeline_runs_total", "Completed pipeline Run rounds", "counter")
+	for _, p := range ps {
+		fmt.Fprintf(&b, "gotaskflow_pipeline_runs_total{pipeline=%q} %d\n", p.Name(), p.Stats().Runs)
+	}
+	writeHeader("gotaskflow_pipeline_tokens_total", "Tokens that completed every pipe", "counter")
+	for _, p := range ps {
+		fmt.Fprintf(&b, "gotaskflow_pipeline_tokens_total{pipeline=%q} %d\n", p.Name(), p.Stats().Tokens)
+	}
+	writeHeader("gotaskflow_pipeline_deferrals_total", "Tokens parked by Pipeflow.Defer", "counter")
+	for _, p := range ps {
+		fmt.Fprintf(&b, "gotaskflow_pipeline_deferrals_total{pipeline=%q} %d\n", p.Name(), p.Stats().Deferrals)
+	}
+	writeHeader("gotaskflow_pipeline_dropped_errors", "Errors discarded beyond the recording cap (current/last run)", "gauge")
+	for _, p := range ps {
+		fmt.Fprintf(&b, "gotaskflow_pipeline_dropped_errors{pipeline=%q} %d\n", p.Name(), p.Stats().DroppedErrs)
+	}
+	writeHeader("gotaskflow_pipeline_line_tokens_total", "Tokens completed per pipeline line", "counter")
+	for _, p := range ps {
+		st := p.Stats()
+		for l, n := range st.PerLine {
+			fmt.Fprintf(&b, "gotaskflow_pipeline_line_tokens_total{pipeline=%q,line=\"%d\"} %d\n", p.Name(), l, n)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// PublishPipeline registers a pipeline's Stats snapshot as an expvar
+// variable (JSON under /debug/vars). Call once per pipeline per process;
+// expvar panics on duplicate names, matching Publish.
+func PublishPipeline(name string, p *pipeline.Pipeline) {
+	expvar.Publish(name, expvar.Func(func() any { return p.Stats() }))
+}

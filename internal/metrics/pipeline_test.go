@@ -1,0 +1,55 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"gotaskflow/internal/executor"
+	"gotaskflow/internal/pipeline"
+)
+
+func TestWritePipeline(t *testing.T) {
+	e := executor.New(2)
+	defer e.Shutdown()
+	const n = 30
+	p := pipeline.New(e, 3,
+		pipeline.Pipe{Type: pipeline.Serial, Fn: func(pf *pipeline.Pipeflow) {
+			if pf.Token() >= n {
+				pf.Stop()
+			}
+		}},
+		pipeline.Pipe{Type: pipeline.Parallel, Fn: func(pf *pipeline.Pipeflow) {
+			if tok := pf.Token(); tok > 0 && pf.Deferrals() == 0 {
+				pf.Defer(tok - 1)
+			}
+		}},
+	).Named("ingest")
+	if got := p.RunN(2); got != 2*n {
+		t.Fatalf("RunN = %d, want %d", got, 2*n)
+	}
+	var b strings.Builder
+	if err := WritePipeline(&b, p); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`gotaskflow_pipeline_runs_total{pipeline="ingest"} 2`,
+		`gotaskflow_pipeline_tokens_total{pipeline="ingest"} 60`,
+		`gotaskflow_pipeline_dropped_errors{pipeline="ingest"} 0`,
+		`gotaskflow_pipeline_line_tokens_total{pipeline="ingest",line="0"} `,
+		`gotaskflow_pipeline_line_tokens_total{pipeline="ingest",line="2"} `,
+		"# TYPE gotaskflow_pipeline_deferrals_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("export missing %q:\n%s", want, out)
+		}
+	}
+	// Every line processed ~n/lines tokens per run; none may be zero with
+	// 60 tokens over 3 lines.
+	st := p.Stats()
+	for l, c := range st.PerLine {
+		if c == 0 {
+			t.Fatalf("line %d shows 0 tokens: %v", l, st.PerLine)
+		}
+	}
+}

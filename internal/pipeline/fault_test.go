@@ -17,12 +17,12 @@ func TestPipeflowFailStopsGeneration(t *testing.T) {
 	boom := errors.New("stage two broke")
 	var generated atomic.Int64
 	p := New(e, 3,
-		Pipe{Serial, func(pf *Pipeflow) {
+		Pipe{Type: Serial, Fn: func(pf *Pipeflow) {
 			if generated.Add(1) > 1000 {
 				pf.Stop() // safety net; Fail should stop us first
 			}
 		}},
-		Pipe{Parallel, func(pf *Pipeflow) {
+		Pipe{Type: Parallel, Fn: func(pf *Pipeflow) {
 			if pf.Token() == 5 {
 				pf.Fail(boom)
 			}
@@ -46,7 +46,7 @@ func TestPipelineErrJoinsMultipleFailures(t *testing.T) {
 	defer e.Shutdown()
 	e1, e2 := errors.New("one"), errors.New("two")
 	p := New(e, 2,
-		Pipe{Serial, func(pf *Pipeflow) {
+		Pipe{Type: Serial, Fn: func(pf *Pipeflow) {
 			switch pf.Token() {
 			case 0:
 				pf.Fail(e1)
@@ -70,7 +70,7 @@ func TestPipelineRunContextCancel(t *testing.T) {
 	started := make(chan struct{})
 	var once atomic.Bool
 	p := New(e, 2,
-		Pipe{Serial, func(pf *Pipeflow) {
+		Pipe{Type: Serial, Fn: func(pf *Pipeflow) {
 			if once.CompareAndSwap(false, true) {
 				close(started)
 			}
@@ -93,7 +93,7 @@ func TestPipelineRunContextAlreadyCancelled(t *testing.T) {
 	e := executor.New(2)
 	defer e.Shutdown()
 	var ran atomic.Int64
-	p := New(e, 2, Pipe{Serial, func(pf *Pipeflow) { ran.Add(1); pf.Stop() }})
+	p := New(e, 2, Pipe{Type: Serial, Fn: func(pf *Pipeflow) { ran.Add(1); pf.Stop() }})
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	n, err := p.RunContext(ctx)
@@ -111,7 +111,7 @@ func TestPipelineRunContextDeadline(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
 	defer cancel()
 	p := New(e, 2,
-		Pipe{Serial, func(pf *Pipeflow) { time.Sleep(time.Millisecond) }},
+		Pipe{Type: Serial, Fn: func(pf *Pipeflow) { time.Sleep(time.Millisecond) }},
 	)
 	_, err := p.RunContext(ctx)
 	if !errors.Is(err, context.DeadlineExceeded) {
@@ -122,7 +122,7 @@ func TestPipelineRunContextDeadline(t *testing.T) {
 func TestPipelineRunOnDeadExecutor(t *testing.T) {
 	e := executor.New(2)
 	e.Shutdown()
-	p := New(e, 2, Pipe{Serial, func(pf *Pipeflow) { pf.Stop() }})
+	p := New(e, 2, Pipe{Type: Serial, Fn: func(pf *Pipeflow) { pf.Stop() }})
 	done := make(chan int64, 1)
 	go func() { done <- p.Run() }()
 	select {

@@ -1,0 +1,191 @@
+package pipeline
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"gotaskflow/internal/executor"
+)
+
+// runForEach pushes n tokens through head → ForEach(part) → tail and
+// checks every index of every token's range is visited exactly once
+// before the token reaches the tail.
+func runForEach(t *testing.T, ty Type, part Partitioner, workers, lines int, n int64, rangeN, grain int) {
+	t.Helper()
+	e := executor.New(workers)
+	defer e.Shutdown()
+	var mu sync.Mutex
+	counts := make(map[int64][]int) // token → per-index visit count
+	tailSaw := make(map[int64]int)  // token → indexes complete at tail
+	p := New(e, lines,
+		Pipe{Type: Serial, Fn: func(pf *Pipeflow) {
+			if pf.Token() >= n {
+				pf.Stop()
+				return
+			}
+			mu.Lock()
+			counts[pf.Token()] = make([]int, rangeN)
+			mu.Unlock()
+		}},
+		ForEach(ty, func(*Pipeflow) int { return rangeN }, grain, part,
+			func(pf *Pipeflow, begin, end int) {
+				mu.Lock()
+				c := counts[pf.Token()]
+				for i := begin; i < end; i++ {
+					c[i]++
+				}
+				mu.Unlock()
+			}),
+		Pipe{Type: Serial, Fn: func(pf *Pipeflow) {
+			// Join barrier: by the time the token reaches the tail, its
+			// whole range must be done.
+			mu.Lock()
+			total := 0
+			for _, c := range counts[pf.Token()] {
+				total += c
+			}
+			tailSaw[pf.Token()] = total
+			mu.Unlock()
+		}},
+	)
+	if got := p.Run(); got != n {
+		t.Fatalf("Run() = %d tokens, want %d", got, n)
+	}
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for tok := int64(0); tok < n; tok++ {
+		for i, c := range counts[tok] {
+			if c != 1 {
+				t.Fatalf("token %d index %d visited %d times, want 1", tok, i, c)
+			}
+		}
+		if tailSaw[tok] != rangeN {
+			t.Fatalf("token %d reached the tail with %d/%d indexes done (barrier broken)",
+				tok, tailSaw[tok], rangeN)
+		}
+	}
+}
+
+func TestForEachDynamic(t *testing.T) { runForEach(t, Parallel, Dynamic, 4, 4, 30, 1000, 16) }
+func TestForEachGuided(t *testing.T)  { runForEach(t, Parallel, Guided, 4, 4, 30, 1000, 8) }
+func TestForEachStatic(t *testing.T)  { runForEach(t, Parallel, Static, 4, 2, 20, 512, 1) }
+func TestForEachTinyRange(t *testing.T) {
+	// Fewer indexes than workers×grain: claimant count must clamp.
+	runForEach(t, Parallel, Dynamic, 8, 2, 10, 3, 4)
+}
+func TestForEachSerialPipe(t *testing.T) {
+	// A Serial ForEach pipe: token order across tokens, fan-out within.
+	runForEach(t, Serial, Guided, 4, 4, 20, 300, 8)
+}
+
+// An empty range advances the token without running the body.
+func TestForEachEmptyRange(t *testing.T) {
+	e := executor.New(2)
+	defer e.Shutdown()
+	var bodyRuns, tailRuns atomic.Int64
+	p := New(e, 2,
+		Pipe{Type: Serial, Fn: func(pf *Pipeflow) {
+			if pf.Token() >= 5 {
+				pf.Stop()
+			}
+		}},
+		ForEach(Parallel, func(*Pipeflow) int { return 0 }, 1, Dynamic,
+			func(*Pipeflow, int, int) { bodyRuns.Add(1) }),
+		Pipe{Type: Serial, Fn: func(*Pipeflow) { tailRuns.Add(1) }},
+	)
+	if got := p.Run(); got != 5 {
+		t.Fatalf("Run() = %d, want 5", got)
+	}
+	if bodyRuns.Load() != 0 {
+		t.Fatalf("body ran %d times on an empty range", bodyRuns.Load())
+	}
+	if tailRuns.Load() != 5 {
+		t.Fatalf("tail saw %d tokens, want 5", tailRuns.Load())
+	}
+}
+
+// Stop and Defer from a ForEach body are errors, not silent corruption.
+func TestForEachBodyCannotStopOrDefer(t *testing.T) {
+	for name, body := range map[string]func(*Pipeflow, int, int){
+		"stop":  func(pf *Pipeflow, _, _ int) { pf.Stop() },
+		"defer": func(pf *Pipeflow, _, _ int) { pf.Defer(0) },
+	} {
+		e := executor.New(2)
+		p := New(e, 2,
+			Pipe{Type: Serial, Fn: func(pf *Pipeflow) {
+				if pf.Token() >= 3 {
+					pf.Stop()
+				}
+			}},
+			ForEach(Parallel, func(*Pipeflow) int { return 4 }, 1, Dynamic, body),
+		)
+		p.Run()
+		if err := p.Err(); err == nil || !strings.Contains(err.Error(), "ForEach body") {
+			t.Fatalf("%s: Err() = %v, want a ForEach-body violation", name, err)
+		}
+		e.Shutdown()
+	}
+}
+
+// Panics in the range function and the body stop the pipeline cleanly.
+func TestForEachPanicContainment(t *testing.T) {
+	for name, pipe := range map[string]Pipe{
+		"rangePanic": ForEach(Parallel, func(*Pipeflow) int { panic("range boom") }, 1, Dynamic,
+			func(*Pipeflow, int, int) {}),
+		"bodyPanic": ForEach(Parallel, func(*Pipeflow) int { return 8 }, 1, Dynamic,
+			func(pf *Pipeflow, begin, _ int) {
+				if begin == 3 {
+					panic("body boom")
+				}
+			}),
+	} {
+		e := executor.New(2)
+		p := New(e, 2,
+			Pipe{Type: Serial, Fn: func(pf *Pipeflow) {
+				if pf.Token() >= 5 {
+					pf.Stop()
+				}
+			}},
+			pipe,
+		)
+		p.Run() // must terminate
+		if p.Err() == nil {
+			t.Fatalf("%s: panic not reported", name)
+		}
+		e.Shutdown()
+	}
+}
+
+// ForEach pipes reset correctly across runs.
+func TestForEachReuse(t *testing.T) {
+	e := executor.New(4)
+	defer e.Shutdown()
+	const n, rangeN, rounds = 20, 400, 4
+	var visited atomic.Int64
+	p := New(e, 4,
+		Pipe{Type: Serial, Fn: func(pf *Pipeflow) {
+			if pf.Token() >= n {
+				pf.Stop()
+			}
+		}},
+		ForEach(Parallel, func(*Pipeflow) int { return rangeN }, 16, Guided,
+			func(_ *Pipeflow, begin, end int) { visited.Add(int64(end - begin)) }),
+	)
+	for r := 0; r < rounds; r++ {
+		visited.Store(0)
+		if got := p.Run(); got != n {
+			t.Fatalf("round %d: Run() = %d, want %d", r, got, n)
+		}
+		if err := p.Err(); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		if visited.Load() != n*rangeN {
+			t.Fatalf("round %d: visited %d indexes, want %d", r, visited.Load(), n*rangeN)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -108,8 +109,8 @@ func TestZeroTokens(t *testing.T) {
 	e := executor.New(2)
 	defer e.Shutdown()
 	p := New(e, 2,
-		Pipe{Serial, func(pf *Pipeflow) { pf.Stop() }},
-		Pipe{Serial, func(pf *Pipeflow) { t.Error("second pipe ran with zero tokens") }},
+		Pipe{Type: Serial, Fn: func(pf *Pipeflow) { pf.Stop() }},
+		Pipe{Type: Serial, Fn: func(pf *Pipeflow) { t.Error("second pipe ran with zero tokens") }},
 	)
 	if got := p.Run(); got != 0 {
 		t.Fatalf("Run() = %d, want 0", got)
@@ -124,12 +125,12 @@ func TestPipelineOverlapsLines(t *testing.T) {
 	var inFlight, peak atomic.Int64
 	const n = 64
 	p := New(e, 4,
-		Pipe{Serial, func(pf *Pipeflow) {
+		Pipe{Type: Serial, Fn: func(pf *Pipeflow) {
 			if pf.Token() >= n {
 				pf.Stop()
 			}
 		}},
-		Pipe{Parallel, func(pf *Pipeflow) {
+		Pipe{Type: Parallel, Fn: func(pf *Pipeflow) {
 			c := inFlight.Add(1)
 			for {
 				pk := peak.Load()
@@ -142,7 +143,7 @@ func TestPipelineOverlapsLines(t *testing.T) {
 			}
 			inFlight.Add(-1)
 		}},
-		Pipe{Serial, func(*Pipeflow) {}},
+		Pipe{Type: Serial, Fn: func(*Pipeflow) {}},
 	)
 	if got := p.Run(); got != n {
 		t.Fatalf("Run() = %d", got)
@@ -157,13 +158,13 @@ func TestStopTokenNotProcessed(t *testing.T) {
 	defer e.Shutdown()
 	var headCalls, bodyCalls atomic.Int64
 	p := New(e, 3,
-		Pipe{Serial, func(pf *Pipeflow) {
+		Pipe{Type: Serial, Fn: func(pf *Pipeflow) {
 			headCalls.Add(1)
 			if pf.Token() >= 10 {
 				pf.Stop()
 			}
 		}},
-		Pipe{Serial, func(*Pipeflow) { bodyCalls.Add(1) }},
+		Pipe{Type: Serial, Fn: func(*Pipeflow) { bodyCalls.Add(1) }},
 	)
 	if got := p.Run(); got != 10 {
 		t.Fatalf("Run() = %d", got)
@@ -181,7 +182,7 @@ func TestPipeflowMetadata(t *testing.T) {
 	defer e.Shutdown()
 	var bad atomic.Bool
 	p := New(e, 2,
-		Pipe{Serial, func(pf *Pipeflow) {
+		Pipe{Type: Serial, Fn: func(pf *Pipeflow) {
 			if pf.Token() >= 8 {
 				pf.Stop()
 				return
@@ -190,7 +191,7 @@ func TestPipeflowMetadata(t *testing.T) {
 				bad.Store(true)
 			}
 		}},
-		Pipe{Serial, func(pf *Pipeflow) {
+		Pipe{Type: Serial, Fn: func(pf *Pipeflow) {
 			if pf.Pipe() != 1 {
 				bad.Store(true)
 			}
@@ -206,12 +207,12 @@ func TestPipePanicStopsAndReports(t *testing.T) {
 	e := executor.New(2)
 	defer e.Shutdown()
 	p := New(e, 2,
-		Pipe{Serial, func(pf *Pipeflow) {
+		Pipe{Type: Serial, Fn: func(pf *Pipeflow) {
 			if pf.Token() >= 100 {
 				pf.Stop()
 			}
 		}},
-		Pipe{Serial, func(pf *Pipeflow) {
+		Pipe{Type: Serial, Fn: func(pf *Pipeflow) {
 			if pf.Token() == 3 {
 				panic("stage blew up")
 			}
@@ -228,7 +229,11 @@ func TestConstructorValidation(t *testing.T) {
 	defer e.Shutdown()
 	for name, fn := range map[string]func(){
 		"noPipes":      func() { New(e, 1) },
-		"parallelHead": func() { New(e, 1, Pipe{Parallel, func(*Pipeflow) {}}) },
+		"parallelHead": func() { New(e, 1, Pipe{Type: Parallel, Fn: func(*Pipeflow) {}}) },
+		"forEachHead": func() {
+			New(e, 1, ForEach(Serial, func(*Pipeflow) int { return 1 }, 1, Dynamic, func(*Pipeflow, int, int) {}))
+		},
+		"forEachNilBody": func() { ForEach(Serial, func(*Pipeflow) int { return 1 }, 1, Dynamic, nil) },
 	} {
 		func() {
 			defer func() {
@@ -239,17 +244,101 @@ func TestConstructorValidation(t *testing.T) {
 			fn()
 		}()
 	}
-	p := New(e, 0, Pipe{Serial, func(pf *Pipeflow) { pf.Stop() }})
+	p := New(e, 0, Pipe{Type: Serial, Fn: func(pf *Pipeflow) { pf.Stop() }})
 	if p.NumLines() != 1 {
 		t.Fatal("lines not clamped to 1")
 	}
+	// Runs are reusable in v2: back-to-back Run calls must both work.
 	p.Run()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("second Run did not panic")
+	p.Run()
+}
+
+// TestPipelineRunReuse is the core v2 semantics change: one pre-built
+// pipeline re-executes with full state reset — token numbering restarts,
+// every pipe sees every token again, serial order holds each round.
+func TestPipelineRunReuse(t *testing.T) {
+	e := executor.New(4)
+	defer e.Shutdown()
+	const n, rounds = 40, 5
+	var perRun atomic.Int64
+	p := New(e, 4,
+		Pipe{Type: Serial, Fn: func(pf *Pipeflow) {
+			if pf.Token() >= n {
+				pf.Stop()
+				return
+			}
+			perRun.Add(1)
+		}},
+		Pipe{Type: Parallel, Fn: func(*Pipeflow) {}},
+		Pipe{Type: Serial, Fn: func(*Pipeflow) {}},
+	)
+	for r := 0; r < rounds; r++ {
+		perRun.Store(0)
+		if got := p.Run(); got != n {
+			t.Fatalf("round %d: Run() = %d tokens, want %d", r, got, n)
 		}
-	}()
-	p.Run()
+		if err := p.Err(); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		if perRun.Load() != n {
+			t.Fatalf("round %d: head processed %d tokens, want %d", r, perRun.Load(), n)
+		}
+	}
+	st := p.Stats()
+	if st.Runs != rounds || st.Tokens != n*rounds {
+		t.Fatalf("Stats = %+v, want %d runs and %d tokens", st, rounds, n*rounds)
+	}
+	var sum int64
+	for _, lt := range st.PerLine {
+		sum += lt
+	}
+	if sum != n*rounds {
+		t.Fatalf("per-line tokens sum to %d, want %d (%v)", sum, n*rounds, st.PerLine)
+	}
+}
+
+// TestPipelineRunN checks the batch-run entry point and its early stop
+// on error.
+func TestPipelineRunN(t *testing.T) {
+	e := executor.New(2)
+	defer e.Shutdown()
+	const n = 25
+	p := New(e, 2,
+		Pipe{Type: Serial, Fn: func(pf *Pipeflow) {
+			if pf.Token() >= n {
+				pf.Stop()
+			}
+		}},
+		Pipe{Type: Serial, Fn: func(*Pipeflow) {}},
+	)
+	if got := p.RunN(4); got != 4*n {
+		t.Fatalf("RunN(4) = %d tokens, want %d", got, 4*n)
+	}
+
+	// A failing pipeline stops RunN early.
+	var runs atomic.Int64
+	boom := errors.New("boom")
+	q := New(e, 2,
+		Pipe{Type: Serial, Fn: func(pf *Pipeflow) {
+			if pf.Token() == 0 {
+				runs.Add(1)
+			}
+			if pf.Token() >= 3 {
+				pf.Stop()
+				return
+			}
+			if runs.Load() == 2 && pf.Token() == 1 {
+				pf.Fail(boom)
+			}
+		}},
+	)
+	q.RunN(10)
+	if !errors.Is(q.Err(), boom) {
+		t.Fatalf("Err() = %v, want boom", q.Err())
+	}
+	if runs.Load() != 2 {
+		t.Fatalf("RunN kept going for %d runs after a failure, want stop after run 2", runs.Load())
+	}
 }
 
 // Property: any mix of serial/parallel pipes over any line count

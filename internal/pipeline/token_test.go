@@ -1,0 +1,128 @@
+package pipeline
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"gotaskflow/internal/executor"
+)
+
+// modelTokenOnLine is the explicit model of nextTokenOnLine: the largest
+// token t < n assigned to line l (tokens go to lines round-robin,
+// t mod lines == l). Caller guarantees such a token exists.
+func modelTokenOnLine(n int64, l, lines int) int64 {
+	for t := n - 1; t >= 0; t-- {
+		if t%int64(lines) == int64(l) {
+			return t
+		}
+	}
+	panic("no token on line")
+}
+
+// TestPropertyNextTokenOnLine checks the modular reconstruction in
+// nextTokenOnLine against the explicit model over random line counts and
+// token counts, plus every wrap boundary (n a multiple of lines ± 1) —
+// the states where the divide-and-round arithmetic is easiest to get
+// wrong.
+func TestPropertyNextTokenOnLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x70ca))
+	check := func(n int64, lines int) {
+		t.Helper()
+		p := &Pipeline{lines: lines}
+		p.nextToken.Store(n)
+		// Lines with a token in flight are exactly l < min(n, lines).
+		top := lines
+		if n < int64(lines) {
+			top = int(n)
+		}
+		for l := 0; l < top; l++ {
+			got := p.nextTokenOnLine(l)
+			want := modelTokenOnLine(n, l, lines)
+			if got != want {
+				t.Fatalf("nextTokenOnLine(l=%d) with n=%d lines=%d = %d, want %d",
+					l, n, lines, got, want)
+			}
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		lines := rng.Intn(16) + 1
+		n := int64(rng.Intn(4096)) + 1
+		check(n, lines)
+	}
+	// Wrap boundaries: n exactly at, just below, and just above every
+	// multiple of the line count.
+	for lines := 1; lines <= 8; lines++ {
+		for wrap := 1; wrap <= 6; wrap++ {
+			base := int64(lines * wrap)
+			for _, n := range []int64{base - 1, base, base + 1} {
+				if n >= 1 {
+					check(n, lines)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyPerLineTokenSequences drives real pipelines with random
+// lines × pipes × token counts and checks each line of the last pipe saw
+// exactly the explicitly-threaded sequence l, l+L, l+2L, … — the
+// behavior nextTokenOnLine's reconstruction must reproduce end to end.
+func TestPropertyPerLineTokenSequences(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x11e5))
+	for trial := 0; trial < 25; trial++ {
+		lines := rng.Intn(6) + 1
+		numPipes := rng.Intn(4) + 1
+		n := int64(rng.Intn(100))
+		types := make([]Type, numPipes)
+		types[0] = Serial
+		for i := 1; i < numPipes; i++ {
+			if rng.Intn(2) == 0 {
+				types[i] = Parallel
+			}
+		}
+		e := executor.New(rng.Intn(4) + 1)
+		var mu sync.Mutex
+		perLine := make([][]int64, lines)
+		pipes := make([]Pipe, numPipes)
+		for i := range pipes {
+			i := i
+			pipes[i] = Pipe{Type: types[i], Fn: func(pf *Pipeflow) {
+				if i == 0 && pf.Token() >= n {
+					pf.Stop()
+					return
+				}
+				if i == numPipes-1 {
+					mu.Lock()
+					perLine[pf.Line()] = append(perLine[pf.Line()], pf.Token())
+					mu.Unlock()
+				}
+			}}
+		}
+		p := New(e, lines, pipes...)
+		if got := p.Run(); got != n {
+			t.Fatalf("trial %d (lines=%d pipes=%d n=%d): Run() = %d",
+				trial, lines, numPipes, n, got)
+		}
+		e.Shutdown()
+		mu.Lock()
+		for l := 0; l < lines; l++ {
+			// Expected: the arithmetic progression l, l+L, ... below n.
+			want := []int64{}
+			for tok := int64(l); tok < n; tok += int64(lines) {
+				want = append(want, tok)
+			}
+			got := perLine[l]
+			if len(got) != len(want) {
+				t.Fatalf("trial %d line %d: saw %v, want %v", trial, l, got, want)
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("trial %d line %d position %d: got token %d, want %d (%v)",
+						trial, l, j, got[j], want[j], got)
+				}
+			}
+		}
+		mu.Unlock()
+	}
+}

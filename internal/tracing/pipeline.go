@@ -1,0 +1,167 @@
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"gotaskflow/internal/executor"
+)
+
+// WriteLineTrace renders a captured trace from the pipeline's
+// point of view: every task span whose Flow matches the given pipeline
+// name is placed on the track of its *line* (TaskMeta.Idx) instead of
+// the worker that happened to run it, so Perfetto shows per-line
+// occupancy directly — one horizontal track per line, spans are the pipe
+// invocations of the token currently traversing that line, and gaps are
+// the line sitting idle waiting for a join or a deferral. Worker
+// identity is preserved in the span args.
+//
+// The metadata block reports per-line occupancy: the fraction of the
+// capture window each line spent inside a pipe invocation (busy µs /
+// window µs), the summary number behind the picture.
+func WriteLineTrace(w io.Writer, tr executor.Trace, flow string) error {
+	// Pair starts with ends per worker, keeping only the pipeline's spans.
+	open := map[int32]executor.TraceEvent{}
+	var spans []span
+	var workerOf []int32
+	for _, ev := range tr.Events {
+		switch ev.Kind {
+		case executor.EvTaskStart:
+			open[ev.Worker] = ev
+		case executor.EvTaskEnd:
+			st, ok := open[ev.Worker]
+			if !ok {
+				continue
+			}
+			delete(open, ev.Worker)
+			if st.Meta.Flow != flow {
+				continue
+			}
+			spans = append(spans, span{
+				start: usec(st.Ts),
+				end:   usec(ev.Ts),
+				tid:   int(st.Meta.Idx), // line, not worker
+				meta:  st.Meta,
+			})
+			workerOf = append(workerOf, ev.Worker)
+		}
+	}
+
+	maxLine := -1
+	for _, sp := range spans {
+		if sp.tid > maxLine {
+			maxLine = sp.tid
+		}
+	}
+
+	out := make([]chromeEvent, 0, len(spans)+maxLine+2)
+	out = append(out, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 0,
+		Args: map[string]any{"name": "pipeline " + flow},
+	})
+	for l := 0; l <= maxLine; l++ {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: l,
+			Args: map[string]any{"name": fmt.Sprintf("line %d", l)},
+		})
+	}
+
+	// Per-line busy time for the occupancy summary.
+	var winStart, winEnd float64
+	busy := make([]float64, maxLine+1)
+	for i, sp := range spans {
+		if i == 0 || sp.start < winStart {
+			winStart = sp.start
+		}
+		if sp.end > winEnd {
+			winEnd = sp.end
+		}
+		busy[sp.tid] += sp.end - sp.start
+		out = append(out, chromeEvent{
+			Name: SpanName(sp.meta),
+			Cat:  "pipe",
+			Ph:   "X",
+			Ts:   sp.start,
+			Dur:  sp.end - sp.start,
+			Pid:  0,
+			Tid:  sp.tid,
+			Args: map[string]any{
+				"worker": workerOf[i],
+				"gen":    sp.meta.Gen,
+			},
+		})
+	}
+
+	occupancy := map[string]any{}
+	if window := winEnd - winStart; window > 0 {
+		for l := 0; l <= maxLine; l++ {
+			occupancy[fmt.Sprintf("line%d", l)] = busy[l] / window
+		}
+	}
+	doc := chromeTrace{TraceEvents: out, Metadata: map[string]any{
+		"pipeline":      flow,
+		"lines":         maxLine + 1,
+		"spans":         len(spans),
+		"occupancy":     occupancy,
+		"droppedEvents": tr.Dropped,
+		"totalEvents":   len(tr.Events),
+	}}
+	return json.NewEncoder(w).Encode(doc)
+}
+
+// LineOccupancy computes each line's busy fraction for the named
+// pipeline flow from a captured trace, without rendering JSON — the
+// programmatic face of WriteLineTrace's metadata, for tests and drivers
+// that want the numbers. The result has one entry per line index up to
+// the highest line observed; pipelines with no matching spans return an
+// empty slice.
+func LineOccupancy(tr executor.Trace, flow string) []float64 {
+	open := map[int32]executor.TraceEvent{}
+	type iv struct {
+		line       int
+		start, end float64
+	}
+	var ivs []iv
+	maxLine := -1
+	for _, ev := range tr.Events {
+		switch ev.Kind {
+		case executor.EvTaskStart:
+			open[ev.Worker] = ev
+		case executor.EvTaskEnd:
+			st, ok := open[ev.Worker]
+			if !ok {
+				continue
+			}
+			delete(open, ev.Worker)
+			if st.Meta.Flow != flow {
+				continue
+			}
+			l := int(st.Meta.Idx)
+			ivs = append(ivs, iv{l, usec(st.Ts), usec(ev.Ts)})
+			if l > maxLine {
+				maxLine = l
+			}
+		}
+	}
+	if maxLine < 0 {
+		return nil
+	}
+	var winStart, winEnd float64
+	busy := make([]float64, maxLine+1)
+	for i, s := range ivs {
+		if i == 0 || s.start < winStart {
+			winStart = s.start
+		}
+		if s.end > winEnd {
+			winEnd = s.end
+		}
+		busy[s.line] += s.end - s.start
+	}
+	if window := winEnd - winStart; window > 0 {
+		for l := range busy {
+			busy[l] /= window
+		}
+	}
+	return busy
+}
